@@ -1,0 +1,56 @@
+// Package arch embeds the architecture description files shipped with the
+// repository and loads them through the ADL front end.
+package arch
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adl"
+)
+
+//go:embed *.adl
+var files embed.FS
+
+// Names returns the embedded architecture names, sorted.
+func Names() []string {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		panic(err) // embedded FS cannot fail to list
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".adl"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the ADL source text of the named architecture.
+func Source(name string) (string, error) {
+	b, err := files.ReadFile(name + ".adl")
+	if err != nil {
+		return "", fmt.Errorf("arch: no embedded architecture %q (have %v)", name, Names())
+	}
+	return string(b), nil
+}
+
+// Load parses and checks the named embedded architecture.
+func Load(name string) (*adl.Arch, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	return adl.Load(name+".adl", src)
+}
+
+// MustLoad is Load for use in tests and examples; it panics on error.
+func MustLoad(name string) *adl.Arch {
+	a, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

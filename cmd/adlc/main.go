@@ -1,0 +1,75 @@
+// Command adlc validates an architecture description and prints a
+// summary of the generated model: registers, formats, encodings, and the
+// per-instruction mask/match table the decoder is built from.
+//
+// Usage:
+//
+//	adlc <file.adl>          validate and summarize a description file
+//	adlc -builtin <name>     summarize an embedded architecture
+//	adlc -list               list embedded architectures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/arch"
+	"repro/internal/adl"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "summarize an embedded architecture instead of a file")
+	list := flag.Bool("list", false, "list embedded architectures")
+	verbose := flag.Bool("v", false, "print the full instruction table")
+	flag.Parse()
+
+	if *list {
+		for _, n := range arch.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var a *adl.Arch
+	var err error
+	switch {
+	case *builtin != "":
+		a, err = arch.Load(*builtin)
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			a, err = adl.Load(flag.Arg(0), string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: adlc [-v] <file.adl> | adlc -builtin <name> | adlc -list")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(a)
+	fmt.Printf("  memory: %s, %d-bit addresses, %d-bit cells\n", a.Space.Name, a.Space.AddrBits, a.Space.CellBits)
+	if a.SP != nil {
+		fmt.Printf("  stack pointer: %s\n", a.SP.Name)
+	}
+	for _, f := range a.Formats {
+		fmt.Printf("  format %-4s %2d bits:", f.Name, f.Width)
+		for _, fd := range f.Fields {
+			fmt.Printf(" %s[%d:%d]", fd.Name, fd.Hi, fd.Lo)
+		}
+		fmt.Println()
+	}
+	if *verbose {
+		fmt.Println("  instructions (mask/match):")
+		for _, i := range a.Insns {
+			fmt.Printf("    %-8s %-4s mask=%0*x match=%0*x  %d operands\n",
+				i.Name, i.Format.Name,
+				int(i.Format.Width/4), i.Mask, int(i.Format.Width/4), i.Match,
+				len(i.Operands))
+		}
+	}
+}

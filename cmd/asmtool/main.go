@@ -1,0 +1,47 @@
+// Command asmtool assembles a source file into a program image (RIMG)
+// using the retargetable, ADL-driven assembler.
+//
+// Usage:
+//
+//	asmtool -arch <name> [-o out.rimg] <file.s>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/arch"
+	"repro/internal/asm"
+)
+
+func main() {
+	archName := flag.String("arch", "tiny32", "target architecture (see adlc -list)")
+	out := flag.String("o", "a.rimg", "output image file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmtool -arch <name> [-o out.rimg] <file.s>")
+		os.Exit(2)
+	}
+	a, err := arch.Load(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := asm.New(a).Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, p.Marshal(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d bytes, entry %#x, %d symbols -> %s\n",
+		*archName, p.Size(), p.Entry, len(p.Symbols), *out)
+}

@@ -1,0 +1,64 @@
+// Command disasm disassembles a program image with the ADL-generated
+// decoder.
+//
+// Usage:
+//
+//	disasm <image.rimg>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/arch"
+	"repro/internal/decoder"
+	"repro/internal/prog"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: disasm <image.rimg>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := prog.Unmarshal(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a, err := arch.Load(p.Arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d := decoder.New(a)
+	// Invert the symbol table for labels.
+	labels := map[uint64][]string{}
+	for n, v := range p.Symbols {
+		labels[v] = append(labels[v], n)
+	}
+	for _, seg := range p.Segments {
+		fmt.Printf("segment %#x (%d bytes)\n", seg.Addr, len(seg.Data))
+		off := 0
+		for off < len(seg.Data) {
+			addr := seg.Addr + uint64(off)
+			for _, l := range labels[addr] {
+				fmt.Printf("%s:\n", l)
+			}
+			dec, err := d.Decode(seg.Data[off:])
+			if err != nil {
+				fmt.Printf("  %#08x: .byte %#02x\n", addr, seg.Data[off])
+				off++
+				continue
+			}
+			fmt.Printf("  %#08x: % -24x %s\n", addr, seg.Data[off:off+dec.Len], decoder.Disasm(dec, addr))
+			off += dec.Len
+		}
+	}
+}

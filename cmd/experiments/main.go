@@ -1,0 +1,47 @@
+// Command experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md §3 and EXPERIMENTS.md) and
+// prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4)")
+	flag.Parse()
+
+	switch *only {
+	case "":
+		harness.RunAll(os.Stdout)
+	case "table1":
+		harness.RunTable1().Print(os.Stdout)
+	case "table2":
+		harness.RunTable2().Print(os.Stdout)
+	case "table3":
+		harness.RunTable3().Print(os.Stdout)
+	case "table4":
+		harness.RunTable4(8).Print(os.Stdout)
+	case "table5":
+		harness.RunTable5().Print(os.Stdout)
+	case "fig1":
+		harness.PrintFig1(os.Stdout, harness.RunFig1(8))
+	case "fig2":
+		harness.PrintFig2(os.Stdout, harness.RunFig2(9))
+	case "fig3":
+		harness.PrintFig3(os.Stdout, harness.RunFig3([]int{3, 5, 7}))
+	case "fig4":
+		harness.PrintFig4(os.Stdout, harness.RunFig4([]uint{8, 16, 24, 32, 48, 64}))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,143 @@
+// Command symex symbolically executes a program image with the
+// retargetable engine, runs the security checkers, and reports every
+// finding with a concrete reproducing input.
+//
+// Usage:
+//
+//	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-paths-detail] <image.rimg>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/arch"
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/prog"
+)
+
+func main() {
+	inputs := flag.Int("inputs", 8, "symbolic input bytes available to the read trap")
+	steps := flag.Int64("steps", 10000, "per-path instruction budget")
+	paths := flag.Int("paths", 1000, "completed-path budget")
+	strategy := flag.String("strategy", "dfs", "search strategy: dfs|bfs|random|coverage")
+	detail := flag.Bool("paths-detail", false, "print every completed path")
+	dumpSMT := flag.Int("dump-smtlib", 0, "print the first N path conditions as SMT-LIB 2 scripts")
+	concolic := flag.Int("concolic", 0, "run generational concolic testing with up to N concrete executions instead of full exploration")
+	seed := flag.String("seed", "", "seed input for -concolic")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
+		os.Exit(2)
+	}
+
+	var strat core.Strategy
+	switch *strategy {
+	case "dfs":
+		strat = core.DFS
+	case "bfs":
+		strat = core.BFS
+	case "random":
+		strat = core.Random
+	case "coverage":
+		strat = core.Coverage
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := prog.Unmarshal(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a, err := arch.Load(p.Arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	e := core.NewEngine(a, p, core.Options{
+		InputBytes: *inputs,
+		MaxSteps:   *steps,
+		MaxPaths:   *paths,
+		Strategy:   strat,
+	})
+	for _, c := range checker.All() {
+		e.AddChecker(c)
+	}
+
+	if *concolic > 0 {
+		rep, err := e.Concolic([]byte(*seed), *concolic)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d concrete runs, %d solver-derived inputs, %d instructions covered\n",
+			p.Arch, len(rep.Paths), rep.Solved, rep.Coverage)
+		for i, pth := range rep.Paths {
+			fmt.Printf("  run %2d: input % x -> %v, output %q\n", i, pth.Input, pth.Status, pth.Output)
+		}
+		if len(rep.Bugs) > 0 {
+			fmt.Printf("%d findings:\n", len(rep.Bugs))
+			for _, b := range rep.Bugs {
+				fmt.Printf("  %v\n", b)
+			}
+			os.Exit(3)
+		}
+		fmt.Println("no findings")
+		return
+	}
+
+	r, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d paths, %d instructions, %d forks (%d infeasible), %v\n",
+		p.Arch, len(r.Paths), r.Stats.Instructions, r.Stats.Forks,
+		r.Stats.Infeasible, r.Stats.WallTime.Round(1000))
+	fmt.Printf("solver: %d queries (%d sat / %d unsat), %v solving\n",
+		r.Stats.Solver.Queries, r.Stats.Solver.SatResults,
+		r.Stats.Solver.UnsatCount, r.Stats.Solver.SolveTime.Round(1000))
+
+	byStatus := map[core.Status]int{}
+	for _, pth := range r.Paths {
+		byStatus[pth.Status]++
+	}
+	fmt.Printf("path statuses: %v\n", byStatus)
+
+	if *detail {
+		for _, pth := range r.Paths {
+			fmt.Printf("  path %d: %v steps=%d depth=%d |cond|=%d out=%d\n",
+				pth.ID, pth.Status, pth.Steps, pth.Depth, len(pth.PathCond), len(pth.Output))
+		}
+	}
+
+	for i, pth := range r.Paths {
+		if i >= *dumpSMT {
+			break
+		}
+		fmt.Printf("; path %d (%v) condition:\n%s", pth.ID, pth.Status,
+			expr.SMTLIB2String(pth.PathCond))
+	}
+
+	if len(r.Bugs) == 0 {
+		fmt.Println("no findings")
+		return
+	}
+	fmt.Printf("%d findings:\n", len(r.Bugs))
+	for _, b := range r.Bugs {
+		fmt.Printf("  %v\n", b)
+	}
+	os.Exit(3) // distinct exit code when bugs were found
+}

@@ -1,0 +1,11 @@
+// Package repro is an open-source reproduction of "Architecture
+// description language based retargetable symbolic execution" (A. Ibing,
+// DATE 2015): a symbolic execution stack — decoder, assembler, concrete
+// emulator, RTL semantics, and path-exploring engine with SMT-backed
+// security checkers — generated entirely from declarative architecture
+// descriptions.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the evaluation. The benchmarks in bench_test.go
+// regenerate every table and figure.
+package repro

@@ -1,0 +1,78 @@
+// Quickstart: assemble a small tiny32 program in-process and explore it
+// symbolically. The program reads one input byte and classifies it; the
+// engine discovers every class and solves for an input that reaches it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/smt"
+)
+
+const program = `
+// Classify one input byte: '0'..'9' -> 'd', 'a'..'z' -> 'l', else '?'.
+_start:
+	trap 1              // r1 = one symbolic input byte
+	li   r2, 48         // '0'
+	bltu r1, r2, other
+	li   r2, 58         // '9'+1
+	bltu r1, r2, digit
+	li   r2, 97         // 'a'
+	bltu r1, r2, other
+	li   r2, 123        // 'z'+1
+	bltu r1, r2, letter
+other:
+	li   r1, 63         // '?'
+	trap 2
+	trap 0
+digit:
+	li   r1, 100        // 'd'
+	trap 2
+	trap 0
+letter:
+	li   r1, 108        // 'l'
+	trap 2
+	trap 0
+`
+
+func main() {
+	// 1. Load the architecture description and assemble the program.
+	a := arch.MustLoad("tiny32")
+	p, err := asm.New(a).Assemble("classify.s", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d bytes for %s\n\n", p.Size(), a.Name)
+
+	// 2. Build the engine (decoder and semantics come from the ADL) and
+	//    explore all paths.
+	e := core.NewEngine(a, p, core.Options{InputBytes: 1})
+	r, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d paths with %d instructions and %d solver queries\n\n",
+		len(r.Paths), r.Stats.Instructions, r.Stats.Solver.Queries)
+
+	// 3. For every completed path, solve the path condition for a
+	//    concrete input and show what the program would print.
+	for _, path := range r.Paths {
+		res, err := e.Solver.Check(path.PathCond...)
+		if err != nil || res != smt.Sat {
+			continue
+		}
+		model := e.Solver.Model()
+		input := e.InputFromModel(model)
+		var out []byte
+		for _, o := range path.Output {
+			out = append(out, byte(expr.Eval(o, model)))
+		}
+		fmt.Printf("path %2d (%-5v): input %q -> output %q\n",
+			path.ID, path.Status, input, out)
+	}
+}

@@ -1,0 +1,279 @@
+package adl
+
+// Typed register-transfer semantics IR. The checker produces this from the
+// raw statement AST with all widths resolved; the concrete emulator and
+// the symbolic execution engine interpret it through the visitors in
+// internal/rtl.
+
+// Expr is a checked semantics expression. Width 0 means boolean.
+type Expr interface {
+	Width() uint
+	semExpr()
+}
+
+// UnOp enumerates unary bit-vector operators.
+type UnOp int
+
+// Unary operators.
+const (
+	UNot UnOp = iota // bitwise complement
+	UNeg             // two's-complement negation
+)
+
+// BinOp enumerates binary bit-vector operators.
+type BinOp int
+
+// Binary operators.
+const (
+	BAdd BinOp = iota
+	BSub
+	BMul
+	BUDiv
+	BURem
+	BSDiv
+	BSRem
+	BAnd
+	BOr
+	BXor
+	BShl
+	BLShr
+	BAShr
+)
+
+// CmpOp enumerates comparison operators (boolean results).
+type CmpOp int
+
+// Comparison operators.
+const (
+	CEq CmpOp = iota
+	CNe
+	CULt
+	CULe
+	CSLt
+	CSLe
+)
+
+// BoolOp enumerates boolean connectives.
+type BoolOp int
+
+// Boolean connectives.
+const (
+	LAnd BoolOp = iota
+	LOr
+	LNot
+)
+
+// ConstExpr is a literal with a resolved width.
+type ConstExpr struct {
+	W   uint
+	Val uint64
+}
+
+// RegExpr reads a named register.
+type RegExpr struct{ Reg *Reg }
+
+// RegOpExpr reads the register selected by a register operand.
+type RegOpExpr struct{ Op *Operand }
+
+// ImmExpr reads the decoded value of an immediate operand.
+type ImmExpr struct{ Op *Operand }
+
+// SubExpr reads a register subfield.
+type SubExpr struct {
+	Reg *Reg
+	Hi  uint
+	Lo  uint
+}
+
+// LocalExpr reads a local introduced by a `local` statement.
+type LocalExpr struct {
+	Name string
+	Idx  int
+	W    uint
+}
+
+// UnExpr is a unary bit-vector operation.
+type UnExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// BinExpr is a binary bit-vector operation; operands share the width.
+type BinExpr struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// CmpExpr is a comparison; the result is boolean.
+type CmpExpr struct {
+	Op   CmpOp
+	X, Y Expr
+}
+
+// BoolExpr is a boolean connective (Y nil for LNot).
+type BoolExpr struct {
+	Op   BoolOp
+	X, Y Expr
+}
+
+// TernExpr is cond ? t : f over bit-vector arms.
+type TernExpr struct {
+	Cond Expr
+	T, F Expr
+}
+
+// ExtractExpr takes bits Hi..Lo of X.
+type ExtractExpr struct {
+	X      Expr
+	Hi, Lo uint
+}
+
+// ExtendExpr widens X to W bits.
+type ExtendExpr struct {
+	X      Expr
+	W      uint
+	Signed bool
+}
+
+// CatExpr concatenates Hi (more significant) with Lo.
+type CatExpr struct {
+	Hi, Lo Expr
+}
+
+// LoadExpr reads Cells memory cells starting at Addr, assembled in the
+// architecture's byte order.
+type LoadExpr struct {
+	Addr  Expr
+	Cells uint
+	W     uint // Cells * cell width
+}
+
+func (e *ConstExpr) Width() uint   { return e.W }
+func (e *RegExpr) Width() uint     { return e.Reg.Width }
+func (e *RegOpExpr) Width() uint   { return e.Op.File.Width }
+func (e *ImmExpr) Width() uint     { return e.Op.Bits() }
+func (e *SubExpr) Width() uint     { return e.Hi - e.Lo + 1 }
+func (e *LocalExpr) Width() uint   { return e.W }
+func (e *UnExpr) Width() uint      { return e.X.Width() }
+func (e *BinExpr) Width() uint     { return e.X.Width() }
+func (e *CmpExpr) Width() uint     { return 0 }
+func (e *BoolExpr) Width() uint    { return 0 }
+func (e *TernExpr) Width() uint    { return e.T.Width() }
+func (e *ExtractExpr) Width() uint { return e.Hi - e.Lo + 1 }
+func (e *ExtendExpr) Width() uint  { return e.W }
+func (e *CatExpr) Width() uint     { return e.Hi.Width() + e.Lo.Width() }
+func (e *LoadExpr) Width() uint    { return e.W }
+
+func (*ConstExpr) semExpr()   {}
+func (*RegExpr) semExpr()     {}
+func (*RegOpExpr) semExpr()   {}
+func (*ImmExpr) semExpr()     {}
+func (*SubExpr) semExpr()     {}
+func (*LocalExpr) semExpr()   {}
+func (*UnExpr) semExpr()      {}
+func (*BinExpr) semExpr()     {}
+func (*CmpExpr) semExpr()     {}
+func (*BoolExpr) semExpr()    {}
+func (*TernExpr) semExpr()    {}
+func (*ExtractExpr) semExpr() {}
+func (*ExtendExpr) semExpr()  {}
+func (*CatExpr) semExpr()     {}
+func (*LoadExpr) semExpr()    {}
+
+// Stmt is a checked semantics statement.
+type Stmt interface{ semStmt() }
+
+// LValue is an assignable location.
+type LValue interface{ semLValue() }
+
+// RegLV assigns a named register.
+type RegLV struct{ Reg *Reg }
+
+// RegOpLV assigns the register selected by a register operand.
+type RegOpLV struct{ Op *Operand }
+
+// SubLV assigns a register subfield (read-modify-write of the parent).
+type SubLV struct {
+	Reg *Reg
+	Hi  uint
+	Lo  uint
+}
+
+// LocalLV assigns a local.
+type LocalLV struct {
+	Name string
+	Idx  int
+	W    uint
+}
+
+func (*RegLV) semLValue()   {}
+func (*RegOpLV) semLValue() {}
+func (*SubLV) semLValue()   {}
+func (*LocalLV) semLValue() {}
+
+// AssignStmt stores RHS into an lvalue.
+type AssignStmt struct {
+	LHS LValue
+	RHS Expr
+}
+
+// StoreStmt writes Cells memory cells at Addr.
+type StoreStmt struct {
+	Addr  Expr
+	Cells uint
+	Val   Expr
+}
+
+// IfStmt conditionally executes Then or Else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// LocalStmt introduces local Idx with an initializer.
+type LocalStmt struct {
+	Name string
+	Idx  int
+	W    uint
+	Init Expr
+}
+
+// TrapStmt raises an environment trap (system call) with a code.
+type TrapStmt struct{ Code Expr }
+
+// HaltStmt stops the machine.
+type HaltStmt struct{}
+
+// ErrorStmt signals an explicit execution fault (e.g. an architectural
+// "undefined" case the description wants flagged).
+type ErrorStmt struct{ Msg string }
+
+func (*AssignStmt) semStmt() {}
+func (*StoreStmt) semStmt()  {}
+func (*IfStmt) semStmt()     {}
+func (*LocalStmt) semStmt()  {}
+func (*TrapStmt) semStmt()   {}
+func (*HaltStmt) semStmt()   {}
+func (*ErrorStmt) semStmt()  {}
+
+// NumLocals returns the number of local slots used by a statement list.
+func NumLocals(stmts []Stmt) int {
+	max := 0
+	var walk func([]Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *LocalStmt:
+				if st.Idx+1 > max {
+					max = st.Idx + 1
+				}
+			case *IfStmt:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(stmts)
+	return max
+}

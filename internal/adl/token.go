@@ -1,0 +1,398 @@
+package adl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token classes of the ADL.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+
+	// Punctuation and operators.
+	tLBrace
+	tRBrace
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tComma
+	tSemi
+	tColon
+	tAssign // =
+	tDotDot // ..
+	tDot
+	tHashHash // ## (bit concatenation)
+	tQuestion
+
+	// Expression operators.
+	tPlus
+	tMinus
+	tStar
+	tAmp
+	tPipe
+	tCaret
+	tTilde
+	tBang
+	tShl  // <<
+	tShrU // >>u
+	tShrS // >>s
+	tEq   // ==
+	tNe   // !=
+	tLtU  // <u
+	tLtS  // <s
+	tLeU  // <=u
+	tLeS  // <=s
+	tGtU  // >u
+	tGtS  // >s
+	tGeU  // >=u
+	tGeS  // >=s
+	tAndAnd
+	tOrOr
+)
+
+var tokNames = map[tokKind]string{
+	tEOF: "end of file", tIdent: "identifier", tNumber: "number", tString: "string",
+	tLBrace: "{", tRBrace: "}", tLParen: "(", tRParen: ")",
+	tLBracket: "[", tRBracket: "]", tComma: ",", tSemi: ";", tColon: ":",
+	tAssign: "=", tDotDot: "..", tDot: ".", tHashHash: "##", tQuestion: "?",
+	tPlus: "+", tMinus: "-", tStar: "*", tAmp: "&", tPipe: "|", tCaret: "^",
+	tTilde: "~", tBang: "!", tShl: "<<", tShrU: ">>u", tShrS: ">>s",
+	tEq: "==", tNe: "!=", tLtU: "<u", tLtS: "<s", tLeU: "<=u", tLeS: "<=s",
+	tGtU: ">u", tGtS: ">s", tGeU: ">=u", tGeS: ">=s", tAndAnd: "&&", tOrOr: "||",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	line int
+	col  int
+}
+
+// Error is a source-located ADL error.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes src, returning the token stream or the first lexical error.
+func lex(file, src string) ([]token, error) {
+	lx := &lexer{file: file, src: src, line: 1, col: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &Error{File: lx.file, Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) emit(kind tokKind, text string, num uint64, line, col int) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, num: num, line: line, col: col})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) run() error {
+	for lx.pos < len(lx.src) {
+		line, col := lx.line, lx.col
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case isIdentStart(c):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+				lx.advance()
+			}
+			lx.emit(tIdent, lx.src[start:lx.pos], 0, line, col)
+		case unicode.IsDigit(rune(c)):
+			if err := lx.number(line, col); err != nil {
+				return err
+			}
+		case c == '"':
+			if err := lx.str(line, col); err != nil {
+				return err
+			}
+		default:
+			if err := lx.operator(line, col); err != nil {
+				return err
+			}
+		}
+	}
+	lx.emit(tEOF, "", 0, lx.line, lx.col)
+	return nil
+}
+
+func (lx *lexer) number(line, col int) error {
+	start := lx.pos
+	base := 10
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+	} else if lx.peek() == '0' && (lx.peek2() == 'b' || lx.peek2() == 'B') {
+		base = 2
+		lx.advance()
+		lx.advance()
+	}
+	digits := 0
+	var v uint64
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		case c == '_':
+			lx.advance()
+			continue
+		default:
+			d = -1
+		}
+		if d < 0 || d >= base {
+			break
+		}
+		nv := v*uint64(base) + uint64(d)
+		if nv < v {
+			return lx.errf("numeric literal overflows 64 bits")
+		}
+		v = nv
+		digits++
+		lx.advance()
+	}
+	if digits == 0 {
+		return lx.errf("malformed numeric literal %q", lx.src[start:lx.pos])
+	}
+	lx.emit(tNumber, lx.src[start:lx.pos], v, line, col)
+	return nil
+}
+
+func (lx *lexer) str(line, col int) error {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return lx.errf("unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			lx.emit(tString, sb.String(), 0, line, col)
+			return nil
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return lx.errf("unterminated escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"':
+				sb.WriteByte(e)
+			default:
+				return lx.errf("unknown escape \\%c", e)
+			}
+		case '\n':
+			return lx.errf("newline in string literal")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (lx *lexer) operator(line, col int) error {
+	c := lx.advance()
+	two := func(next byte, k2 tokKind, k1 tokKind) {
+		if lx.peek() == next {
+			lx.advance()
+			lx.emit(k2, "", 0, line, col)
+		} else {
+			lx.emit(k1, "", 0, line, col)
+		}
+	}
+	switch c {
+	case '{':
+		lx.emit(tLBrace, "", 0, line, col)
+	case '}':
+		lx.emit(tRBrace, "", 0, line, col)
+	case '(':
+		lx.emit(tLParen, "", 0, line, col)
+	case ')':
+		lx.emit(tRParen, "", 0, line, col)
+	case '[':
+		lx.emit(tLBracket, "", 0, line, col)
+	case ']':
+		lx.emit(tRBracket, "", 0, line, col)
+	case ',':
+		lx.emit(tComma, "", 0, line, col)
+	case ';':
+		lx.emit(tSemi, "", 0, line, col)
+	case ':':
+		lx.emit(tColon, "", 0, line, col)
+	case '?':
+		lx.emit(tQuestion, "", 0, line, col)
+	case '+':
+		lx.emit(tPlus, "", 0, line, col)
+	case '-':
+		lx.emit(tMinus, "", 0, line, col)
+	case '*':
+		lx.emit(tStar, "", 0, line, col)
+	case '^':
+		lx.emit(tCaret, "", 0, line, col)
+	case '~':
+		lx.emit(tTilde, "", 0, line, col)
+	case '.':
+		two('.', tDotDot, tDot)
+	case '#':
+		if lx.peek() != '#' {
+			return lx.errf("stray '#' (did you mean '##'?)")
+		}
+		lx.advance()
+		lx.emit(tHashHash, "", 0, line, col)
+	case '&':
+		two('&', tAndAnd, tAmp)
+	case '|':
+		two('|', tOrOr, tPipe)
+	case '=':
+		two('=', tEq, tAssign)
+	case '!':
+		two('=', tNe, tBang)
+	case '<':
+		switch lx.peek() {
+		case '<':
+			lx.advance()
+			lx.emit(tShl, "", 0, line, col)
+		case 'u':
+			lx.advance()
+			lx.emit(tLtU, "", 0, line, col)
+		case 's':
+			lx.advance()
+			lx.emit(tLtS, "", 0, line, col)
+		case '=':
+			lx.advance()
+			switch lx.peek() {
+			case 'u':
+				lx.advance()
+				lx.emit(tLeU, "", 0, line, col)
+			case 's':
+				lx.advance()
+				lx.emit(tLeS, "", 0, line, col)
+			default:
+				return lx.errf("comparison needs a signedness suffix: <=u or <=s")
+			}
+		default:
+			return lx.errf("comparison needs a signedness suffix: <u or <s (or << for shift)")
+		}
+	case '>':
+		switch lx.peek() {
+		case '>':
+			lx.advance()
+			switch lx.peek() {
+			case 'u':
+				lx.advance()
+				lx.emit(tShrU, "", 0, line, col)
+			case 's':
+				lx.advance()
+				lx.emit(tShrS, "", 0, line, col)
+			default:
+				return lx.errf("right shift needs a signedness suffix: >>u or >>s")
+			}
+		case 'u':
+			lx.advance()
+			lx.emit(tGtU, "", 0, line, col)
+		case 's':
+			lx.advance()
+			lx.emit(tGtS, "", 0, line, col)
+		case '=':
+			lx.advance()
+			switch lx.peek() {
+			case 'u':
+				lx.advance()
+				lx.emit(tGeU, "", 0, line, col)
+			case 's':
+				lx.advance()
+				lx.emit(tGeS, "", 0, line, col)
+			default:
+				return lx.errf("comparison needs a signedness suffix: >=u or >=s")
+			}
+		default:
+			return lx.errf("comparison needs a signedness suffix: >u or >s")
+		}
+	default:
+		return lx.errf("unexpected character %q", c)
+	}
+	return nil
+}

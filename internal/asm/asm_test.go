@@ -1,0 +1,252 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/prog"
+)
+
+func assemble(t *testing.T, archName, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.New(arch.MustLoad(archName)).Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func expectErr(t *testing.T, archName, src, want string) {
+	t.Helper()
+	_, err := asm.New(arch.MustLoad(archName)).Assemble("t.s", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := assemble(t, "tiny32", `
+	.org 0x100
+data:
+	.word 0xdeadbeef
+	.half 0x1234
+	.byte 1, 2, 3
+	.space 5
+	.asciz "hi"
+	.equ answer, 42
+	.org 0x200
+_start:
+	li r1, answer
+	halt
+	.entry _start
+`)
+	if p.Entry != 0x200 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	img := p.Image()
+	// .word little endian at 0x100.
+	if img[0x100] != 0xef || img[0x103] != 0xde {
+		t.Errorf(".word bytes: %x %x", img[0x100], img[0x103])
+	}
+	if img[0x104] != 0x34 || img[0x105] != 0x12 {
+		t.Error(".half bytes wrong")
+	}
+	if img[0x106] != 1 || img[0x108] != 3 {
+		t.Error(".byte values wrong")
+	}
+	// .space zero-fills 5 bytes, then "hi\0".
+	if img[0x10e] != 'h' || img[0x10f] != 'i' || img[0x110] != 0 {
+		t.Errorf(".asciz bytes wrong: % x", []byte{img[0x10e], img[0x10f], img[0x110]})
+	}
+	if p.Symbols["answer"] != 42 {
+		t.Error(".equ symbol missing")
+	}
+	if p.Symbols["data"] != 0x100 {
+		t.Error("label address wrong")
+	}
+}
+
+func TestBigEndianData(t *testing.T) {
+	p := assemble(t, "m16", `
+d:	.word 0x1234
+	.half 0xabcd
+`)
+	img := p.Image()
+	// m16 words are 16-bit big endian.
+	if img[0] != 0x12 || img[1] != 0x34 {
+		t.Errorf(".word on big-endian: % x", []byte{img[0], img[1]})
+	}
+	if img[2] != 0xab || img[3] != 0xcd {
+		t.Errorf(".half on big-endian: % x", []byte{img[2], img[3]})
+	}
+}
+
+func TestSymbolArithmetic(t *testing.T) {
+	p := assemble(t, "tiny32", `
+base:	.space 16
+_start:
+	li r1, base+8
+	li r2, base - 4
+	halt
+`)
+	img := p.Image()
+	// li r1, 8: imm at offset 16 (first insn), little endian low half.
+	first := uint32(img[16]) | uint32(img[17])<<8
+	if first != 8 {
+		t.Errorf("base+8 encoded %d", first)
+	}
+	second := uint32(img[20]) | uint32(img[21])<<8
+	if int16(second) != -4 {
+		t.Errorf("base-4 encoded %d", int16(second))
+	}
+}
+
+func TestVariableLengthM16(t *testing.T) {
+	p := assemble(t, "m16", `
+_start:
+	mov g0, g1     ; 2 bytes
+	ldi g2, 1000   ; 4 bytes
+	halt           ; 2 bytes
+`)
+	if p.Size() != 8 {
+		t.Errorf("image size = %d, want 8", p.Size())
+	}
+}
+
+func TestBranchRangeError(t *testing.T) {
+	// m16 short branches have an 8-bit signed range.
+	var sb strings.Builder
+	sb.WriteString("_start:\n\tbra far\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("\tmov g0, g1\n")
+	}
+	sb.WriteString("far:\thalt\n")
+	expectErr(t, "m16", sb.String(), "out of")
+}
+
+func TestUndefinedSymbol(t *testing.T) {
+	expectErr(t, "tiny32", "_start:\n\tli r1, nowhere\n", "undefined symbol")
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	expectErr(t, "tiny32", "a:\n\thalt\na:\n\thalt\n", "redefined")
+}
+
+func TestUnknownMnemonic(t *testing.T) {
+	expectErr(t, "tiny32", "\tfrobnicate r1\n", "unknown mnemonic")
+}
+
+func TestWrongOperandShape(t *testing.T) {
+	expectErr(t, "tiny32", "\tadd r1, r2\n", "expected")
+	expectErr(t, "tiny32", "\tadd r1, r2, 5\n", "register")
+	expectErr(t, "tiny32", "\tlw r1, 4 r2\n", "expected")
+}
+
+func TestWrongRegisterFile(t *testing.T) {
+	expectErr(t, "tiny32", "\tadd r1, r2, pc\n", "not a register of file")
+}
+
+func TestImmediateRange(t *testing.T) {
+	expectErr(t, "tiny32", "\tli r1, 999999\n", "out of")
+	// Signed 16-bit accepts -32768..32767 and unsigned patterns to 0xffff.
+	assemble(t, "tiny32", "\tli r1, -32768\n\tli r2, 0xffff\n")
+}
+
+func TestAliasesAccepted(t *testing.T) {
+	p := assemble(t, "tiny32", `
+_start:
+	addi sp, sp, -8
+	mov  fp, sp
+	jr   lr
+`)
+	if p.Size() != 12 {
+		t.Errorf("size %d", p.Size())
+	}
+}
+
+func TestRegisterOperandZeroEncoded(t *testing.T) {
+	// Unreferenced operands in match-constrained insns encode as zero:
+	// "halt" pins every field.
+	p := assemble(t, "tiny32", "\thalt\n")
+	img := p.Image()
+	if img[0] != 0 || img[1] != 0 || img[2] != 0 || img[3] != 0 {
+		t.Errorf("halt bytes % x", []byte{img[0], img[1], img[2], img[3]})
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	assemble(t, "tiny32", `
+// full-line comment
+; also a comment
+# hash comment
+_start:	halt ; trailing
+	// done
+`)
+}
+
+func TestEntryDefaultsToStart(t *testing.T) {
+	p := assemble(t, "tiny32", `
+	.org 0x40
+other:	halt
+_start:	halt
+`)
+	if p.Entry != 0x44 {
+		t.Errorf("entry = %#x, want _start at 0x44", p.Entry)
+	}
+}
+
+func TestEntryDefaultsToLowestWithoutStart(t *testing.T) {
+	p := assemble(t, "tiny32", `
+	.org 0x80
+a:	halt
+`)
+	if p.Entry != 0x80 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func TestMultipleSegments(t *testing.T) {
+	p := assemble(t, "tiny32", `
+	.org 0x0
+	halt
+	.org 0x1000
+	.word 7
+`)
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+	if p.Segments[1].Addr != 0x1000 {
+		t.Errorf("second segment at %#x", p.Segments[1].Addr)
+	}
+}
+
+func TestHi20Lo12Pairing(t *testing.T) {
+	// The RISC-V idiom must reconstruct any address, including ones where
+	// lo12 is negative.
+	for _, addr := range []uint64{0x0, 0x7ff, 0x800, 0x801, 0x12345, 0xfffff800} {
+		src := "\t.equ target, " + hex(addr) + "\n_start:\n\tlui t0, hi20(target)\n\taddi t0, t0, lo12(target)\n\tebreak\n"
+		p, err := asm.New(arch.MustLoad("rv32i")).Assemble("t.s", src)
+		if err != nil {
+			t.Fatalf("%#x: %v", addr, err)
+		}
+		_ = p
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	out := []byte{}
+	for v > 0 {
+		out = append([]byte{digits[v%16]}, out...)
+		v /= 16
+	}
+	if len(out) == 0 {
+		out = []byte{'0'}
+	}
+	return "0x" + string(out)
+}

@@ -1,0 +1,548 @@
+// Package baseline implements a hand-written symbolic execution engine
+// hard-coded for the tiny32 architecture. It is the comparison point for
+// the paper's retargeting claim: this is the code one must write (and
+// rewrite, per ISA) without the ADL-generated stack. It shares only the
+// expression DAG, the SMT solver and the program-image format with the
+// retargetable engine; decoding, register modeling, and instruction
+// semantics are all manual.
+//
+// The engine intentionally mirrors the retargetable engine's behaviour
+// (same trap convention, same forking discipline) so that the two can be
+// differentially tested against each other and benchmarked head-to-head.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/expr"
+	"repro/internal/prog"
+	"repro/internal/smt"
+)
+
+// tiny32 opcode bytes (must match arch/tiny32.adl).
+const (
+	opHalt  = 0x00
+	opTrap  = 0x01
+	opAdd   = 0x10
+	opSub   = 0x11
+	opMul   = 0x12
+	opAnd   = 0x13
+	opOr    = 0x14
+	opXor   = 0x15
+	opSll   = 0x16
+	opSrl   = 0x17
+	opSra   = 0x18
+	opDivu  = 0x19
+	opDivs  = 0x1a
+	opRemu  = 0x1b
+	opSltu  = 0x1c
+	opSlts  = 0x1d
+	opMov   = 0x1e
+	opNot   = 0x1f
+	opAddi  = 0x20
+	opAndi  = 0x21
+	opOri   = 0x22
+	opXori  = 0x23
+	opSlli  = 0x24
+	opSrli  = 0x25
+	opSrai  = 0x26
+	opLi    = 0x27
+	opLih   = 0x28
+	opSltiu = 0x29
+	opSltis = 0x2a
+	opLw    = 0x30
+	opLh    = 0x31
+	opLhu   = 0x32
+	opLb    = 0x33
+	opLbu   = 0x34
+	opSw    = 0x35
+	opSh    = 0x36
+	opSb    = 0x37
+	opBeq   = 0x40
+	opBne   = 0x41
+	opBlt   = 0x42
+	opBltu  = 0x43
+	opBge   = 0x44
+	opBgeu  = 0x45
+	opJmp   = 0x46
+	opJal   = 0x47
+	opJr    = 0x48
+	opJalr  = 0x49
+)
+
+// Options configures a baseline run (a subset of core.Options).
+type Options struct {
+	MaxSteps   int64
+	MaxPaths   int
+	InputBytes int
+	StackBase  uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10000
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 1000
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 8
+	}
+	if o.StackBase == 0 {
+		o.StackBase = 0x40000
+	}
+	return o
+}
+
+// Status mirrors core's path statuses for the subset baseline supports.
+type Status int
+
+// Path end statuses.
+const (
+	StatusHalt Status = iota
+	StatusExit
+	StatusFault
+	StatusSteps
+	StatusDecode
+)
+
+// Path is one completed execution path.
+type Path struct {
+	Status   Status
+	Fault    string
+	PathCond []*expr.Expr
+	Output   []*expr.Expr
+	Steps    int64
+}
+
+// Stats counts work done during a run.
+type Stats struct {
+	Instructions int64
+	Forks        int64
+	Infeasible   int64
+	WallTime     time.Duration
+}
+
+// Report is the result of a run.
+type Report struct {
+	Paths []Path
+	Stats Stats
+}
+
+// Engine is the hand-written tiny32 symbolic executor.
+type Engine struct {
+	B      *expr.Builder
+	Solver *smt.Solver
+	prog   *prog.Program
+	opts   Options
+	stats  Stats
+	paths  []Path
+}
+
+// state is a tiny32 machine state: 16 GPRs plus a concrete pc.
+type state struct {
+	regs     [16]*expr.Expr
+	mem      map[uint64]*expr.Expr
+	base     map[uint64]byte
+	pc       uint64
+	cond     []*expr.Expr
+	output   []*expr.Expr
+	steps    int64
+	inputIdx int
+}
+
+func (s *state) clone() *state {
+	c := *s
+	c.mem = make(map[uint64]*expr.Expr, len(s.mem))
+	for k, v := range s.mem {
+		c.mem[k] = v
+	}
+	c.cond = append([]*expr.Expr(nil), s.cond...)
+	c.output = append([]*expr.Expr(nil), s.output...)
+	return &c
+}
+
+// New builds a baseline engine for a tiny32 program image.
+func New(p *prog.Program, opts Options) (*Engine, error) {
+	if p.Arch != "tiny32" {
+		return nil, fmt.Errorf("baseline: engine is hard-coded for tiny32, image is for %s", p.Arch)
+	}
+	b := expr.NewBuilder()
+	return &Engine{B: b, Solver: smt.New(b), prog: p, opts: opts.withDefaults()}, nil
+}
+
+// Run explores the program and returns the report.
+func (e *Engine) Run() (*Report, error) {
+	t0 := time.Now()
+	init := &state{base: e.prog.Image(), mem: map[uint64]*expr.Expr{}, pc: e.prog.Entry}
+	for i := range init.regs {
+		init.regs[i] = e.B.Const(32, 0)
+	}
+	init.regs[14] = e.B.Const(32, e.opts.StackBase) // sp
+	work := []*state{init}
+	for len(work) > 0 && len(e.paths) < e.opts.MaxPaths {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		succ, err := e.step(st)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, succ...)
+	}
+	e.stats.WallTime = time.Since(t0)
+	return &Report{Paths: e.paths, Stats: e.stats}, nil
+}
+
+func (e *Engine) finish(st *state, status Status, fault string) {
+	e.paths = append(e.paths, Path{
+		Status: status, Fault: fault,
+		PathCond: st.cond, Output: st.output, Steps: st.steps,
+	})
+}
+
+func (e *Engine) loadByte(st *state, addr uint64) *expr.Expr {
+	addr = bv.Trunc(addr, 32)
+	if v, ok := st.mem[addr]; ok {
+		return v
+	}
+	return e.B.Const(8, uint64(st.base[addr]))
+}
+
+func (e *Engine) load(st *state, addr uint64, n uint) *expr.Expr {
+	out := e.loadByte(st, addr)
+	for i := uint(1); i < n; i++ {
+		out = e.B.Concat(e.loadByte(st, addr+uint64(i)), out)
+	}
+	return out
+}
+
+func (e *Engine) store(st *state, addr uint64, n uint, v *expr.Expr) {
+	for i := uint(0); i < n; i++ {
+		st.mem[bv.Trunc(addr+uint64(i), 32)] = e.B.Extract(v, 8*i+7, 8*i)
+	}
+}
+
+// concAddr concretizes a symbolic address exactly like the retargetable
+// engine: one solver model, pinned with an equality constraint.
+func (e *Engine) concAddr(st *state, a *expr.Expr) (uint64, bool, error) {
+	if a.IsConst() {
+		return a.ConstVal(), true, nil
+	}
+	r, err := e.Solver.Check(st.cond...)
+	if err == smt.ErrBudget || r != smt.Sat {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	v := e.Solver.Value(a)
+	st.cond = append(st.cond, e.B.Eq(a, e.B.Const(32, v)))
+	return v, true, nil
+}
+
+func (e *Engine) feasible(cond []*expr.Expr) (bool, error) {
+	r, err := e.Solver.Check(cond...)
+	if err == smt.ErrBudget {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return r != smt.Unsat, nil
+}
+
+// branch forks on a condition toward target (taken) or pc+4.
+func (e *Engine) branch(st *state, cond *expr.Expr, targetPC uint64) ([]*state, error) {
+	next := bv.Trunc(st.pc+4, 32)
+	if cond.Kind() == expr.KBoolConst {
+		if cond.ConstVal() == 1 {
+			st.pc = targetPC
+		} else {
+			st.pc = next
+		}
+		return []*state{st}, nil
+	}
+	e.stats.Forks++
+	var out []*state
+	if ok, err := e.feasible(append(st.cond, cond)); err != nil {
+		return nil, err
+	} else if ok {
+		taken := st.clone()
+		taken.cond = append(taken.cond, cond)
+		taken.pc = targetPC
+		out = append(out, taken)
+	} else {
+		e.stats.Infeasible++
+	}
+	neg := e.B.BoolNot(cond)
+	if ok, err := e.feasible(append(st.cond, neg)); err != nil {
+		return nil, err
+	} else if ok {
+		st.cond = append(st.cond, neg)
+		st.pc = next
+		out = append(out, st)
+	} else {
+		e.stats.Infeasible++
+	}
+	return out, nil
+}
+
+func (e *Engine) step(st *state) ([]*state, error) {
+	if st.steps >= e.opts.MaxSteps {
+		e.finish(st, StatusSteps, "")
+		return nil, nil
+	}
+	// Fetch (instruction bytes must be concrete).
+	var word uint64
+	for i := 3; i >= 0; i-- {
+		b := e.loadByte(st, st.pc+uint64(i))
+		if !b.IsConst() {
+			e.finish(st, StatusDecode, "symbolic instruction bytes")
+			return nil, nil
+		}
+		word = word<<8 | b.ConstVal()
+	}
+	st.steps++
+	e.stats.Instructions++
+
+	op := word >> 24 & 0xff
+	rd := int(word >> 20 & 0xf)
+	ra := int(word >> 16 & 0xf)
+	rb := int(word >> 12 & 0xf)
+	imm := word & 0xffff
+	target := word & 0xffffff
+	b := e.B
+
+	simm32 := func() *expr.Expr { return b.Const(32, bv.Trunc(bv.SExt(imm, 16), 32)) }
+	uimm32 := func() *expr.Expr { return b.Const(32, imm) }
+	next := func() ([]*state, error) {
+		st.pc = bv.Trunc(st.pc+4, 32)
+		return []*state{st}, nil
+	}
+	branchRel := func(cond *expr.Expr) ([]*state, error) {
+		return e.branch(st, cond, bv.Trunc(st.pc+bv.SExt(imm, 16), 32))
+	}
+	memAddr := func() (uint64, bool, error) {
+		return e.concAddr(st, b.Add(st.regs[ra], simm32()))
+	}
+
+	switch op {
+	case opHalt:
+		e.finish(st, StatusHalt, "")
+		return nil, nil
+	case opTrap:
+		switch imm {
+		case 0:
+			e.finish(st, StatusExit, "")
+			return nil, nil
+		case 1:
+			if st.inputIdx < e.opts.InputBytes {
+				in := b.Var(8, fmt.Sprintf("in%d", st.inputIdx))
+				st.inputIdx++
+				st.regs[1] = b.ZExt(in, 32)
+			} else {
+				st.regs[1] = b.Const(32, bv.Mask(32))
+			}
+			return next()
+		case 2:
+			st.output = append(st.output, b.Extract(st.regs[1], 7, 0))
+			return next()
+		default:
+			e.finish(st, StatusFault, fmt.Sprintf("unknown trap %d", imm))
+			return nil, nil
+		}
+
+	case opAdd:
+		st.regs[rd] = b.Add(st.regs[ra], st.regs[rb])
+		return next()
+	case opSub:
+		st.regs[rd] = b.Sub(st.regs[ra], st.regs[rb])
+		return next()
+	case opMul:
+		st.regs[rd] = b.Mul(st.regs[ra], st.regs[rb])
+		return next()
+	case opAnd:
+		st.regs[rd] = b.And(st.regs[ra], st.regs[rb])
+		return next()
+	case opOr:
+		st.regs[rd] = b.Or(st.regs[ra], st.regs[rb])
+		return next()
+	case opXor:
+		st.regs[rd] = b.Xor(st.regs[ra], st.regs[rb])
+		return next()
+	case opSll:
+		st.regs[rd] = b.Shl(st.regs[ra], st.regs[rb])
+		return next()
+	case opSrl:
+		st.regs[rd] = b.LShr(st.regs[ra], st.regs[rb])
+		return next()
+	case opSra:
+		st.regs[rd] = b.AShr(st.regs[ra], st.regs[rb])
+		return next()
+	case opDivu, opDivs, opRemu:
+		// The architecture faults on zero divisors: fork exactly like the
+		// generated engine does for the description's error() branch.
+		div := st.regs[rb]
+		zero := b.Eq(div, b.Const(32, 0))
+		var out []*state
+		if zero.Kind() != expr.KBoolConst || zero.ConstVal() == 1 {
+			if ok, err := e.feasible(append(st.cond, zero)); err != nil {
+				return nil, err
+			} else if ok {
+				f := st.clone()
+				f.cond = append(f.cond, zero)
+				e.stats.Forks++
+				e.finish(f, StatusFault, "division by zero")
+			}
+		}
+		nz := b.BoolNot(zero)
+		if nz.Kind() == expr.KBoolConst && nz.ConstVal() == 0 {
+			return out, nil
+		}
+		if ok, err := e.feasible(append(st.cond, nz)); err != nil {
+			return nil, err
+		} else if !ok {
+			e.stats.Infeasible++
+			return out, nil
+		}
+		if nz.Kind() != expr.KBoolConst {
+			st.cond = append(st.cond, nz)
+		}
+		switch op {
+		case opDivu:
+			st.regs[rd] = b.UDiv(st.regs[ra], div)
+		case opDivs:
+			st.regs[rd] = b.SDiv(st.regs[ra], div)
+		default:
+			st.regs[rd] = b.URem(st.regs[ra], div)
+		}
+		st.pc = bv.Trunc(st.pc+4, 32)
+		return append(out, st), nil
+	case opSltu:
+		st.regs[rd] = b.BoolToBV(b.ULt(st.regs[ra], st.regs[rb]), 32)
+		return next()
+	case opSlts:
+		st.regs[rd] = b.BoolToBV(b.SLt(st.regs[ra], st.regs[rb]), 32)
+		return next()
+	case opMov:
+		st.regs[rd] = st.regs[ra]
+		return next()
+	case opNot:
+		st.regs[rd] = b.Not(st.regs[ra])
+		return next()
+
+	case opAddi:
+		st.regs[rd] = b.Add(st.regs[ra], simm32())
+		return next()
+	case opAndi:
+		st.regs[rd] = b.And(st.regs[ra], uimm32())
+		return next()
+	case opOri:
+		st.regs[rd] = b.Or(st.regs[ra], uimm32())
+		return next()
+	case opXori:
+		st.regs[rd] = b.Xor(st.regs[ra], uimm32())
+		return next()
+	case opSlli:
+		st.regs[rd] = b.Shl(st.regs[ra], uimm32())
+		return next()
+	case opSrli:
+		st.regs[rd] = b.LShr(st.regs[ra], uimm32())
+		return next()
+	case opSrai:
+		st.regs[rd] = b.AShr(st.regs[ra], uimm32())
+		return next()
+	case opLi:
+		st.regs[rd] = simm32()
+		return next()
+	case opLih:
+		st.regs[rd] = b.Const(32, imm<<16)
+		return next()
+	case opSltiu:
+		st.regs[rd] = b.BoolToBV(b.ULt(st.regs[ra], simm32()), 32)
+		return next()
+	case opSltis:
+		st.regs[rd] = b.BoolToBV(b.SLt(st.regs[ra], simm32()), 32)
+		return next()
+
+	case opLw, opLh, opLhu, opLb, opLbu:
+		addr, ok, err := memAddr()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			e.finish(st, StatusFault, "unsatisfiable address")
+			return nil, nil
+		}
+		switch op {
+		case opLw:
+			st.regs[rd] = e.load(st, addr, 4)
+		case opLh:
+			st.regs[rd] = b.SExt(e.load(st, addr, 2), 32)
+		case opLhu:
+			st.regs[rd] = b.ZExt(e.load(st, addr, 2), 32)
+		case opLb:
+			st.regs[rd] = b.SExt(e.load(st, addr, 1), 32)
+		case opLbu:
+			st.regs[rd] = b.ZExt(e.load(st, addr, 1), 32)
+		}
+		return next()
+	case opSw, opSh, opSb:
+		addr, ok, err := memAddr()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			e.finish(st, StatusFault, "unsatisfiable address")
+			return nil, nil
+		}
+		switch op {
+		case opSw:
+			e.store(st, addr, 4, st.regs[rd])
+		case opSh:
+			e.store(st, addr, 2, b.Extract(st.regs[rd], 15, 0))
+		default:
+			e.store(st, addr, 1, b.Extract(st.regs[rd], 7, 0))
+		}
+		return next()
+
+	case opBeq:
+		return branchRel(b.Eq(st.regs[rd], st.regs[ra]))
+	case opBne:
+		return branchRel(b.Ne(st.regs[rd], st.regs[ra]))
+	case opBlt:
+		return branchRel(b.SLt(st.regs[rd], st.regs[ra]))
+	case opBltu:
+		return branchRel(b.ULt(st.regs[rd], st.regs[ra]))
+	case opBge:
+		return branchRel(b.SGe(st.regs[rd], st.regs[ra]))
+	case opBgeu:
+		return branchRel(b.UGe(st.regs[rd], st.regs[ra]))
+	case opJmp:
+		st.pc = bv.Trunc(st.pc+bv.SExt(target, 24), 32)
+		return []*state{st}, nil
+	case opJal:
+		st.regs[15] = b.Const(32, bv.Trunc(st.pc+4, 32))
+		st.pc = bv.Trunc(st.pc+bv.SExt(target, 24), 32)
+		return []*state{st}, nil
+	case opJr, opJalr:
+		tgt := st.regs[ra]
+		if op == opJalr {
+			st.regs[rd] = b.Const(32, bv.Trunc(st.pc+4, 32))
+		}
+		addr, ok, err := e.concAddr(st, tgt)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			e.finish(st, StatusFault, "unresolvable jump target")
+			return nil, nil
+		}
+		st.pc = bv.Trunc(addr, 32)
+		return []*state{st}, nil
+	}
+	e.finish(st, StatusDecode, fmt.Sprintf("unknown opcode %#x", op))
+	return nil, nil
+}

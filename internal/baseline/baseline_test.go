@@ -1,0 +1,287 @@
+package baseline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/prog"
+	"repro/internal/smt"
+)
+
+func build(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.New(arch.MustLoad("tiny32")).Assemble("test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRejectsWrongArch(t *testing.T) {
+	p := &prog.Program{Arch: "rv32i"}
+	if _, err := baseline.New(p, baseline.Options{}); err == nil {
+		t.Fatal("accepted an rv32i image")
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	p := build(t, `
+_start:
+	li r1, 5
+	addi r1, r1, 3
+	halt
+`)
+	e, err := baseline.New(p, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 1 || r.Paths[0].Status != baseline.StatusHalt {
+		t.Fatalf("paths %+v", r.Paths)
+	}
+	if r.Stats.Instructions != 3 {
+		t.Errorf("instructions = %d", r.Stats.Instructions)
+	}
+}
+
+func TestSymbolicFork(t *testing.T) {
+	p := build(t, `
+_start:
+	trap 1
+	li  r2, 65
+	beq r1, r2, yes
+	trap 0
+yes:
+	trap 2
+	trap 0
+`)
+	e, _ := baseline.New(p, baseline.Options{InputBytes: 1})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(r.Paths))
+	}
+}
+
+// comparePrograms runs a tiny32 program through both the hand-written
+// baseline and the ADL-generated engine and compares the exploration
+// results path-by-path (statuses and solved outputs).
+func comparePrograms(t *testing.T, src string, inputBytes int) {
+	t.Helper()
+	p := build(t, src)
+
+	be, err := baseline.New(p, baseline.Options{InputBytes: inputBytes, MaxSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := be.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ge := core.NewEngine(arch.MustLoad("tiny32"), p, core.Options{InputBytes: inputBytes, MaxSteps: 2000})
+	gr, err := ge.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(br.Paths) != len(gr.Paths) {
+		t.Fatalf("path counts differ: baseline %d, generated %d", len(br.Paths), len(gr.Paths))
+	}
+
+	// Count statuses on both sides.
+	bs := map[baseline.Status]int{}
+	for _, p := range br.Paths {
+		bs[p.Status]++
+	}
+	gs := map[core.Status]int{}
+	for _, p := range gr.Paths {
+		gs[p.Status]++
+	}
+	pairs := []struct {
+		b baseline.Status
+		g core.Status
+	}{
+		{baseline.StatusHalt, core.StatusHalt},
+		{baseline.StatusExit, core.StatusExit},
+		{baseline.StatusFault, core.StatusFault},
+		{baseline.StatusSteps, core.StatusSteps},
+	}
+	for _, pr := range pairs {
+		if bs[pr.b] != gs[pr.g] {
+			t.Errorf("status %v: baseline %d vs generated %d", pr.g, bs[pr.b], gs[pr.g])
+		}
+	}
+
+	// For each baseline exit path, solve for the input and check that
+	// some generated path's solved output agrees byte for byte (both
+	// engines share the input-variable naming).
+	for i, bp := range br.Paths {
+		if bp.Status != baseline.StatusExit || len(bp.Output) == 0 {
+			continue
+		}
+		res, err := be.Solver.Check(bp.PathCond...)
+		if err != nil || res != smt.Sat {
+			t.Fatalf("baseline path %d unsat?!", i)
+		}
+		model := be.Solver.Model()
+		var want []byte
+		for _, o := range bp.Output {
+			want = append(want, byte(expr.Eval(o, model)))
+		}
+		// Evaluate every generated path under the same model; the one
+		// whose path condition holds must produce the same output.
+		matched := false
+		for _, gp := range gr.Paths {
+			holds := true
+			for _, c := range gp.PathCond {
+				if !expr.EvalBool(remap(ge, c), model) {
+					holds = false
+					break
+				}
+			}
+			if !holds {
+				continue
+			}
+			var got []byte
+			for _, o := range gp.Output {
+				got = append(got, byte(expr.Eval(remap(ge, o), model)))
+			}
+			if string(got) == string(want) {
+				matched = true
+			}
+			break
+		}
+		if !matched {
+			t.Errorf("baseline path %d (output %v under %v) has no matching generated path", i, want, model)
+		}
+	}
+}
+
+// remap is the identity: both engines name input variables in0, in1, ...
+// and expr.Eval looks variables up by name, so expressions from either
+// builder evaluate under either model.
+func remap(_ *core.Engine, e *expr.Expr) *expr.Expr { return e }
+
+func TestBaselineVsGeneratedSimple(t *testing.T) {
+	comparePrograms(t, `
+_start:
+	trap 1
+	li  r2, 10
+	bltu r1, r2, small
+	li  r1, 1
+	trap 2
+	trap 0
+small:
+	li  r1, 0
+	trap 2
+	trap 0
+`, 1)
+}
+
+func TestBaselineVsGeneratedLoop(t *testing.T) {
+	comparePrograms(t, `
+_start:
+	trap 1
+	andi r1, r1, 3    // bound the loop count to 0..3
+	li r2, 0
+	li r3, 0
+loop:
+	bgeu r3, r1, done
+	add r2, r2, r3
+	addi r3, r3, 1
+	jmp loop
+done:
+	mov r1, r2
+	trap 2
+	trap 0
+`, 1)
+}
+
+func TestBaselineVsGeneratedDivFault(t *testing.T) {
+	comparePrograms(t, `
+_start:
+	trap 1
+	li   r2, 100
+	divu r3, r2, r1
+	mov  r1, r3
+	trap 2
+	trap 0
+`, 1)
+}
+
+func TestBaselineVsGeneratedMemory(t *testing.T) {
+	comparePrograms(t, `
+buf:	.space 4
+_start:
+	trap 1
+	li  r2, buf
+	sb  r1, 0(r2)
+	lbu r3, 0(r2)
+	li  r4, 7
+	bne r3, r4, out
+	li  r3, 42
+out:
+	mov r1, r3
+	trap 2
+	trap 0
+`, 1)
+}
+
+func TestBaselineCallReturn(t *testing.T) {
+	// sp is initialized by the engine; no need to set it up.
+	p := build(t, `
+_start:
+	trap 1
+	jal f
+	trap 2
+	trap 0
+f:
+	addi r1, r1, 1
+	jr lr
+`)
+	e, _ := baseline.New(p, baseline.Options{InputBytes: 1})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 1 || r.Paths[0].Status != baseline.StatusExit {
+		t.Fatalf("paths %+v", r.Paths)
+	}
+	// Output = in0 + 1.
+	res, _ := e.Solver.Check(e.B.Eq(r.Paths[0].Output[0], e.B.Const(8, 8)))
+	if res != smt.Sat {
+		t.Fatal("output==8 unsat")
+	}
+	if got := e.Solver.Model()["in0"]; got != 7 {
+		t.Errorf("in0 = %d, want 7", got)
+	}
+}
+
+func TestManyPathsBudget(t *testing.T) {
+	var src string
+	src = "_start:\n"
+	for i := 0; i < 6; i++ {
+		src += fmt.Sprintf("\ttrap 1\n\tli r2, 128\n\tbltu r1, r2, s%d\ns%d:\n", i, i)
+	}
+	src += "\ttrap 0\n"
+	p := build(t, src)
+	e, _ := baseline.New(p, baseline.Options{InputBytes: 6, MaxPaths: 10})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) > 10 {
+		t.Errorf("path budget exceeded: %d", len(r.Paths))
+	}
+}

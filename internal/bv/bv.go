@@ -1,0 +1,162 @@
+// Package bv implements fixed-width bit-vector arithmetic for widths 1..64.
+//
+// Every value is carried in a uint64 and kept masked to its width by the
+// operations here. The semantics follow SMT-LIB QF_BV: division by zero
+// yields the all-ones vector for udiv, the dividend for urem, and the
+// signed variants round toward zero with the remainder taking the sign of
+// the dividend.
+package bv
+
+import "fmt"
+
+// MaxWidth is the largest supported bit-vector width.
+const MaxWidth = 64
+
+// Mask returns the bit mask covering a width-w vector.
+func Mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Trunc truncates v to width w.
+func Trunc(v uint64, w uint) uint64 { return v & Mask(w) }
+
+// SignBit reports whether the sign bit of the width-w value v is set.
+func SignBit(v uint64, w uint) bool { return v>>(w-1)&1 == 1 }
+
+// SExt sign-extends the width-w value v to 64 bits.
+func SExt(v uint64, w uint) uint64 {
+	v = Trunc(v, w)
+	if SignBit(v, w) {
+		return v | ^Mask(w)
+	}
+	return v
+}
+
+// ToInt64 interprets the width-w value v as a signed integer.
+func ToInt64(v uint64, w uint) int64 { return int64(SExt(v, w)) }
+
+// Add returns a+b at width w.
+func Add(a, b uint64, w uint) uint64 { return Trunc(a+b, w) }
+
+// Sub returns a-b at width w.
+func Sub(a, b uint64, w uint) uint64 { return Trunc(a-b, w) }
+
+// Mul returns a*b at width w.
+func Mul(a, b uint64, w uint) uint64 { return Trunc(a*b, w) }
+
+// Neg returns the two's-complement negation of a at width w.
+func Neg(a uint64, w uint) uint64 { return Trunc(-a, w) }
+
+// Not returns the bitwise complement of a at width w.
+func Not(a uint64, w uint) uint64 { return Trunc(^a, w) }
+
+// UDiv returns the unsigned quotient a/b at width w; all-ones if b==0.
+func UDiv(a, b uint64, w uint) uint64 {
+	a, b = Trunc(a, w), Trunc(b, w)
+	if b == 0 {
+		return Mask(w)
+	}
+	return a / b
+}
+
+// URem returns the unsigned remainder a%b at width w; a if b==0.
+func URem(a, b uint64, w uint) uint64 {
+	a, b = Trunc(a, w), Trunc(b, w)
+	if b == 0 {
+		return a
+	}
+	return a % b
+}
+
+// SDiv returns the signed quotient (rounding toward zero) at width w.
+// Per SMT-LIB, x sdiv 0 = 1 when x is negative and -1 otherwise.
+func SDiv(a, b uint64, w uint) uint64 {
+	sa, sb := ToInt64(a, w), ToInt64(b, w)
+	if sb == 0 {
+		if sa < 0 {
+			return Trunc(1, w)
+		}
+		return Mask(w) // -1
+	}
+	// Go's integer division already truncates toward zero.
+	// Guard the INT_MIN / -1 overflow case at width 64.
+	if sa == -1<<63 && sb == -1 {
+		return Trunc(uint64(sa), w)
+	}
+	return Trunc(uint64(sa/sb), w)
+}
+
+// SRem returns the signed remainder (sign follows dividend) at width w;
+// a if b==0.
+func SRem(a, b uint64, w uint) uint64 {
+	sa, sb := ToInt64(a, w), ToInt64(b, w)
+	if sb == 0 {
+		return Trunc(a, w)
+	}
+	if sa == -1<<63 && sb == -1 {
+		return 0
+	}
+	return Trunc(uint64(sa%sb), w)
+}
+
+// Shl returns a<<b at width w; shifts of b>=w yield zero.
+func Shl(a, b uint64, w uint) uint64 {
+	b = Trunc(b, w)
+	if b >= uint64(w) {
+		return 0
+	}
+	return Trunc(Trunc(a, w)<<b, w)
+}
+
+// LShr returns the logical right shift a>>b at width w.
+func LShr(a, b uint64, w uint) uint64 {
+	b = Trunc(b, w)
+	if b >= uint64(w) {
+		return 0
+	}
+	return Trunc(a, w) >> b
+}
+
+// AShr returns the arithmetic right shift a>>b at width w.
+func AShr(a, b uint64, w uint) uint64 {
+	b = Trunc(b, w)
+	s := SExt(a, w)
+	if b >= uint64(w) {
+		b = uint64(w) - 1
+	}
+	return Trunc(uint64(int64(s)>>b), w)
+}
+
+// ULt reports a<b unsigned at width w.
+func ULt(a, b uint64, w uint) bool { return Trunc(a, w) < Trunc(b, w) }
+
+// ULe reports a<=b unsigned at width w.
+func ULe(a, b uint64, w uint) bool { return Trunc(a, w) <= Trunc(b, w) }
+
+// SLt reports a<b signed at width w.
+func SLt(a, b uint64, w uint) bool { return ToInt64(a, w) < ToInt64(b, w) }
+
+// SLe reports a<=b signed at width w.
+func SLe(a, b uint64, w uint) bool { return ToInt64(a, w) <= ToInt64(b, w) }
+
+// Extract returns bits hi..lo (inclusive, hi>=lo) of v as a value of width
+// hi-lo+1.
+func Extract(v uint64, hi, lo uint) uint64 {
+	return Trunc(v>>lo, hi-lo+1)
+}
+
+// Concat returns hiPart:loPart where loPart has width loW.
+func Concat(hiPart, loPart uint64, hiW, loW uint) uint64 {
+	return Trunc(hiPart, hiW)<<loW | Trunc(loPart, loW)
+}
+
+// CheckWidth panics unless 1<=w<=64; used by constructors that accept
+// caller-provided widths.
+func CheckWidth(w uint) {
+	if w < 1 || w > MaxWidth {
+		panic(fmt.Sprintf("bv: invalid width %d", w))
+	}
+}

@@ -1,0 +1,184 @@
+package bv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    uint
+		want uint64
+	}{
+		{1, 1}, {4, 0xf}, {8, 0xff}, {16, 0xffff}, {32, 0xffffffff}, {63, 1<<63 - 1}, {64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestSExt(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		w    uint
+		want uint64
+	}{
+		{0x80, 8, 0xffffffffffffff80},
+		{0x7f, 8, 0x7f},
+		{1, 1, ^uint64(0)},
+		{0, 1, 0},
+		{0x8000, 16, 0xffffffffffff8000},
+		{0xffffffff, 32, ^uint64(0)},
+		{0x7fffffff, 32, 0x7fffffff},
+	}
+	for _, c := range cases {
+		if got := SExt(c.v, c.w); got != c.want {
+			t.Errorf("SExt(%#x, %d) = %#x, want %#x", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	// SMT-LIB semantics: udiv by 0 is all-ones, urem by 0 is the dividend;
+	// sdiv by 0 is 1 for negative dividends and -1 otherwise; srem by 0 is
+	// the dividend.
+	if got := UDiv(5, 0, 8); got != 0xff {
+		t.Errorf("UDiv(5,0,8) = %#x, want 0xff", got)
+	}
+	if got := URem(5, 0, 8); got != 5 {
+		t.Errorf("URem(5,0,8) = %d, want 5", got)
+	}
+	if got := SDiv(0xfb, 0, 8); got != 1 { // -5 sdiv 0 = 1
+		t.Errorf("SDiv(-5,0,8) = %#x, want 1", got)
+	}
+	if got := SDiv(5, 0, 8); got != 0xff { // 5 sdiv 0 = -1
+		t.Errorf("SDiv(5,0,8) = %#x, want 0xff", got)
+	}
+	if got := SRem(0xfb, 0, 8); got != 0xfb {
+		t.Errorf("SRem(-5,0,8) = %#x, want 0xfb", got)
+	}
+}
+
+func TestSignedDivision(t *testing.T) {
+	// -7 / 2 = -3 (toward zero), -7 % 2 = -1.
+	if got := SDiv(Trunc(uint64(^uint64(6)), 8), 2, 8); got != Trunc(^uint64(2), 8) {
+		t.Errorf("SDiv(-7,2,8) = %#x, want %#x", got, Trunc(^uint64(2), 8))
+	}
+	if got := SRem(Trunc(^uint64(6), 8), 2, 8); got != Trunc(^uint64(0), 8) {
+		t.Errorf("SRem(-7,2,8) = %#x, want 0xff", got)
+	}
+	// 7 / -2 = -3, 7 % -2 = 1.
+	if got := SDiv(7, Trunc(^uint64(1), 8), 8); got != Trunc(^uint64(2), 8) {
+		t.Errorf("SDiv(7,-2,8) = %#x", got)
+	}
+	if got := SRem(7, Trunc(^uint64(1), 8), 8); got != 1 {
+		t.Errorf("SRem(7,-2,8) = %d, want 1", got)
+	}
+	// INT_MIN / -1 wraps to INT_MIN.
+	if got := SDiv(0x80, 0xff, 8); got != 0x80 {
+		t.Errorf("SDiv(INT_MIN,-1,8) = %#x, want 0x80", got)
+	}
+	if got := SRem(0x80, 0xff, 8); got != 0 {
+		t.Errorf("SRem(INT_MIN,-1,8) = %#x, want 0", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	if got := Shl(1, 3, 8); got != 8 {
+		t.Errorf("Shl(1,3,8) = %d", got)
+	}
+	if got := Shl(1, 8, 8); got != 0 {
+		t.Errorf("Shl(1,8,8) = %d, want 0 (overshift)", got)
+	}
+	if got := LShr(0x80, 7, 8); got != 1 {
+		t.Errorf("LShr(0x80,7,8) = %d", got)
+	}
+	if got := AShr(0x80, 7, 8); got != 0xff {
+		t.Errorf("AShr(0x80,7,8) = %#x, want 0xff", got)
+	}
+	if got := AShr(0x80, 200, 8); got != 0xff {
+		t.Errorf("AShr(0x80,200,8) = %#x, want 0xff (saturating overshift)", got)
+	}
+	if got := AShr(0x40, 200, 8); got != 0 {
+		t.Errorf("AShr(0x40,200,8) = %#x, want 0", got)
+	}
+}
+
+func TestExtractConcat(t *testing.T) {
+	if got := Extract(0xabcd, 11, 4); got != 0xbc {
+		t.Errorf("Extract(0xabcd,11,4) = %#x, want 0xbc", got)
+	}
+	if got := Concat(0xab, 0xcd, 8, 8); got != 0xabcd {
+		t.Errorf("Concat = %#x, want 0xabcd", got)
+	}
+	// Round trip property at width 16.
+	f := func(v uint16) bool {
+		hi := Extract(uint64(v), 15, 8)
+		lo := Extract(uint64(v), 7, 0)
+		return Concat(hi, lo, 8, 8) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	if !ULt(3, 5, 8) || ULt(5, 3, 8) || ULt(5, 5, 8) {
+		t.Error("ULt misbehaves")
+	}
+	if !SLt(0xff, 0, 8) { // -1 < 0
+		t.Error("SLt(-1,0) should hold")
+	}
+	if SLt(0, 0xff, 8) {
+		t.Error("SLt(0,-1) should not hold")
+	}
+	if !SLe(0x80, 0x7f, 8) { // INT_MIN <= INT_MAX
+		t.Error("SLe(INT_MIN, INT_MAX) should hold")
+	}
+}
+
+// TestDivisionAgainstGo cross-checks the signed helpers against Go's
+// native 64-bit arithmetic on random inputs at width 32.
+func TestDivisionAgainstGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		if a == -1<<31 && b == -1 {
+			return true // wraps; checked separately above
+		}
+		q := SDiv(uint64(uint32(a)), uint64(uint32(b)), 32)
+		r := SRem(uint64(uint32(a)), uint64(uint32(b)), 32)
+		return q == uint64(uint32(a/b)) && r == uint64(uint32(a%b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		s := Add(uint64(a), uint64(b), 32)
+		return Sub(s, uint64(b), 32) == uint64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckWidthPanics(t *testing.T) {
+	for _, w := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckWidth(%d) did not panic", w)
+				}
+			}()
+			CheckWidth(w)
+		}()
+	}
+	CheckWidth(1)
+	CheckWidth(64)
+}

@@ -1,0 +1,126 @@
+// Package checker implements the security checkers that observe symbolic
+// execution: division by zero, out-of-bounds memory access, tainted
+// (input-controlled) jump targets, and reachable explicit faults. Each
+// checker turns "can this go wrong on the current path?" into an SMT
+// query and reports a bug with a concrete reproducing input extracted
+// from the solver model.
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// Base is a no-op checker to embed so that implementations only override
+// the hooks they care about.
+type Base struct{}
+
+// Div implements core.Checker.
+func (Base) Div(*core.CheckCtx, *expr.Expr) {}
+
+// MemAccess implements core.Checker.
+func (Base) MemAccess(*core.CheckCtx, *expr.Expr, uint, bool) {}
+
+// Jump implements core.Checker.
+func (Base) Jump(*core.CheckCtx, *expr.Expr) {}
+
+// DivByZero reports divisions whose divisor can be zero on the current
+// path.
+type DivByZero struct{ Base }
+
+// Name implements core.Checker.
+func (DivByZero) Name() string { return "div-by-zero" }
+
+// Div implements core.Checker.
+func (c DivByZero) Div(ctx *core.CheckCtx, divisor *expr.Expr) {
+	b := ctx.Engine.B
+	if divisor.IsConst() {
+		if divisor.ConstVal() != 0 {
+			return
+		}
+		// Constant zero divisor: reachable iff the path (and guard) is.
+		if ok, model := ctx.SatUnder(); ok {
+			ctx.Report(c.Name(), "divisor is the constant 0", model)
+		}
+		return
+	}
+	if ok, model := ctx.SatUnder(b.Eq(divisor, b.Const(divisor.Width(), 0))); ok {
+		ctx.Report(c.Name(), "divisor can be 0", model)
+	}
+}
+
+// OutOfBounds reports memory accesses that can fall outside every valid
+// region of the engine's layout.
+type OutOfBounds struct{ Base }
+
+// Name implements core.Checker.
+func (OutOfBounds) Name() string { return "out-of-bounds" }
+
+// MemAccess implements core.Checker.
+func (c OutOfBounds) MemAccess(ctx *core.CheckCtx, addr *expr.Expr, cells uint, isWrite bool) {
+	e := ctx.Engine
+	kind := "read"
+	if isWrite {
+		kind = "write"
+	}
+	if addr.IsConst() {
+		a := addr.ConstVal()
+		if e.InRegion(a) && e.InRegion(a+uint64(cells)-1) {
+			return
+		}
+		if ok, model := ctx.SatUnder(); ok {
+			ctx.Report(c.Name(), fmt.Sprintf("%d-byte %s at %#x outside every valid region", cells, kind, a), model)
+		}
+		return
+	}
+	valid := e.ValidAddr(addr, cells)
+	if ok, model := ctx.SatUnder(e.B.BoolNot(valid)); ok {
+		bad := e.Solver.Value(addr)
+		ctx.Report(c.Name(), fmt.Sprintf("%d-byte %s can reach invalid address %#x", cells, kind, bad), model)
+	}
+}
+
+// TaintedJump reports control transfers whose target is not a fixed set
+// of program locations (the engine calls Jump only for targets that are
+// neither constant nor a branch between constants, i.e. genuinely
+// computed values such as an overwritten return address).
+type TaintedJump struct{ Base }
+
+// Name implements core.Checker.
+func (TaintedJump) Name() string { return "tainted-jump" }
+
+// Jump implements core.Checker.
+func (c TaintedJump) Jump(ctx *core.CheckCtx, target *expr.Expr) {
+	// The jump is interesting when the target can leave the code image:
+	// an attacker-controlled pc.
+	e := ctx.Engine
+	valid := e.ValidAddr(target, 1)
+	if ok, model := ctx.SatUnder(e.B.BoolNot(valid)); ok {
+		bad := e.Solver.Value(target)
+		ctx.Report(c.Name(), fmt.Sprintf("computed jump can leave the image (e.g. to %#x)", bad), model)
+		return
+	}
+	// Otherwise still note it when it depends on program input.
+	if dependsOnInput(target) {
+		if ok, model := ctx.SatUnder(); ok {
+			ctx.Report(c.Name(), "jump target depends on program input", model)
+		}
+	}
+}
+
+func dependsOnInput(e *expr.Expr) bool {
+	found := false
+	expr.Walk([]*expr.Expr{e}, func(n *expr.Expr) {
+		if n.Kind() == expr.KVar && len(n.VarName()) > 2 && n.VarName()[:2] == "in" {
+			found = true
+		}
+	})
+	return found
+}
+
+// All returns one instance of every checker.
+func All() []core.Checker {
+	return []core.Checker{DivByZero{}, OutOfBounds{}, TaintedJump{}}
+}

@@ -1,0 +1,87 @@
+package conc_test
+
+import (
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/conc"
+)
+
+// BenchmarkEmulator measures the ADL-generated interpreter's concrete
+// throughput on a hot loop, per architecture.
+func BenchmarkEmulator(b *testing.B) {
+	progs := map[string]string{
+		"tiny32": `
+_start:
+	li r1, 0
+	li r2, 200
+loop:
+	addi r1, r1, 3
+	xori r1, r1, 0x55
+	addi r2, r2, -1
+	bne  r2, r0, loop
+	halt
+`,
+		"rv32i": `
+_start:
+	addi t0, zero, 0
+	addi t1, zero, 200
+loop:
+	addi t0, t0, 3
+	xori t0, t0, 0x55
+	addi t1, t1, -1
+	bne  t1, zero, loop
+	ebreak
+`,
+		"m16": `
+_start:
+	ldi g0, 0
+	ldi g2, 200
+loop:
+	addi g0, 3
+	ldi  g3, 0x55
+	xor  g0, g3
+	addi g2, -1
+	bne  loop
+	halt
+`,
+	}
+	for name, src := range progs {
+		a := arch.MustLoad(name)
+		p, err := asm.New(a).Assemble("bench.s", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps int64
+			for b.Loop() {
+				m := conc.NewMachine(a)
+				m.LoadProgram(p)
+				stop := m.Run(100000)
+				if stop.Kind != conc.StopHalt {
+					b.Fatalf("stop %v", stop)
+				}
+				steps = m.Steps
+			}
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "insns/s")
+		})
+	}
+}
+
+// BenchmarkAssembler measures two-pass assembly throughput.
+func BenchmarkAssembler(b *testing.B) {
+	var src string
+	src = "_start:\n"
+	for i := 0; i < 500; i++ {
+		src += "\taddi r1, r1, 1\n\tbne r1, r0, _start\n"
+	}
+	src += "\thalt\n"
+	a := arch.MustLoad("tiny32")
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := asm.New(a).Assemble("bench.s", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package conc implements the ADL-generated concrete emulator. It drives
+// the rtl concrete evaluator over a flat memory image and serves two
+// roles: a reference interpreter for the command-line tools, and the
+// differential-testing oracle for the symbolic execution engine (both are
+// generated from the same description, so any semantic divergence is a
+// bug in one of the evaluators, not in the description).
+package conc
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/bv"
+	"repro/internal/decoder"
+	"repro/internal/prog"
+	"repro/internal/rtl"
+)
+
+// StopKind tells why Run returned.
+type StopKind int
+
+// Stop reasons.
+const (
+	StopHalt   StopKind = iota // the program executed halt()
+	StopExit                   // the program issued the exit trap
+	StopFault                  // an error() in the semantics fired
+	StopSteps                  // the step budget ran out
+	StopDecode                 // undecodable instruction bytes
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopHalt:
+		return "halt"
+	case StopExit:
+		return "exit"
+	case StopFault:
+		return "fault"
+	case StopSteps:
+		return "step limit"
+	case StopDecode:
+		return "decode error"
+	}
+	return "unknown"
+}
+
+// Stop describes the end of a run.
+type Stop struct {
+	Kind  StopKind
+	PC    uint64 // address of the instruction that stopped the run
+	Fault string // fault message for StopFault
+	Err   error  // decode error for StopDecode
+}
+
+func (s Stop) String() string {
+	switch s.Kind {
+	case StopFault:
+		return fmt.Sprintf("fault at %#x: %s", s.PC, s.Fault)
+	case StopDecode:
+		return fmt.Sprintf("decode error at %#x: %v", s.PC, s.Err)
+	default:
+		return fmt.Sprintf("%v at %#x", s.Kind, s.PC)
+	}
+}
+
+// Trap codes of the shared system-call convention. The trap argument and
+// return registers are named by the `sysarg`/`sysret` aliases in each
+// architecture description.
+const (
+	TrapExit  = 0 // stop the program
+	TrapRead  = 1 // sysret = next input byte, all-ones on EOF
+	TrapWrite = 2 // append low byte of sysarg to the output
+)
+
+// Machine is a concrete machine instance.
+type Machine struct {
+	Arch *adl.Arch
+	Dec  *decoder.Decoder
+
+	regs []uint64
+	mem  map[uint64]byte
+
+	// Input is consumed by TrapRead; Output collects TrapWrite bytes.
+	Input  []byte
+	inPos  int
+	Output []byte
+
+	// TrapHandler, when non-nil, replaces the built-in convention.
+	// Returning halt=true stops the run.
+	TrapHandler func(m *Machine, code uint64) (halt bool, err error)
+
+	Steps     int64 // cumulative executed instructions
+	pcWritten bool
+
+	sysArg *adl.Reg
+	sysRet *adl.Reg
+}
+
+// NewMachine builds a machine with empty memory and zeroed registers.
+func NewMachine(a *adl.Arch) *Machine {
+	return &Machine{
+		Arch:   a,
+		Dec:    decoder.New(a),
+		regs:   make([]uint64, len(a.Regs)),
+		mem:    make(map[uint64]byte),
+		sysArg: a.Reg("sysarg"),
+		sysRet: a.Reg("sysret"),
+	}
+}
+
+// LoadProgram copies the image into memory and sets pc to the entry point.
+func (m *Machine) LoadProgram(p *prog.Program) {
+	for _, s := range p.Segments {
+		for i, b := range s.Data {
+			m.mem[s.Addr+uint64(i)] = b
+		}
+	}
+	m.WriteReg(m.Arch.PC, p.Entry)
+	m.pcWritten = false
+}
+
+// ReadReg implements rtl.ConcState.
+func (m *Machine) ReadReg(r *adl.Reg) uint64 {
+	if r.Zero {
+		return 0
+	}
+	return m.regs[r.Num]
+}
+
+// WriteReg implements rtl.ConcState.
+func (m *Machine) WriteReg(r *adl.Reg, v uint64) {
+	if r.Zero {
+		return // hardwired zero register: writes are discarded
+	}
+	m.regs[r.Num] = bv.Trunc(v, r.Width)
+	if r == m.Arch.PC {
+		m.pcWritten = true
+	}
+}
+
+// Load implements rtl.ConcState: unmapped cells read as zero.
+func (m *Machine) Load(addr uint64, cells uint) uint64 {
+	var v uint64
+	if m.Arch.Endian == adl.Little {
+		for i := int(cells) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(m.mem[m.trunc(addr+uint64(i))])
+		}
+	} else {
+		for i := uint(0); i < cells; i++ {
+			v = v<<8 | uint64(m.mem[m.trunc(addr+uint64(i))])
+		}
+	}
+	return v
+}
+
+// Store implements rtl.ConcState.
+func (m *Machine) Store(addr uint64, cells uint, val uint64) {
+	if m.Arch.Endian == adl.Little {
+		for i := uint(0); i < cells; i++ {
+			m.mem[m.trunc(addr+uint64(i))] = byte(val >> (8 * i))
+		}
+	} else {
+		for i := uint(0); i < cells; i++ {
+			m.mem[m.trunc(addr+uint64(i))] = byte(val >> (8 * (cells - 1 - i)))
+		}
+	}
+}
+
+func (m *Machine) trunc(a uint64) uint64 { return bv.Trunc(a, m.Arch.Bits) }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.ReadReg(m.Arch.PC) }
+
+// Mem reads one byte of memory (for tests and tools).
+func (m *Machine) Mem(addr uint64) byte { return m.mem[m.trunc(addr)] }
+
+// Step decodes and executes one instruction; done is non-nil when the run
+// should stop.
+func (m *Machine) Step() (done *Stop) {
+	pc := m.PC()
+	buf := m.fetch(pc)
+	dec, err := m.Dec.Decode(buf)
+	if err != nil {
+		return &Stop{Kind: StopDecode, PC: pc, Err: err}
+	}
+	m.pcWritten = false
+	res := rtl.ConcExec(m, dec.Insn, dec.Ops)
+	m.Steps++
+	switch {
+	case res.Fault != "":
+		return &Stop{Kind: StopFault, PC: pc, Fault: res.Fault}
+	case res.Halted:
+		return &Stop{Kind: StopHalt, PC: pc}
+	case res.Trapped:
+		halt, err := m.trap(res.TrapCode)
+		if err != nil {
+			return &Stop{Kind: StopFault, PC: pc, Fault: err.Error()}
+		}
+		if halt {
+			return &Stop{Kind: StopExit, PC: pc}
+		}
+	}
+	if !m.pcWritten {
+		m.WriteReg(m.Arch.PC, pc+uint64(dec.Len))
+	}
+	return nil
+}
+
+func (m *Machine) fetch(pc uint64) []byte {
+	n := m.Arch.MaxInsnBytes()
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		buf[i] = m.mem[m.trunc(pc+uint64(i))]
+	}
+	return buf
+}
+
+func (m *Machine) trap(code uint64) (halt bool, err error) {
+	if m.TrapHandler != nil {
+		return m.TrapHandler(m, code)
+	}
+	switch code {
+	case TrapExit:
+		return true, nil
+	case TrapRead:
+		if m.sysRet == nil {
+			return false, fmt.Errorf("trap read: architecture %s has no sysret alias", m.Arch.Name)
+		}
+		if m.inPos < len(m.Input) {
+			m.WriteReg(m.sysRet, uint64(m.Input[m.inPos]))
+			m.inPos++
+		} else {
+			m.WriteReg(m.sysRet, bv.Mask(m.sysRet.Width))
+		}
+		return false, nil
+	case TrapWrite:
+		if m.sysArg == nil {
+			return false, fmt.Errorf("trap write: architecture %s has no sysarg alias", m.Arch.Name)
+		}
+		m.Output = append(m.Output, byte(m.ReadReg(m.sysArg)))
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown trap code %d", code)
+}
+
+// Run executes until a stop condition or the step budget is exhausted.
+func (m *Machine) Run(maxSteps int64) Stop {
+	for i := int64(0); i < maxSteps; i++ {
+		if s := m.Step(); s != nil {
+			return *s
+		}
+	}
+	return Stop{Kind: StopSteps, PC: m.PC()}
+}

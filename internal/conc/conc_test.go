@@ -1,0 +1,264 @@
+package conc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/conc"
+	"repro/internal/prog"
+)
+
+func assemble(t *testing.T, archName, src string) *prog.Program {
+	t.Helper()
+	a := arch.MustLoad(archName)
+	p, err := asm.New(a).Assemble("test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, archName, src string, input []byte, maxSteps int64) (*conc.Machine, conc.Stop) {
+	t.Helper()
+	p := assemble(t, archName, src)
+	m := conc.NewMachine(arch.MustLoad(archName))
+	m.LoadProgram(p)
+	m.Input = input
+	return m, m.Run(maxSteps)
+}
+
+func TestHaltImmediately(t *testing.T) {
+	_, stop := run(t, "tiny32", `
+_start:
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v, want halt", stop)
+	}
+}
+
+func TestArithmeticChain(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+_start:
+	li   r1, 6
+	li   r2, 7
+	mul  r3, r1, r2    // 42
+	addi r3, r3, 100   // 142
+	sub  r3, r3, r1    // 136
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	a := m.Arch
+	if got := m.ReadReg(a.Reg("r3")); got != 136 {
+		t.Errorf("r3 = %d, want 136", got)
+	}
+}
+
+func TestNegativeImmediates(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+_start:
+	li   r1, -5
+	addi r2, r1, -3
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	if got := m.ReadReg(m.Arch.Reg("r2")); got != 0xfffffff8 {
+		t.Errorf("r2 = %#x, want -8", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+	.org 0x100
+buf:	.word 0
+	.org 0x0
+_start:
+	li  r1, 0x1234
+	li  r2, buf
+	sw  r1, 0(r2)
+	lw  r3, 0(r2)
+	lh  r4, 0(r2)
+	lb  r5, 1(r2)
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	a := m.Arch
+	if got := m.ReadReg(a.Reg("r3")); got != 0x1234 {
+		t.Errorf("r3 = %#x", got)
+	}
+	if got := m.ReadReg(a.Reg("r4")); got != 0x1234 {
+		t.Errorf("r4 (lh) = %#x", got)
+	}
+	if got := m.ReadReg(a.Reg("r5")); got != 0x12 {
+		t.Errorf("r5 (lb of byte 1, little endian) = %#x", got)
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	m, stop := run(t, "tiny32", `
+_start:
+	li r1, 0     // sum
+	li r2, 1     // i
+	li r3, 10    // limit
+loop:
+	add r1, r1, r2
+	addi r2, r2, 1
+	bge r3, r2, loop
+	halt
+`, nil, 1000)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	if got := m.ReadReg(m.Arch.Reg("r1")); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+_start:
+	li  sp, 0x8000
+	li  r1, 21
+	jal double
+	mov r6, r1
+	halt
+double:
+	add r1, r1, r1
+	jr  lr
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	if got := m.ReadReg(m.Arch.Reg("r6")); got != 42 {
+		t.Errorf("r6 = %d, want 42", got)
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	_, stop := run(t, "tiny32", `
+_start:
+	li r1, 9
+	li r2, 0
+	divu r3, r1, r2
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopFault {
+		t.Fatalf("stop = %v, want fault", stop)
+	}
+	if stop.Fault != "division by zero" {
+		t.Errorf("fault message %q", stop.Fault)
+	}
+	if stop.PC != 8 {
+		t.Errorf("fault pc = %#x, want 0x8", stop.PC)
+	}
+}
+
+func TestTrapIO(t *testing.T) {
+	// Echo input bytes until EOF (read returns all-ones).
+	m, stop := run(t, "tiny32", `
+_start:
+	li  r5, -1
+echo:
+	trap 1        // read -> r1
+	beq r1, r5, done
+	trap 2        // write r1
+	jmp echo
+done:
+	trap 0        // exit
+`, []byte("hi!"), 1000)
+	if stop.Kind != conc.StopExit {
+		t.Fatalf("stop = %v, want exit", stop)
+	}
+	if !bytes.Equal(m.Output, []byte("hi!")) {
+		t.Errorf("output %q, want %q", m.Output, "hi!")
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+_start:
+	li   r1, -16
+	srai r2, r1, 2    // -4
+	srli r3, r1, 28   // 0xf
+	slli r4, r1, 1    // -32
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	a := m.Arch
+	if got := m.ReadReg(a.Reg("r2")); got != 0xfffffffc {
+		t.Errorf("srai = %#x", got)
+	}
+	if got := m.ReadReg(a.Reg("r3")); got != 0xf {
+		t.Errorf("srli = %#x", got)
+	}
+	if got := m.ReadReg(a.Reg("r4")); got != 0xffffffe0 {
+		t.Errorf("slli = %#x", got)
+	}
+}
+
+func TestHiLoHelpers(t *testing.T) {
+	m, stop := run(t, "tiny32", `
+	.equ big, 0xdeadbeef
+_start:
+	lih r1, hi16(big)
+	ori r1, r1, lo16(big)
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	if got := m.ReadReg(m.Arch.Reg("r1")); got != 0xdeadbeef {
+		t.Errorf("r1 = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	_, stop := run(t, "tiny32", `
+_start:
+	jmp _start
+`, nil, 50)
+	if stop.Kind != conc.StopSteps {
+		t.Fatalf("stop = %v, want step limit", stop)
+	}
+}
+
+func TestDecodeErrorOnGarbage(t *testing.T) {
+	_, stop := run(t, "tiny32", `
+_start:
+	.word 0xffffffff
+`, nil, 10)
+	if stop.Kind != conc.StopDecode {
+		t.Fatalf("stop = %v, want decode error", stop)
+	}
+}
+
+func TestProgramSerializationRoundTrip(t *testing.T) {
+	p := assemble(t, "tiny32", `
+_start:
+	li r1, 1
+	halt
+data:	.word 1, 2, 3
+`)
+	b := p.Marshal()
+	q, err := prog.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Arch != p.Arch || q.Entry != p.Entry || q.Size() != p.Size() {
+		t.Errorf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	if q.Symbols["data"] != p.Symbols["data"] {
+		t.Error("symbols lost")
+	}
+}

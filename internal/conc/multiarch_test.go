@@ -1,0 +1,164 @@
+package conc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/adl"
+	"repro/internal/asm"
+	"repro/internal/conc"
+	"repro/internal/prog"
+)
+
+func TestM16Basics(t *testing.T) {
+	a, err := arch.Load("m16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(a)
+	m, stop := run(t, "m16", `
+_start:
+	ldi g0, 6
+	ldi g1, 7
+	mul g0, g1
+	halt
+`, nil, 100)
+	t.Log(stop)
+	if got := m.ReadReg(m.Arch.Reg("g0")); got != 42 {
+		t.Fatalf("g0 = %d", got)
+	}
+}
+
+func TestM16BranchFlagsCall(t *testing.T) {
+	m, stop := run(t, "m16", `
+_start:
+	ldi sp, 0x7000
+	ldi g0, 3
+	ldi g2, 0          ; sum
+loop:
+	add g2, g0
+	addi g0, -1
+	cmpi g0, 0
+	bne loop
+	call out
+	halt
+out:
+	mov g1, g2
+	trap 2
+	ret
+`, nil, 1000)
+	t.Log(stop)
+	if !bytes.Equal(m.Output, []byte{6}) {
+		t.Fatalf("output %v, want [6]; g2=%d", m.Output, m.ReadReg(m.Arch.Reg("g2")))
+	}
+}
+
+func TestRV32IMemorySignedness(t *testing.T) {
+	m, stop := run(t, "rv32i", `
+buf:	.word 0
+_start:
+	lui  t0, hi20(buf)
+	addi t0, t0, lo12(buf)
+	addi t1, zero, -1     # 0xffffffff
+	sw   t1, 0(t0)
+	lb   a1, 0(t0)        # -1 sign-extended
+	lbu  a2, 0(t0)        # 0xff zero-extended
+	lh   a3, 0(t0)        # -1
+	lhu  a4, 0(t0)        # 0xffff
+	ebreak
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop %v", stop)
+	}
+	g := func(r string) uint64 { return m.ReadReg(m.Arch.Reg(r)) }
+	if g("a1") != 0xffffffff || g("a3") != 0xffffffff {
+		t.Errorf("signed loads: a1=%#x a3=%#x", g("a1"), g("a3"))
+	}
+	if g("a2") != 0xff || g("a4") != 0xffff {
+		t.Errorf("unsigned loads: a2=%#x a4=%#x", g("a2"), g("a4"))
+	}
+}
+
+func TestRV32IMExtension(t *testing.T) {
+	m, stop := run(t, "rv32i", `
+_start:
+	addi t0, zero, -7
+	addi t1, zero, 2
+	div  a1, t0, t1       # -3 (toward zero)
+	rem  a2, t0, t1       # -1
+	divu a3, t0, zero     # all-ones (RISC-V defined)
+	rem  a4, t0, zero     # dividend
+	mulh a5, t0, t0       # high word of 49 = 0
+	ebreak
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop %v", stop)
+	}
+	g := func(r string) uint64 { return m.ReadReg(m.Arch.Reg(r)) }
+	if g("a1") != 0xfffffffd {
+		t.Errorf("div = %#x, want -3", g("a1"))
+	}
+	if g("a2") != 0xffffffff {
+		t.Errorf("rem = %#x, want -1", g("a2"))
+	}
+	if g("a3") != 0xffffffff {
+		t.Errorf("divu by zero = %#x, want all-ones", g("a3"))
+	}
+	if g("a4") != 0xfffffff9 {
+		t.Errorf("rem by zero = %#x, want the dividend", g("a4"))
+	}
+	if g("a5") != 0 {
+		t.Errorf("mulh = %#x", g("a5"))
+	}
+}
+
+func TestM16BigEndianMemory(t *testing.T) {
+	m, stop := run(t, "m16", `
+buf:	.space 4
+_start:
+	ldi g0, 0x1234
+	st  g0, buf
+	ldbx g1, buf(g3)      ; g3 = 0: first byte
+	ldi g3, 1
+	ldbx g2, buf(g3)      ; second byte
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop %v", stop)
+	}
+	g := func(r string) uint64 { return m.ReadReg(m.Arch.Reg(r)) }
+	// Big endian: MSB first in memory.
+	if g("g1") != 0x12 || g("g2") != 0x34 {
+		t.Errorf("big-endian bytes: %#x %#x, want 0x12 0x34", g("g1"), g("g2"))
+	}
+}
+
+func TestCustomTrapHandler(t *testing.T) {
+	a := arch.MustLoad("tiny32")
+	p, err := asmNew(a, `
+_start:
+	trap 77
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := conc.NewMachine(a)
+	m.LoadProgram(p)
+	var got uint64
+	m.TrapHandler = func(mm *conc.Machine, code uint64) (bool, error) {
+		got = code
+		return false, nil
+	}
+	stop := m.Run(10)
+	if stop.Kind != conc.StopHalt || got != 77 {
+		t.Fatalf("stop %v, trap code %d", stop, got)
+	}
+}
+
+// asmNew is a tiny helper mirroring the run() harness for tests needing
+// the Program directly.
+func asmNew(a *adl.Arch, src string) (*prog.Program, error) {
+	return asm.New(a).Assemble("t.s", src)
+}

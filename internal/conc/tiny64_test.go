@@ -1,0 +1,47 @@
+package conc_test
+
+import (
+	"repro/internal/conc"
+	"testing"
+
+	"repro/arch"
+)
+
+func TestTiny64Basics(t *testing.T) {
+	a, err := arch.Load("tiny64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(a)
+	m, stop := run(t, "tiny64", `
+buf:	.space 16
+_start:
+	li   r1, -1          ; 0xffffffffffffffff at 64 bits
+	srli r2, r1, 1       ; 0x7fffffffffffffff
+	li   r3, buf
+	sd   r2, 0(r3)
+	ld   r4, 0(r3)
+	lw   r5, 4(r3)       ; high word 0x7fffffff, sign-extended positive
+	lwu  r6, 0(r3)       ; low word 0xffffffff zero-extended
+	halt
+`, nil, 100)
+	if stop.Kind != conc.StopHalt {
+		t.Fatalf("stop = %v", stop)
+	}
+	g := func(r string) uint64 { return m.ReadReg(m.Arch.Reg(r)) }
+	if g("r1") != ^uint64(0) {
+		t.Errorf("r1 = %#x", g("r1"))
+	}
+	if g("r2") != 0x7fffffffffffffff {
+		t.Errorf("r2 = %#x", g("r2"))
+	}
+	if g("r4") != 0x7fffffffffffffff {
+		t.Errorf("ld round trip = %#x", g("r4"))
+	}
+	if g("r5") != 0x7fffffff {
+		t.Errorf("lw high word = %#x", g("r5"))
+	}
+	if g("r6") != 0xffffffff {
+		t.Errorf("lwu low word = %#x", g("r6"))
+	}
+}

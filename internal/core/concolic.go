@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/smt"
+)
+
+// Concolic execution (generational search in the SAGE style): run the
+// program along the single path a concrete input induces while collecting
+// the symbolic branch conditions, then negate condition suffixes and ask
+// the solver for inputs that drive execution down the other sides. The
+// checkers run during every concrete-path replay, so findings come with
+// the input that was actually being executed.
+
+// ConcolicPath is one executed input with its observations.
+type ConcolicPath struct {
+	Input  []byte
+	Status Status
+	Fault  string
+	Output []byte
+	Steps  int64
+	NewPCs int // instructions covered for the first time
+}
+
+// ConcolicReport is the outcome of a generational search.
+type ConcolicReport struct {
+	Paths    []ConcolicPath
+	Bugs     []Bug
+	Coverage int   // distinct instruction addresses executed
+	Solved   int   // inputs derived from solver models
+	Stats    Stats // engine counters accumulated over all replays
+}
+
+// Concolic runs generational concolic testing from the seed input for at
+// most maxRuns concrete executions. Inputs are explored in generation
+// order, preferring those derived from deeper branch flips first (the
+// classic heuristic).
+func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
+	e.report = Report{}
+	e.bugDedup = make(map[string]bool)
+	rep := &ConcolicReport{}
+	covered := map[uint64]bool{}
+	tried := map[string]bool{}
+	// explored records branch-condition prefixes already executed or
+	// queued, so sibling paths are not re-derived (SAGE's path dedup).
+	explored := map[string]bool{}
+
+	queue := [][]byte{normalizeInput(seed, e.Opts.InputBytes)}
+	tried[string(queue[0])] = true
+
+	for len(queue) > 0 && len(rep.Paths) < maxRuns {
+		input := queue[0]
+		queue = queue[1:]
+
+		path, conds, err := e.runConcolic(input, covered)
+		if err != nil {
+			return nil, err
+		}
+		rep.Paths = append(rep.Paths, *path)
+
+		// Record this path's branch prefixes as explored.
+		var sig strings.Builder
+		for _, c := range conds {
+			fmt.Fprintf(&sig, "%d,", c.ID())
+			explored[sig.String()] = true
+		}
+
+		// Generational expansion: for every branch i on the path, solve
+		// prefix ∧ ¬cond_i, unless the flipped prefix was already taken.
+		var newInputs [][]byte
+		for i := len(conds) - 1; i >= 0; i-- {
+			neg := e.B.BoolNot(conds[i])
+			var key strings.Builder
+			for _, c := range conds[:i] {
+				fmt.Fprintf(&key, "%d,", c.ID())
+			}
+			fmt.Fprintf(&key, "%d,", neg.ID())
+			if explored[key.String()] {
+				continue
+			}
+			explored[key.String()] = true
+			q := append(append([]*expr.Expr(nil), conds[:i]...), neg)
+			res, err := e.Solver.Check(q...)
+			if err == smt.ErrBudget || res != smt.Sat {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			in := normalizeInput(e.InputFromModel(e.Solver.Model()), e.Opts.InputBytes)
+			if !tried[string(in)] {
+				tried[string(in)] = true
+				rep.Solved++
+				newInputs = append(newInputs, in)
+			}
+		}
+		queue = append(queue, newInputs...)
+	}
+	rep.Coverage = len(covered)
+	rep.Stats = e.report.Stats
+	rep.Stats.Solver = e.Solver.Stats
+	rep.Bugs = append(rep.Bugs, e.report.Bugs...)
+	sort.Slice(rep.Bugs, func(i, j int) bool { return rep.Bugs[i].PC < rep.Bugs[j].PC })
+	return rep, nil
+}
+
+// normalizeInput pads or truncates an input to the engine's input budget
+// so that the dedup set compares like with like.
+func normalizeInput(in []byte, n int) []byte {
+	out := make([]byte, n)
+	copy(out, in)
+	return out
+}
+
+// runConcolic executes the single path induced by the concrete input,
+// returning the collected symbolic branch conditions in path order.
+func (e *Engine) runConcolic(input []byte, covered map[uint64]bool) (*ConcolicPath, []*expr.Expr, error) {
+	env := expr.Env{}
+	for i, b := range input {
+		env[inputVarName(i)] = uint64(b)
+	}
+	st := e.initialState()
+	out := &ConcolicPath{Input: input}
+	e.concEnv = env
+	defer func() { e.concEnv = nil }()
+
+	for {
+		if !covered[st.PC] {
+			covered[st.PC] = true
+			out.NewPCs++
+		}
+		prevLen := len(st.PathCond)
+		children, err := e.step(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Follow the unique child consistent with the concrete input;
+		// siblings belong to other inputs and are dropped.
+		var next *State
+		for _, c := range children {
+			if !consistent(c.PathCond[prevLen:], env) {
+				continue
+			}
+			if next != nil {
+				return nil, nil, fmt.Errorf("core: concolic replay is ambiguous at %#x", st.PC)
+			}
+			next = c
+		}
+		if next == nil {
+			return nil, nil, fmt.Errorf("core: concolic replay lost the concrete path at %#x", st.PC)
+		}
+		if next.Done {
+			out.Status = next.Status
+			out.Fault = next.Fault
+			out.Steps = next.Steps
+			for _, o := range next.Output {
+				out.Output = append(out.Output, byte(expr.Eval(o, env)))
+			}
+			return out, next.PathCond, nil
+		}
+		st = next
+	}
+}
+
+// consistent reports whether every condition holds under the environment.
+func consistent(conds []*expr.Expr, env expr.Env) bool {
+	for _, c := range conds {
+		if !expr.EvalBool(c, env) {
+			return false
+		}
+	}
+	return true
+}

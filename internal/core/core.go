@@ -1,0 +1,346 @@
+// Package core implements the retargetable symbolic execution engine —
+// the paper's primary contribution. The engine is architecture-agnostic:
+// every machine-dependent ingredient (decoder, register model, semantics)
+// is generated from an ADL description at construction time, so porting
+// the whole analysis to a new CPU costs one description file.
+//
+// The engine explores program paths over symbolic machine states, forking
+// at feasible branches and discharging path conditions with the bit-vector
+// SMT solver in internal/smt. Security checkers observe divisions, memory
+// accesses and control transfers, and report bugs with concrete
+// reproducing inputs extracted from solver models.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/decoder"
+	"repro/internal/expr"
+	"repro/internal/prog"
+	"repro/internal/smt"
+)
+
+// Strategy selects the path exploration order.
+type Strategy int
+
+// Exploration strategies.
+const (
+	DFS Strategy = iota
+	BFS
+	Random
+	Coverage // prefer states whose next instruction was executed least
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case Random:
+		return "random"
+	case Coverage:
+		return "coverage"
+	}
+	return "unknown"
+}
+
+// Options configures an analysis run. The zero value is usable; missing
+// limits default to moderate values.
+type Options struct {
+	MaxSteps  int64 // per-path instruction budget (default 10000)
+	MaxPaths  int   // completed-path budget (default 1000)
+	MaxStates int   // live-state budget (default 10000)
+	Strategy  Strategy
+	Seed      int64 // for Strategy == Random
+
+	// InputBytes is the number of symbolic bytes the read trap provides
+	// before reporting EOF (default 8).
+	InputBytes int
+
+	// MaxJumpTargets bounds solver-driven enumeration of symbolic jump
+	// targets (default 4).
+	MaxJumpTargets int
+
+	// MaxSolverConflicts bounds each SMT query (0 = unlimited).
+	MaxSolverConflicts int64
+
+	// NoTranslationCache disables the per-address decode cache (ablation).
+	NoTranslationCache bool
+
+	// NoSimplify disables expression simplification (ablation).
+	NoSimplify bool
+
+	// StopOnBug ends the exploration as soon as any checker reports a
+	// finding (time-to-first-bug measurements).
+	StopOnBug bool
+
+	// MergeStates enables opportunistic state merging: live states at
+	// the same program counter fold into one if-then-else-merged state,
+	// trading path count for term size (veritesting-style).
+	MergeStates bool
+
+	// TimeBudget bounds the wall-clock time of a Run (0 = unlimited).
+	// Checked between instructions; remaining live states are killed.
+	TimeBudget time.Duration
+
+	// StackBase and StackSize describe the stack region; the engine
+	// initializes the architecture's sp register to StackBase. Defaults:
+	// 0x40000 and 0x10000.
+	StackBase uint64
+	StackSize uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10000
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 1000
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 10000
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 8
+	}
+	if o.MaxJumpTargets == 0 {
+		o.MaxJumpTargets = 4
+	}
+	// StackBase/StackSize default in NewEngine, which knows the address
+	// width.
+	return o
+}
+
+// Bug is one checker finding.
+type Bug struct {
+	Check   string   // checker name
+	PC      uint64   // faulting instruction address
+	Insn    string   // disassembly
+	Msg     string   // description
+	Model   expr.Env // satisfying assignment triggering the bug
+	Input   []byte   // concrete reproducing input (from Model)
+	PathID  int
+	FoundAt int64 // instructions executed when the finding was made
+}
+
+func (b Bug) String() string {
+	return fmt.Sprintf("[%s] %#x %q: %s (input %q)", b.Check, b.PC, b.Insn, b.Msg, b.Input)
+}
+
+// PathResult is one completed path.
+type PathResult struct {
+	ID       int
+	Status   Status
+	Fault    string
+	EndPC    uint64
+	Steps    int64
+	Depth    int
+	PathCond []*expr.Expr
+	Output   []*expr.Expr
+}
+
+// Stats aggregates engine counters for one run.
+type Stats struct {
+	Instructions int64
+	Forks        int64
+	Infeasible   int64 // branch sides pruned by the solver
+	PathsDone    int
+	StatesKilled int
+	MaxDepth     int
+	MaxLiveSet   int
+	DecodeCalls  int64 // actual decoder invocations (cache misses)
+	Merges       int64 // state merges performed (MergeStates)
+	WallTime     time.Duration
+	Solver       smt.Stats
+}
+
+// Report is the outcome of Engine.Run.
+type Report struct {
+	Bugs  []Bug
+	Paths []PathResult
+	Stats Stats
+}
+
+// CheckCtx is the context handed to checker hooks.
+type CheckCtx struct {
+	Engine *Engine
+	State  *State
+	PC     uint64
+	Insn   string
+	Guard  *expr.Expr // intra-instruction guard; nil = unconditional
+}
+
+// Checker observes execution events and reports bugs through
+// CheckCtx.Report. Implementations live in internal/checker.
+type Checker interface {
+	Name() string
+	// Div is called for every division with the symbolic divisor.
+	Div(ctx *CheckCtx, divisor *expr.Expr)
+	// MemAccess is called before a load (isWrite false) or store with the
+	// unconcretized symbolic address.
+	MemAccess(ctx *CheckCtx, addr *expr.Expr, cells uint, isWrite bool)
+	// Jump is called when the program counter receives a non-constant
+	// value that is not a branch between constant targets.
+	Jump(ctx *CheckCtx, target *expr.Expr)
+}
+
+// Engine is a symbolic execution engine instance for one program.
+type Engine struct {
+	Arch   *adl.Arch
+	B      *expr.Builder
+	Solver *smt.Solver
+	Dec    *decoder.Decoder
+	Prog   *prog.Program
+
+	Opts     Options
+	checkers []Checker
+
+	// Layout lists the valid memory regions for out-of-bounds checking.
+	Layout []Region
+
+	xlate  map[uint64]decoder.Decoded
+	visits map[uint64]int64 // per-pc execution counts (coverage strategy)
+	rng    *rand.Rand
+
+	nextID int
+	report Report
+
+	// concEnv, when non-nil, pins symbolic choices (address
+	// concretization, jump-target enumeration) to the concrete input of
+	// an ongoing concolic replay.
+	concEnv expr.Env
+
+	// bugDedup suppresses duplicate findings at the same pc/checker.
+	bugDedup map[string]bool
+}
+
+// Region is a half-open address range with a human-readable role.
+type Region struct {
+	Lo, Hi uint64 // [Lo, Hi)
+	Role   string // "code", "data", "stack", ...
+}
+
+// NewEngine builds an engine for a program. The architecture model is the
+// only machine-dependent input.
+func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
+	opts = opts.withDefaults()
+	if opts.StackBase == 0 {
+		if a.Bits <= 16 {
+			opts.StackBase, opts.StackSize = uint64(1)<<(a.Bits-1)-8, 0x1000
+		} else {
+			opts.StackBase = 0x40000
+		}
+	}
+	if opts.StackSize == 0 {
+		opts.StackSize = 0x10000
+	}
+	b := expr.NewBuilder()
+	b.Simplify = !opts.NoSimplify
+	e := &Engine{
+		Arch:     a,
+		B:        b,
+		Solver:   smt.New(b),
+		Dec:      decoder.New(a),
+		Prog:     p,
+		Opts:     opts,
+		xlate:    make(map[uint64]decoder.Decoded),
+		visits:   make(map[uint64]int64),
+		rng:      rand.New(rand.NewSource(opts.Seed + 1)),
+		bugDedup: make(map[string]bool),
+	}
+	e.Solver.MaxConflicts = opts.MaxSolverConflicts
+	// Default layout: each program segment plus the stack.
+	for _, s := range p.Segments {
+		e.Layout = append(e.Layout, Region{Lo: s.Addr, Hi: s.Addr + uint64(len(s.Data)), Role: "image"})
+	}
+	e.Layout = append(e.Layout, Region{Lo: opts.StackBase - opts.StackSize, Hi: opts.StackBase + 1, Role: "stack"})
+	return e
+}
+
+// AddChecker registers a checker for subsequent runs.
+func (e *Engine) AddChecker(c Checker) { e.checkers = append(e.checkers, c) }
+
+// AddRegion extends the valid-memory layout.
+func (e *Engine) AddRegion(r Region) { e.Layout = append(e.Layout, r) }
+
+// InRegion reports whether a concrete address lies in a valid region.
+func (e *Engine) InRegion(addr uint64) bool {
+	for _, r := range e.Layout {
+		if addr >= r.Lo && addr < r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidAddr builds the predicate "addr..addr+cells-1 lies inside one
+// valid region" for a symbolic address.
+func (e *Engine) ValidAddr(addr *expr.Expr, cells uint) *expr.Expr {
+	b := e.B
+	valid := b.False()
+	for _, r := range e.Layout {
+		if r.Hi-r.Lo < uint64(cells) {
+			continue
+		}
+		lo := b.Const(addr.Width(), r.Lo)
+		last := b.Const(addr.Width(), r.Hi-uint64(cells))
+		valid = b.BoolOr(valid, b.BoolAnd(b.UGe(addr, lo), b.ULe(addr, last)))
+	}
+	return valid
+}
+
+// ReportBug records a finding (deduplicated per checker+pc+msg).
+func (ctx *CheckCtx) Report(check, msg string, model expr.Env) {
+	e := ctx.Engine
+	key := fmt.Sprintf("%s|%x|%s", check, ctx.PC, msg)
+	if e.bugDedup[key] {
+		return
+	}
+	e.bugDedup[key] = true
+	e.report.Bugs = append(e.report.Bugs, Bug{
+		Check:   check,
+		PC:      ctx.PC,
+		Insn:    ctx.Insn,
+		Msg:     msg,
+		Model:   model,
+		Input:   e.InputFromModel(model),
+		PathID:  ctx.State.ID,
+		FoundAt: e.report.Stats.Instructions,
+	})
+}
+
+// SatUnder checks pathCond ∧ extra and returns the model on Sat.
+func (ctx *CheckCtx) SatUnder(extra ...*expr.Expr) (bool, expr.Env) {
+	e := ctx.Engine
+	q := append(append([]*expr.Expr(nil), ctx.State.PathCond...), extra...)
+	if ctx.Guard != nil {
+		q = append(q, ctx.Guard)
+	}
+	r, err := e.Solver.Check(q...)
+	if err != nil || r != smt.Sat {
+		return false, nil
+	}
+	return true, e.Solver.Model()
+}
+
+// InputFromModel concretizes the symbolic input bytes under a model.
+// Bytes the model does not constrain read as zero; the result is trimmed
+// after the last constrained byte.
+func (e *Engine) InputFromModel(m expr.Env) []byte {
+	out := make([]byte, 0, e.Opts.InputBytes)
+	last := 0
+	for i := 0; i < e.Opts.InputBytes; i++ {
+		v, ok := m[inputVarName(i)]
+		out = append(out, byte(v))
+		if ok {
+			last = i + 1
+		}
+	}
+	return out[:last]
+}
+
+func inputVarName(i int) string { return fmt.Sprintf("in%d", i) }

@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/smt"
+)
+
+// workloads holds semantically equivalent input-driven programs for each
+// architecture: read up to 4 input bytes, classify them, and emit a
+// result byte. Each exercises branches, arithmetic, memory and the trap
+// convention.
+var workloads = map[string]string{
+	"tiny32": `
+buf:	.space 8
+_start:
+	li  r10, buf
+	li  r11, 0       // count of bytes < 'A'
+	li  r12, 0       // index
+	li  r13, 4
+readloop:
+	bgeu r12, r13, classify
+	trap 1
+	add  r2, r10, r12
+	sb   r1, 0(r2)
+	li   r3, 65
+	bgeu r1, r3, noinc
+	addi r11, r11, 1
+noinc:
+	addi r12, r12, 1
+	jmp  readloop
+classify:
+	mov  r1, r11
+	trap 2
+	trap 0
+`,
+	"rv32i": `
+buf:	.space 8
+_start:
+	lui  s2, hi20(buf)
+	addi s2, s2, lo12(buf)
+	addi s3, zero, 0     # count
+	addi s4, zero, 0     # index
+	addi s5, zero, 4
+readloop:
+	bgeu s4, s5, classify
+	addi a7, zero, 1
+	ecall                # a0 = input byte
+	add  t0, s2, s4
+	sb   a0, 0(t0)
+	addi t1, zero, 65
+	bgeu a0, t1, noinc
+	addi s3, s3, 1
+noinc:
+	addi s4, s4, 1
+	jal  zero, readloop
+classify:
+	addi a0, s3, 0
+	addi a7, zero, 2
+	ecall                # write count
+	addi a7, zero, 0
+	ecall                # exit
+`,
+	"m16": `
+buf:	.space 8
+_start:
+	ldi g2, 0        ; count
+	ldi g3, 0        ; index
+readloop:
+	cmpi g3, 4
+	bge  classify
+	trap 1           ; g1 = input byte
+	stbx g1, buf(g3)
+	cmpi g1, 65
+	bge  noinc
+	addi g2, 1
+noinc:
+	addi g3, 1
+	bra  readloop
+classify:
+	mov g1, g2
+	trap 2
+	trap 0
+`,
+}
+
+// TestDifferentialSymbolicVsConcrete is the engine's oracle: for every
+// completed symbolic path, solve the path condition for a concrete
+// input, replay that input on the ADL-generated concrete emulator, and
+// demand identical termination status and output. Both interpreters are
+// generated from the same description, so any mismatch is an evaluator
+// bug.
+func TestDifferentialSymbolicVsConcrete(t *testing.T) {
+	for name, src := range workloads {
+		t.Run(name, func(t *testing.T) {
+			a := arch.MustLoad(name)
+			p := build(t, name, src)
+			e := core.NewEngine(a, p, core.Options{InputBytes: 4, MaxSteps: 500})
+			r, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Paths) < 5 {
+				t.Fatalf("only %d paths explored", len(r.Paths))
+			}
+			for _, path := range r.Paths {
+				if path.Status != core.StatusExit {
+					t.Errorf("path %d ended with %v (%s)", path.ID, path.Status, path.Fault)
+					continue
+				}
+				res, err := e.Solver.Check(path.PathCond...)
+				if err != nil || res != smt.Sat {
+					t.Errorf("path %d: condition not sat (%v %v)", path.ID, res, err)
+					continue
+				}
+				model := e.Solver.Model()
+				input := make([]byte, 4)
+				for i := range input {
+					input[i] = byte(model[fmt.Sprintf("in%d", i)])
+				}
+				// Expected output under this model.
+				var want []byte
+				for _, o := range path.Output {
+					want = append(want, byte(expr.Eval(o, model)))
+				}
+				// Replay concretely.
+				m := conc.NewMachine(a)
+				m.LoadProgram(p)
+				m.Input = input
+				stop := m.Run(10000)
+				if stop.Kind != conc.StopExit {
+					t.Errorf("path %d input %v: concrete run ended with %v", path.ID, input, stop)
+					continue
+				}
+				if string(m.Output) != string(want) {
+					t.Errorf("path %d input %v: concrete output %v, symbolic predicts %v",
+						path.ID, input, m.Output, want)
+				}
+			}
+			// The workload reads 4 independent bytes with one 2-way branch
+			// each: exactly 16 exit paths.
+			exits := 0
+			for _, path := range r.Paths {
+				if path.Status == core.StatusExit {
+					exits++
+				}
+			}
+			if exits != 16 {
+				t.Errorf("exit paths = %d, want 16", exits)
+			}
+		})
+	}
+}
+
+// TestCrossISAPathCounts verifies the retargeting-soundness claim: the
+// same source-level workload explores the same number of paths on every
+// architecture (the path structure is a property of the program, not of
+// the ISA the engine was generated for).
+func TestCrossISAPathCounts(t *testing.T) {
+	counts := map[string]int{}
+	for name, src := range workloads {
+		p := build(t, name, src)
+		e := core.NewEngine(arch.MustLoad(name), p, core.Options{InputBytes: 4, MaxSteps: 500})
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[name] = len(r.Paths)
+	}
+	if counts["tiny32"] != counts["rv32i"] || counts["tiny32"] != counts["m16"] {
+		t.Errorf("path counts diverge across ISAs: %v", counts)
+	}
+}

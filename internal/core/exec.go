@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/decoder"
+	"repro/internal/expr"
+	"repro/internal/rtl"
+	"repro/internal/smt"
+)
+
+// Run explores the program from its entry point and returns the report.
+func (e *Engine) Run() (*Report, error) {
+	t0 := time.Now()
+	e.report = Report{}
+	e.bugDedup = make(map[string]bool)
+
+	live := []*State{e.initialState()}
+
+	for len(live) > 0 {
+		if e.report.Stats.PathsDone >= e.Opts.MaxPaths ||
+			e.Opts.StopOnBug && len(e.report.Bugs) > 0 ||
+			e.Opts.TimeBudget > 0 && time.Since(t0) > e.Opts.TimeBudget {
+			e.report.Stats.StatesKilled += len(live)
+			break
+		}
+		if len(live) > e.report.Stats.MaxLiveSet {
+			e.report.Stats.MaxLiveSet = len(live)
+		}
+		var st *State
+		st, live = e.pick(live)
+
+		children, err := e.step(st)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range children {
+			if c.Done {
+				e.finish(c)
+			} else if len(live) < e.Opts.MaxStates {
+				live = append(live, c)
+			} else {
+				e.report.Stats.StatesKilled++
+			}
+		}
+		if e.Opts.MergeStates {
+			live = e.mergeLive(live)
+		}
+	}
+	e.report.Stats.WallTime = time.Since(t0)
+	e.report.Stats.Solver = e.Solver.Stats
+	return &e.report, nil
+}
+
+func (e *Engine) initialState() *State {
+	st := &State{
+		ID:   e.nextID,
+		regs: make([]*expr.Expr, len(e.Arch.Regs)),
+		mem:  newMemory(e.Prog.Image(), e.Arch.Bits),
+		PC:   e.Prog.Entry,
+	}
+	e.nextID++
+	for i, r := range e.Arch.Regs {
+		st.regs[i] = e.B.Const(r.Width, 0)
+	}
+	if e.Arch.SP != nil {
+		st.SetReg(e.Arch.SP, e.B.Const(e.Arch.SP.Width, bv.Trunc(e.Opts.StackBase, e.Arch.SP.Width)))
+	}
+	return st
+}
+
+// pick removes the next state to run according to the strategy.
+func (e *Engine) pick(live []*State) (*State, []*State) {
+	idx := len(live) - 1 // DFS default
+	switch e.Opts.Strategy {
+	case BFS:
+		idx = 0
+	case Random:
+		idx = e.rng.Intn(len(live))
+	case Coverage:
+		best := int64(1) << 62
+		for i, s := range live {
+			if v := e.visits[s.PC]; v < best {
+				best, idx = v, i
+			}
+		}
+	}
+	st := live[idx]
+	live = append(live[:idx], live[idx+1:]...)
+	return st, live
+}
+
+func (e *Engine) finish(st *State) {
+	e.report.Stats.PathsDone++
+	if st.Depth > e.report.Stats.MaxDepth {
+		e.report.Stats.MaxDepth = st.Depth
+	}
+	e.report.Paths = append(e.report.Paths, PathResult{
+		ID:       st.ID,
+		Status:   st.Status,
+		Fault:    st.Fault,
+		EndPC:    st.PC,
+		Steps:    st.Steps,
+		Depth:    st.Depth,
+		PathCond: st.PathCond,
+		Output:   st.Output,
+	})
+}
+
+func (st *State) done(status Status) *State {
+	st.Done = true
+	st.Status = status
+	return st
+}
+
+// decode fetches and decodes the instruction at the state's pc, going
+// through the per-address translation cache when the bytes come from the
+// unmodified image.
+func (e *Engine) decode(st *State) (decoder.Decoded, error) {
+	maxLen := e.Arch.MaxInsnBytes()
+	cacheable := !st.mem.writtenRange(st.PC, maxLen)
+	if !e.Opts.NoTranslationCache && cacheable {
+		if d, ok := e.xlate[st.PC]; ok {
+			return d, nil
+		}
+	}
+	buf, ok := st.mem.ConcreteFetch(st.PC, maxLen)
+	if !ok {
+		return decoder.Decoded{}, fmt.Errorf("symbolic instruction bytes at %#x", st.PC)
+	}
+	e.report.Stats.DecodeCalls++
+	d, err := e.Dec.Decode(buf)
+	if err != nil {
+		return decoder.Decoded{}, err
+	}
+	if !e.Opts.NoTranslationCache && cacheable {
+		e.xlate[st.PC] = d
+	}
+	return d, nil
+}
+
+// step executes one instruction of st and returns the successor states
+// (one or more on forks; completed states have Done set).
+func (e *Engine) step(st *State) ([]*State, error) {
+	dec, err := e.decode(st)
+	if err != nil {
+		st.Fault = err.Error()
+		return []*State{st.done(StatusDecode)}, nil
+	}
+	e.visits[st.PC]++
+	e.report.Stats.Instructions++
+	st.Steps++
+
+	insAddr := st.PC
+	disasm := decoder.Disasm(dec, insAddr)
+
+	// The pc register holds the fall-through continuation; semantic reads
+	// of pc observe the instruction's own address via execCtx.ReadReg.
+	pcReg := e.Arch.PC
+	cont := bv.Trunc(insAddr+uint64(dec.Len), e.Arch.Bits)
+	st.SetReg(pcReg, e.B.Const(pcReg.Width, cont))
+
+	ec := &execCtx{e: e, st: st, insAddr: insAddr, disasm: disasm}
+	ev := &rtl.SymEval{B: e.B, A: e.Arch}
+	events := ev.Exec(ec, dec.Insn, dec.Ops)
+	if ec.err != nil {
+		return nil, ec.err
+	}
+	if ec.infeasible {
+		// A memory concretization found the path condition unsatisfiable.
+		return []*State{st.done(StatusKilled)}, nil
+	}
+
+	// Process control events in order; states may split per event.
+	done, continuing, err := e.handleEvents(st, events, insAddr, disasm)
+	if err != nil {
+		return nil, err
+	}
+
+	out := done
+	for _, c := range continuing {
+		if c.Steps >= e.Opts.MaxSteps {
+			out = append(out, c.done(StatusSteps))
+			continue
+		}
+		next, err := e.resolvePC(c, insAddr, disasm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next...)
+	}
+	return out, nil
+}
+
+// handleEvents applies trap/halt/fault events in order, splitting states
+// on symbolic guards. It returns the completed states and the states that
+// continue to the next instruction.
+func (e *Engine) handleEvents(st *State, events []rtl.Event, pc uint64, disasm string) (done, continuing []*State, err error) {
+	// Division observations run first, against the pre-event path
+	// condition: control events below (e.g. an explicit divide-by-zero
+	// fault in the description) otherwise constrain the divisor away
+	// before the checker sees it.
+	for _, ev := range events {
+		if ev.Kind != rtl.EvDiv {
+			continue
+		}
+		ctx := &CheckCtx{Engine: e, State: st, PC: pc, Insn: disasm, Guard: ev.Guard}
+		for _, c := range e.checkers {
+			c.Div(ctx, ev.Code)
+		}
+	}
+	continuing = []*State{st}
+	for _, ev := range events {
+		if ev.Kind == rtl.EvDiv {
+			continue
+		}
+		var next []*State
+		for _, s := range continuing {
+			taken, fallthru, ferr := e.splitOnGuard(s, ev.Guard)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			if fallthru != nil {
+				next = append(next, fallthru)
+			}
+			if taken == nil {
+				continue
+			}
+			switch ev.Kind {
+			case rtl.EvFault:
+				taken.Fault = ev.Msg
+				done = append(done, taken.done(StatusFault))
+			case rtl.EvHalt:
+				done = append(done, taken.done(StatusHalt))
+			case rtl.EvTrap:
+				after := e.trap(taken, ev.Code, pc)
+				if after.Done {
+					done = append(done, after)
+				} else {
+					next = append(next, after)
+				}
+			}
+		}
+		continuing = next
+	}
+	return done, continuing, nil
+}
+
+// splitOnGuard forks st on a guard condition: taken is the state where
+// the guard holds (pathCond extended), fallthru where it does not. Either
+// may be nil when infeasible. An unconditional guard yields taken = st.
+func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *State, err error) {
+	if guard == nil || guard.Kind() == expr.KBoolConst && guard.ConstVal() == 1 {
+		return st, nil, nil
+	}
+	if guard.Kind() == expr.KBoolConst { // constant false
+		return nil, st, nil
+	}
+	e.report.Stats.Forks++
+	sat, err := e.feasible(append(st.PathCond, guard))
+	if err != nil {
+		return nil, nil, err
+	}
+	if sat {
+		taken = st.clone(e.nextID)
+		e.nextID++
+		taken.PathCond = append(taken.PathCond, guard)
+	} else {
+		e.report.Stats.Infeasible++
+	}
+	neg := e.B.BoolNot(guard)
+	sat, err = e.feasible(append(st.PathCond, neg))
+	if err != nil {
+		return nil, nil, err
+	}
+	if sat {
+		st.PathCond = append(st.PathCond, neg)
+		fallthru = st
+	} else {
+		e.report.Stats.Infeasible++
+	}
+	return taken, fallthru, nil
+}
+
+// feasible checks satisfiability, treating solver budget exhaustion as
+// feasible (sound for bug finding: we never prune a path we are unsure
+// about, at the cost of possibly exploring dead ones).
+func (e *Engine) feasible(cond []*expr.Expr) (bool, error) {
+	r, err := e.Solver.Check(cond...)
+	if err == smt.ErrBudget {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return r != smt.Unsat, nil
+}
+
+// trap implements the shared system-call convention symbolically.
+func (e *Engine) trap(st *State, code *expr.Expr, pc uint64) *State {
+	if !code.IsConst() {
+		st.Fault = "symbolic trap code"
+		return st.done(StatusFault)
+	}
+	switch code.ConstVal() {
+	case 0: // exit
+		return st.done(StatusExit)
+	case 1: // read one input byte
+		ret := e.Arch.Reg("sysret")
+		if ret == nil {
+			st.Fault = "architecture has no sysret alias"
+			return st.done(StatusFault)
+		}
+		if st.inputCount < e.Opts.InputBytes {
+			in := e.B.Var(8, inputVarName(st.inputCount))
+			st.inputCount++
+			st.SetReg(ret, e.B.ZExt(in, ret.Width))
+		} else {
+			st.SetReg(ret, e.B.Const(ret.Width, bv.Mask(ret.Width)))
+		}
+		return st
+	case 2: // write one output byte
+		arg := e.Arch.Reg("sysarg")
+		if arg == nil {
+			st.Fault = "architecture has no sysarg alias"
+			return st.done(StatusFault)
+		}
+		st.Output = append(st.Output, e.B.Extract(st.Reg(arg), 7, 0))
+		return st
+	}
+	st.Fault = fmt.Sprintf("unknown trap code %d", code.ConstVal())
+	return st.done(StatusFault)
+}
+
+// resolvePC turns the (possibly symbolic) post-instruction pc into
+// concrete successor states. The pc register already holds the
+// fall-through continuation when the semantics did not branch.
+func (e *Engine) resolvePC(st *State, insAddr uint64, disasm string) ([]*State, error) {
+	pcv := st.Reg(e.Arch.PC)
+	if targets, ok := e.splitTargets(pcv, nil); ok {
+		return e.forkTargets(st, targets)
+	}
+	// General symbolic target: tell the checkers, then enumerate models.
+	ctx := &CheckCtx{Engine: e, State: st, PC: insAddr, Insn: disasm}
+	for _, c := range e.checkers {
+		c.Jump(ctx, pcv)
+	}
+	return e.enumerateJump(st, pcv)
+}
+
+// target is one candidate pc value guarded by a chain of branch
+// conditions.
+type target struct {
+	addr  uint64
+	conds []*expr.Expr
+}
+
+// splitTargets decomposes an ite-tree over constant leaves into guarded
+// targets; ok is false when the tree has a non-constant leaf.
+func (e *Engine) splitTargets(pcv *expr.Expr, conds []*expr.Expr) ([]target, bool) {
+	switch {
+	case pcv.IsConst():
+		return []target{{addr: pcv.ConstVal(), conds: append([]*expr.Expr(nil), conds...)}}, true
+	case pcv.Kind() == expr.KITE:
+		c := pcv.Arg(0)
+		thenTs, ok := e.splitTargets(pcv.Arg(1), append(conds, c))
+		if !ok {
+			return nil, false
+		}
+		elseTs, ok := e.splitTargets(pcv.Arg(2), append(append([]*expr.Expr(nil), conds...), e.B.BoolNot(c)))
+		if !ok {
+			return nil, false
+		}
+		return append(thenTs, elseTs...), true
+	default:
+		return nil, false
+	}
+}
+
+// forkTargets creates one successor per feasible target.
+func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
+	var out []*State
+	if len(ts) > 1 {
+		e.report.Stats.Forks += int64(len(ts) - 1)
+	}
+	for i, t := range ts {
+		cond := append(append([]*expr.Expr(nil), st.PathCond...), t.conds...)
+		if len(ts) > 1 || len(t.conds) > 0 {
+			ok, err := e.feasible(cond)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				e.report.Stats.Infeasible++
+				continue
+			}
+		}
+		var child *State
+		if i == len(ts)-1 {
+			child = st // reuse the parent for the last side
+			if len(ts) > 1 {
+				child.Depth++
+			}
+		} else {
+			child = st.clone(e.nextID)
+			e.nextID++
+		}
+		child.PathCond = cond
+		child.PC = bv.Trunc(t.addr, e.Arch.Bits)
+		out = append(out, child)
+	}
+	return out, nil
+}
+
+// enumerateJump concretizes a general symbolic jump target by repeated
+// solver models, up to MaxJumpTargets.
+func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
+	if e.concEnv != nil {
+		// Concolic replay: follow the concrete target only.
+		addr := expr.Eval(pcv, e.concEnv)
+		st.PathCond = append(st.PathCond, e.B.Eq(pcv, e.B.Const(pcv.Width(), addr)))
+		st.PC = addr
+		return []*State{st}, nil
+	}
+	var out []*State
+	excl := append([]*expr.Expr(nil), st.PathCond...)
+	for i := 0; i < e.Opts.MaxJumpTargets; i++ {
+		r, err := e.Solver.Check(excl...)
+		if err == smt.ErrBudget || r != smt.Sat {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		addr := e.Solver.Value(pcv)
+		eq := e.B.Eq(pcv, e.B.Const(pcv.Width(), addr))
+		child := st.clone(e.nextID)
+		e.nextID++
+		child.PathCond = append(child.PathCond, eq)
+		child.PC = addr
+		out = append(out, child)
+		excl = append(excl, e.B.BoolNot(eq))
+		e.report.Stats.Forks++
+	}
+	if len(out) == 0 {
+		st.Fault = "unresolvable symbolic jump target"
+		return []*State{st.done(StatusFault)}, nil
+	}
+	return out, nil
+}

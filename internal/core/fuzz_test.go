@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// genTiny32 generates a random but well-formed tiny32 program: a few
+// symbolic input reads, a soup of ALU and fixed-address memory
+// operations over r3..r10, forward branches, and finally a dump of every
+// working register through the output trap. The dump makes the whole
+// register state observable, so comparing outputs compares semantics.
+func genTiny32(r *rand.Rand, nOps int) string {
+	var sb strings.Builder
+	sb.WriteString("scratch:\t.space 64\n_start:\n")
+	regs := []string{"r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10"}
+	reg := func() string { return regs[r.Intn(len(regs))] }
+	// Seed registers: some constants, some input bytes.
+	for i, rg := range regs {
+		if i%2 == 0 {
+			fmt.Fprintf(&sb, "\ttrap 1\n\tmov %s, r1\n", rg)
+		} else {
+			fmt.Fprintf(&sb, "\tli %s, %d\n", rg, r.Intn(1<<15))
+		}
+	}
+	label := 0
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(12) {
+		case 0:
+			fmt.Fprintf(&sb, "\tadd %s, %s, %s\n", reg(), reg(), reg())
+		case 1:
+			fmt.Fprintf(&sb, "\tsub %s, %s, %s\n", reg(), reg(), reg())
+		case 2:
+			fmt.Fprintf(&sb, "\tmul %s, %s, %s\n", reg(), reg(), reg())
+		case 3:
+			fmt.Fprintf(&sb, "\txor %s, %s, %s\n", reg(), reg(), reg())
+		case 4:
+			fmt.Fprintf(&sb, "\tand %s, %s, %s\n", reg(), reg(), reg())
+		case 5:
+			fmt.Fprintf(&sb, "\tor %s, %s, %s\n", reg(), reg(), reg())
+		case 6:
+			fmt.Fprintf(&sb, "\tslli %s, %s, %d\n", reg(), reg(), r.Intn(31))
+		case 7:
+			fmt.Fprintf(&sb, "\tsrai %s, %s, %d\n", reg(), reg(), r.Intn(31))
+		case 8:
+			fmt.Fprintf(&sb, "\taddi %s, %s, %d\n", reg(), reg(), r.Intn(1<<15)-1<<14)
+		case 9:
+			// Fixed-address store + load within the scratch buffer.
+			off := r.Intn(15) * 4
+			fmt.Fprintf(&sb, "\tsw %s, scratch+%d(r0)\n", reg(), off)
+			fmt.Fprintf(&sb, "\tlw %s, scratch+%d(r0)\n", reg(), off)
+		case 10:
+			fmt.Fprintf(&sb, "\tsltu %s, %s, %s\n", reg(), reg(), reg())
+		default:
+			// Forward branch over the next few operations.
+			ops := []string{"beq", "bne", "blt", "bltu", "bge", "bgeu"}
+			fmt.Fprintf(&sb, "\t%s %s, %s, fwd%d\n", ops[r.Intn(len(ops))], reg(), reg(), label)
+			fmt.Fprintf(&sb, "\taddi %s, %s, 1\n", reg(), reg())
+			fmt.Fprintf(&sb, "fwd%d:\n", label)
+			label++
+		}
+	}
+	// Dump every working register, all four bytes.
+	for _, rg := range regs {
+		for sh := 0; sh < 32; sh += 8 {
+			fmt.Fprintf(&sb, "\tsrli r1, %s, %d\n\ttrap 2\n", rg, sh)
+		}
+	}
+	sb.WriteString("\ttrap 0\n")
+	return sb.String()
+}
+
+// TestFuzzDifferential is the randomized end-to-end oracle: for random
+// programs and random inputs, the concrete emulator and the symbolic
+// engine (evaluated under the matching model) must produce identical
+// outputs.
+func TestFuzzDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	a := arch.MustLoad("tiny32")
+	iters := 30
+	if testing.Short() {
+		iters = 5
+	}
+	for iter := 0; iter < iters; iter++ {
+		src := genTiny32(r, 12)
+		p := build(t, "tiny32", src)
+
+		input := make([]byte, 4)
+		for i := range input {
+			input[i] = byte(r.Uint32())
+		}
+		env := expr.Env{}
+		for i, b := range input {
+			env[fmt.Sprintf("in%d", i)] = uint64(b)
+		}
+
+		// Concrete run.
+		m := conc.NewMachine(a)
+		m.LoadProgram(p)
+		m.Input = input
+		stop := m.Run(100000)
+		if stop.Kind != conc.StopExit {
+			t.Fatalf("iter %d: concrete run %v\n%s", iter, stop, src)
+		}
+
+		// Symbolic run: find the path consistent with the input.
+		e := core.NewEngine(a, p, core.Options{InputBytes: 4, MaxSteps: 5000, MaxPaths: 200})
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		var match *core.PathResult
+		for i := range rep.Paths {
+			pth := &rep.Paths[i]
+			if pth.Status != core.StatusExit {
+				continue
+			}
+			ok := true
+			for _, c := range pth.PathCond {
+				if !expr.EvalBool(c, env) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				match = pth
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("iter %d: no symbolic path matches input %v (%d paths)\n%s",
+				iter, input, len(rep.Paths), src)
+		}
+		var got []byte
+		for _, o := range match.Output {
+			got = append(got, byte(expr.Eval(o, env)))
+		}
+		if string(got) != string(m.Output) {
+			t.Fatalf("iter %d input %v:\nconcrete % x\nsymbolic % x\n%s",
+				iter, input, m.Output, got, src)
+		}
+	}
+}

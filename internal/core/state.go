@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/bv"
+	"repro/internal/expr"
+)
+
+// State is one symbolic execution path: a symbolic machine state plus the
+// path condition that led to it.
+type State struct {
+	ID     int
+	Parent int
+
+	regs []*expr.Expr
+	mem  *Memory
+
+	// PathCond is the conjunction of branch conditions taken so far.
+	PathCond []*expr.Expr
+
+	// PC is the concrete program counter (instruction fetch requires a
+	// concrete address; symbolic targets are resolved by forking).
+	PC uint64
+
+	Steps  int64
+	Depth  int // number of forks on the path
+	Output []*expr.Expr
+
+	inputCount int
+
+	// Terminal status, set when the path completes.
+	Done   bool
+	Status Status
+	Fault  string
+}
+
+// Status tells how a path ended.
+type Status int
+
+// Path end statuses.
+const (
+	StatusRunning Status = iota
+	StatusHalt           // halt() executed
+	StatusExit           // exit trap
+	StatusFault          // error() reached or checker-fatal condition
+	StatusSteps          // per-path step budget exhausted
+	StatusDecode         // undecodable bytes
+	StatusKilled         // dropped by the engine (path budget)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusHalt:
+		return "halt"
+	case StatusExit:
+		return "exit"
+	case StatusFault:
+		return "fault"
+	case StatusSteps:
+		return "step-limit"
+	case StatusDecode:
+		return "decode-error"
+	case StatusKilled:
+		return "killed"
+	}
+	return "unknown"
+}
+
+func (st *State) String() string {
+	return fmt.Sprintf("state %d: pc=%#x steps=%d depth=%d |pc-cond|=%d",
+		st.ID, st.PC, st.Steps, st.Depth, len(st.PathCond))
+}
+
+// clone copies the state for a fork.
+func (st *State) clone(newID int) *State {
+	c := *st
+	c.ID = newID
+	c.Parent = st.ID
+	c.regs = append([]*expr.Expr(nil), st.regs...)
+	c.mem = st.mem.clone()
+	c.PathCond = append([]*expr.Expr(nil), st.PathCond...)
+	c.Output = append([]*expr.Expr(nil), st.Output...)
+	c.Depth++
+	return &c
+}
+
+// Reg reads a register's symbolic value.
+func (st *State) Reg(r *adl.Reg) *expr.Expr { return st.regs[r.Num] }
+
+// SetReg writes a register's symbolic value.
+func (st *State) SetReg(r *adl.Reg, v *expr.Expr) {
+	if v.Width() != r.Width {
+		panic(fmt.Sprintf("core: register %s width %d written with %d bits", r.Name, r.Width, v.Width()))
+	}
+	st.regs[r.Num] = v
+}
+
+// Memory is the byte-granular symbolic memory of one path: a shared
+// concrete base image overlaid with symbolic writes. Addresses are
+// concrete (the engine concretizes symbolic addresses before access).
+type Memory struct {
+	base    map[uint64]byte
+	overlay map[uint64]*expr.Expr
+	mask    uint64 // address mask (2^bits - 1)
+}
+
+// newMemory wraps a concrete image.
+func newMemory(base map[uint64]byte, bits uint) *Memory {
+	return &Memory{base: base, overlay: make(map[uint64]*expr.Expr), mask: bv.Mask(bits)}
+}
+
+func (m *Memory) clone() *Memory {
+	o := make(map[uint64]*expr.Expr, len(m.overlay))
+	for k, v := range m.overlay {
+		o[k] = v
+	}
+	return &Memory{base: m.base, overlay: o, mask: m.mask}
+}
+
+// ByteAt returns the symbolic byte at addr. b is used to wrap concrete
+// bytes; unwritten, unmapped memory reads as zero.
+func (m *Memory) ByteAt(b *expr.Builder, addr uint64) *expr.Expr {
+	addr &= m.mask
+	if v, ok := m.overlay[addr]; ok {
+		return v
+	}
+	return b.Const(8, uint64(m.base[addr]))
+}
+
+// SetByte stores a symbolic byte.
+func (m *Memory) SetByte(addr uint64, v *expr.Expr) {
+	if v.Width() != 8 {
+		panic("core: SetByte with non-byte value")
+	}
+	m.overlay[addr&m.mask] = v
+}
+
+// OverlaySize reports the number of symbolically written bytes.
+func (m *Memory) OverlaySize() int { return len(m.overlay) }
+
+// Read assembles cells bytes at addr in the given byte order.
+func (m *Memory) Read(b *expr.Builder, addr uint64, cells uint, little bool) *expr.Expr {
+	var out *expr.Expr
+	for i := uint(0); i < cells; i++ {
+		byt := m.ByteAt(b, addr+uint64(i))
+		if out == nil {
+			out = byt
+		} else if little {
+			out = b.Concat(byt, out)
+		} else {
+			out = b.Concat(out, byt)
+		}
+	}
+	return out
+}
+
+// Write splits val into cells bytes at addr in the given byte order.
+func (m *Memory) Write(b *expr.Builder, addr uint64, cells uint, val *expr.Expr, little bool) {
+	for i := uint(0); i < cells; i++ {
+		var byt *expr.Expr
+		if little {
+			byt = b.Extract(val, 8*i+7, 8*i)
+		} else {
+			byt = b.Extract(val, val.Width()-8*i-1, val.Width()-8*i-8)
+		}
+		m.SetByte(addr+uint64(i), byt)
+	}
+}
+
+// ConcreteFetch reads cells raw bytes for instruction decoding. Overlaid
+// (symbolically written) code bytes must be constant; self-modifying code
+// with symbolic bytes is rejected by the engine before calling this.
+func (m *Memory) ConcreteFetch(addr uint64, n int) ([]byte, bool) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := (addr + uint64(i)) & m.mask
+		if v, ok := m.overlay[a]; ok {
+			if !v.IsConst() {
+				return nil, false
+			}
+			out[i] = byte(v.ConstVal())
+			continue
+		}
+		out[i] = m.base[a]
+	}
+	return out, true
+}

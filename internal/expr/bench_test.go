@@ -1,0 +1,51 @@
+package expr
+
+import "testing"
+
+func BenchmarkBuilderInterning(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var(32, "x")
+	y := bld.Var(32, "y")
+	b.ResetTimer()
+	for b.Loop() {
+		// All hits after the first iteration: measures intern-table cost.
+		bld.Add(bld.Mul(x, y), bld.Const(32, 7))
+	}
+}
+
+func BenchmarkBuilderFreshTerms(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var(32, "x")
+	acc := x
+	b.ResetTimer()
+	for b.Loop() {
+		// A growing chain: every node is fresh.
+		acc = bld.Add(acc, x)
+	}
+}
+
+func BenchmarkEvalDeepChain(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var(32, "x")
+	acc := x
+	for i := 0; i < 2000; i++ {
+		acc = bld.Xor(bld.Add(acc, x), bld.Const(32, uint64(i+1)))
+	}
+	env := Env{"x": 12345}
+	b.ResetTimer()
+	for b.Loop() {
+		Eval(acc, env)
+	}
+}
+
+func BenchmarkSimplifierRules(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var(32, "x")
+	zero := bld.Const(32, 0)
+	b.ResetTimer()
+	for b.Loop() {
+		bld.Add(x, zero)              // x+0 -> x
+		bld.Xor(x, x)                 // x^x -> 0
+		bld.Mul(x, bld.Const(32, 16)) // *16 -> shift
+	}
+}

@@ -1,0 +1,200 @@
+// Package expr implements the typed, hash-consed symbolic expression DAG
+// used throughout the symbolic execution engine.
+//
+// Expressions are either bit-vectors of a fixed width (1..64 bits) or
+// booleans. All terms are created through a Builder, which interns
+// structurally identical terms so that pointer equality coincides with
+// structural equality, performs eager constant folding, and applies a set
+// of cheap local simplification rules. The semantics of every operator
+// follow SMT-LIB QF_BV.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the operator (or leaf form) of an expression node.
+type Kind uint8
+
+// Expression kinds. Bit-vector-sorted kinds come first, boolean-sorted
+// kinds after KEq; IsBool relies on that split only via each node's width.
+const (
+	KInvalid Kind = iota
+
+	// Leaves.
+	KConst // bit-vector constant; value in Expr.val, width in Expr.width
+	KVar   // bit-vector variable; name in Expr.name
+
+	// Unary bit-vector ops.
+	KNot // bitwise complement
+	KNeg // two's-complement negation
+
+	// Binary bit-vector ops (operands share the node's width).
+	KAdd
+	KSub
+	KMul
+	KUDiv
+	KURem
+	KSDiv
+	KSRem
+	KAnd
+	KOr
+	KXor
+	KShl
+	KLShr
+	KAShr
+
+	// Structural bit-vector ops.
+	KConcat  // args[0] is the high part, args[1] the low part
+	KExtract // bits hi..lo of args[0]; hi/lo packed in Expr.val
+	KZExt    // zero-extend args[0] to Expr.width
+	KSExt    // sign-extend args[0] to Expr.width
+	KITE     // if args[0] (bool) then args[1] else args[2]
+
+	// Predicates: boolean-sorted with bit-vector operands.
+	KEq  // args[0] == args[1]
+	KULt // unsigned less-than
+	KULe // unsigned less-or-equal
+	KSLt // signed less-than
+	KSLe // signed less-or-equal
+
+	// Boolean leaves and connectives.
+	KBoolConst // value in Expr.val (0 or 1)
+	KBoolVar   // name in Expr.name
+	KBoolNot
+	KBoolAnd
+	KBoolOr
+	KBoolXor
+	KBoolITE // if args[0] then args[1] else args[2], all boolean
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KInvalid: "invalid",
+	KConst:   "const", KVar: "var",
+	KNot: "bvnot", KNeg: "bvneg",
+	KAdd: "bvadd", KSub: "bvsub", KMul: "bvmul",
+	KUDiv: "bvudiv", KURem: "bvurem", KSDiv: "bvsdiv", KSRem: "bvsrem",
+	KAnd: "bvand", KOr: "bvor", KXor: "bvxor",
+	KShl: "bvshl", KLShr: "bvlshr", KAShr: "bvashr",
+	KConcat: "concat", KExtract: "extract", KZExt: "zero_extend", KSExt: "sign_extend",
+	KITE: "ite",
+	KEq:  "=", KULt: "bvult", KULe: "bvule", KSLt: "bvslt", KSLe: "bvsle",
+	KBoolConst: "bool", KBoolVar: "boolvar",
+	KBoolNot: "not", KBoolAnd: "and", KBoolOr: "or", KBoolXor: "xor",
+	KBoolITE: "ite",
+}
+
+// String returns the SMT-LIB-style operator name of k.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Expr is an immutable, interned expression node. Two Exprs created by the
+// same Builder are structurally equal iff they are the same pointer.
+type Expr struct {
+	kind  Kind
+	width uint8 // bit width; 0 means boolean sort
+	val   uint64
+	name  string
+	args  [3]*Expr
+	nargs uint8
+	id    uint32 // builder-local sequence number, stable and dense
+}
+
+// Kind returns the node's operator kind.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// Width returns the bit width of a bit-vector expression, or 0 for a
+// boolean expression.
+func (e *Expr) Width() uint { return uint(e.width) }
+
+// IsBool reports whether the expression has boolean sort.
+func (e *Expr) IsBool() bool { return e.width == 0 }
+
+// ID returns a dense builder-local identifier, usable as a map or slice key.
+func (e *Expr) ID() uint32 { return e.id }
+
+// NumArgs returns the number of operands.
+func (e *Expr) NumArgs() int { return int(e.nargs) }
+
+// Arg returns the i'th operand.
+func (e *Expr) Arg(i int) *Expr { return e.args[i] }
+
+// IsConst reports whether e is a bit-vector or boolean constant.
+func (e *Expr) IsConst() bool { return e.kind == KConst || e.kind == KBoolConst }
+
+// ConstVal returns the value of a constant node (0/1 for booleans).
+// It panics on non-constants.
+func (e *Expr) ConstVal() uint64 {
+	if !e.IsConst() {
+		panic("expr: ConstVal on non-constant " + e.String())
+	}
+	return e.val
+}
+
+// VarName returns the name of a variable node; it panics on non-variables.
+func (e *Expr) VarName() string {
+	if e.kind != KVar && e.kind != KBoolVar {
+		panic("expr: VarName on non-variable")
+	}
+	return e.name
+}
+
+// ExtractBounds returns the hi and lo bit positions of a KExtract node.
+func (e *Expr) ExtractBounds() (hi, lo uint) {
+	if e.kind != KExtract {
+		panic("expr: ExtractBounds on non-extract")
+	}
+	return uint(e.val >> 8), uint(e.val & 0xff)
+}
+
+// String renders the expression in SMT-LIB-flavoured prefix notation.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	e.write(&sb, 0)
+	return sb.String()
+}
+
+const maxPrintDepth = 24
+
+func (e *Expr) write(sb *strings.Builder, depth int) {
+	if depth > maxPrintDepth {
+		sb.WriteString("...")
+		return
+	}
+	switch e.kind {
+	case KConst:
+		fmt.Fprintf(sb, "#x%0*x", (int(e.width)+3)/4, e.val)
+	case KBoolConst:
+		if e.val != 0 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case KVar, KBoolVar:
+		sb.WriteString(e.name)
+	case KExtract:
+		hi, lo := e.ExtractBounds()
+		fmt.Fprintf(sb, "((_ extract %d %d) ", hi, lo)
+		e.args[0].write(sb, depth+1)
+		sb.WriteByte(')')
+	case KZExt, KSExt:
+		fmt.Fprintf(sb, "((_ %s %d) ", e.kind, uint(e.width)-e.args[0].Width())
+		e.args[0].write(sb, depth+1)
+		sb.WriteByte(')')
+	default:
+		sb.WriteByte('(')
+		sb.WriteString(e.kind.String())
+		for i := 0; i < int(e.nargs); i++ {
+			sb.WriteByte(' ')
+			e.args[i].write(sb, depth+1)
+		}
+		sb.WriteByte(')')
+	}
+}

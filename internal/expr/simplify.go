@@ -1,0 +1,274 @@
+package expr
+
+import "repro/internal/bv"
+
+// simplifyBinary applies algebraic identities to a binary bit-vector
+// operation. It returns nil when no rule fires, in which case the caller
+// interns the node as-is. Exactly one operand may be constant here (the
+// both-constant case was folded by the caller).
+func (b *Builder) simplifyBinary(kind Kind, x, y *Expr) *Expr {
+	w := x.Width()
+	xc := x.kind == KConst
+	yc := y.kind == KConst
+
+	switch kind {
+	case KAdd:
+		if yc && y.val == 0 {
+			return x
+		}
+		if xc && x.val == 0 {
+			return y
+		}
+		// (x + c1) + c2 = x + (c1+c2): re-associate constants rightward.
+		if yc && x.kind == KAdd && x.args[1].kind == KConst {
+			return b.Add(x.args[0], b.Const(w, bv.Add(x.args[1].val, y.val, w)))
+		}
+		// Keep constants on the right for canonical form.
+		if xc {
+			return b.Add(y, x)
+		}
+	case KSub:
+		if yc && y.val == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(w, 0)
+		}
+		// x - c = x + (-c): canonicalize to addition.
+		if yc {
+			return b.Add(x, b.Const(w, bv.Neg(y.val, w)))
+		}
+	case KMul:
+		if yc {
+			switch y.val {
+			case 0:
+				return b.Const(w, 0)
+			case 1:
+				return x
+			}
+			// Multiplication by a power of two becomes a shift, which
+			// bit-blasts far more compactly.
+			if y.val&(y.val-1) == 0 {
+				sh := uint64(0)
+				for v := y.val; v > 1; v >>= 1 {
+					sh++
+				}
+				return b.Shl(x, b.Const(w, sh))
+			}
+		}
+		if xc {
+			return b.Mul(y, x)
+		}
+	case KUDiv:
+		if yc && y.val == 1 {
+			return x
+		}
+		if yc && y.val != 0 && y.val&(y.val-1) == 0 {
+			sh := uint64(0)
+			for v := y.val; v > 1; v >>= 1 {
+				sh++
+			}
+			return b.LShr(x, b.Const(w, sh))
+		}
+	case KURem:
+		if yc && y.val == 1 {
+			return b.Const(w, 0)
+		}
+		if yc && y.val != 0 && y.val&(y.val-1) == 0 {
+			return b.And(x, b.Const(w, y.val-1))
+		}
+	case KAnd:
+		if yc && y.val == 0 || xc && x.val == 0 {
+			return b.Const(w, 0)
+		}
+		if yc && y.val == bv.Mask(w) {
+			return x
+		}
+		if xc && x.val == bv.Mask(w) {
+			return y
+		}
+		if x == y {
+			return x
+		}
+		if xc {
+			return b.And(y, x)
+		}
+	case KOr:
+		if yc && y.val == 0 {
+			return x
+		}
+		if xc && x.val == 0 {
+			return y
+		}
+		if yc && y.val == bv.Mask(w) || xc && x.val == bv.Mask(w) {
+			return b.Const(w, bv.Mask(w))
+		}
+		if x == y {
+			return x
+		}
+		if xc {
+			return b.Or(y, x)
+		}
+	case KXor:
+		if yc && y.val == 0 {
+			return x
+		}
+		if xc && x.val == 0 {
+			return y
+		}
+		if x == y {
+			return b.Const(w, 0)
+		}
+		if yc && y.val == bv.Mask(w) {
+			return b.Not(x)
+		}
+		if xc && x.val == bv.Mask(w) {
+			return b.Not(y)
+		}
+		if xc {
+			return b.Xor(y, x)
+		}
+	case KShl, KLShr, KAShr:
+		if yc && y.val == 0 {
+			return x
+		}
+		if xc && x.val == 0 && kind != KAShr {
+			return b.Const(w, 0)
+		}
+		// Over-shifting yields 0 for shl/lshr; leave ashr to folding.
+		if yc && y.val >= uint64(w) && kind != KAShr {
+			return b.Const(w, 0)
+		}
+		// (x shl c1) shl c2 = x shl (c1+c2) when no overflow in the count.
+		if yc && x.kind == kind && x.args[1].kind == KConst {
+			total := x.args[1].val + y.val
+			if total >= uint64(w) && kind != KAShr {
+				return b.Const(w, 0)
+			}
+			if total < uint64(w) {
+				cnt := b.Const(w, total)
+				switch kind {
+				case KShl:
+					return b.Shl(x.args[0], cnt)
+				case KLShr:
+					return b.LShr(x.args[0], cnt)
+				default:
+					return b.AShr(x.args[0], cnt)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// simplifyEq applies equality-specific rules; nil when none fire.
+func (b *Builder) simplifyEq(x, y *Expr) *Expr {
+	// Orient the constant to y.
+	if x.kind == KConst {
+		x, y = y, x
+	}
+	if y.kind != KConst {
+		// ite(c,a,b) = ite(c,a',b') with shared arms collapses to c-cases.
+		if x.kind == KITE && y.kind == KITE && x.args[0] == y.args[0] {
+			return b.BoolITE(x.args[0], b.Eq(x.args[1], y.args[1]), b.Eq(x.args[2], y.args[2]))
+		}
+		return nil
+	}
+	switch x.kind {
+	case KITE:
+		// ite(c, t, f) == k: decide arms that are constants.
+		t, f := x.args[1], x.args[2]
+		if t.kind == KConst && f.kind == KConst {
+			tEq := t.val == y.val
+			fEq := f.val == y.val
+			switch {
+			case tEq && fEq:
+				return b.truE
+			case tEq:
+				return x.args[0]
+			case fEq:
+				return b.BoolNot(x.args[0])
+			default:
+				return b.falsE
+			}
+		}
+	case KZExt:
+		inner := x.args[0]
+		iw := inner.Width()
+		if y.val>>iw != 0 {
+			return b.falsE // high zero bits cannot equal a larger constant
+		}
+		return b.Eq(inner, b.Const(iw, y.val))
+	case KSExt:
+		inner := x.args[0]
+		iw := inner.Width()
+		// The constant must be a valid sign-extension of some iw-bit value.
+		if bv.Trunc(bv.SExt(y.val, iw), x.Width()) != y.val {
+			return b.falsE
+		}
+		return b.Eq(inner, b.Const(iw, bv.Trunc(y.val, iw)))
+	case KAdd:
+		// x + c1 == c2  =>  x == c2-c1.
+		if x.args[1].kind == KConst {
+			return b.Eq(x.args[0], b.Const(x.Width(), bv.Sub(y.val, x.args[1].val, x.Width())))
+		}
+	case KNot:
+		return b.Eq(x.args[0], b.Const(x.Width(), bv.Not(y.val, x.Width())))
+	case KNeg:
+		return b.Eq(x.args[0], b.Const(x.Width(), bv.Neg(y.val, x.Width())))
+	case KConcat:
+		hi, lo := x.args[0], x.args[1]
+		return b.BoolAnd(
+			b.Eq(hi, b.Const(hi.Width(), y.val>>lo.Width())),
+			b.Eq(lo, b.Const(lo.Width(), bv.Trunc(y.val, lo.Width()))),
+		)
+	}
+	return nil
+}
+
+// simplifyCompare applies ordering-specific rules; nil when none fire.
+func (b *Builder) simplifyCompare(kind Kind, x, y *Expr) *Expr {
+	w := x.Width()
+	switch kind {
+	case KULt:
+		if y.kind == KConst && y.val == 0 {
+			return b.falsE // nothing is unsigned-below zero
+		}
+		if x.kind == KConst && x.val == bv.Mask(w) {
+			return b.falsE // all-ones is unsigned-maximal
+		}
+		if x.kind == KConst && x.val == 0 {
+			return b.NonZero(y) // 0 < y iff y != 0
+		}
+		if y.kind == KConst && y.val == 1 {
+			return b.Eq(x, b.Const(w, 0))
+		}
+	case KULe:
+		if x.kind == KConst && x.val == 0 {
+			return b.truE
+		}
+		if y.kind == KConst && y.val == bv.Mask(w) {
+			return b.truE
+		}
+		if y.kind == KConst && y.val == 0 {
+			return b.Eq(x, b.Const(w, 0))
+		}
+	case KSLt:
+		minS := uint64(1) << (w - 1)
+		if y.kind == KConst && y.val == minS {
+			return b.falsE // nothing is below INT_MIN
+		}
+		if x.kind == KConst && x.val == bv.Mask(w)>>1 {
+			return b.falsE // INT_MAX is signed-maximal
+		}
+	case KSLe:
+		minS := uint64(1) << (w - 1)
+		if x.kind == KConst && x.val == minS {
+			return b.truE
+		}
+		if y.kind == KConst && y.val == bv.Mask(w)>>1 {
+			return b.truE
+		}
+	}
+	return nil
+}

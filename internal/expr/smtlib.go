@@ -1,0 +1,163 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteSMTLIB2 renders the conjunction of the given boolean assertions as
+// a complete SMT-LIB 2 script in the QF_BV logic, with variable
+// declarations, shared subterms bound by let-free named definitions
+// (define-fun per DAG node with more than one parent), and a final
+// (check-sat). The output is accepted by stock solvers (Z3, CVC5,
+// Boolector), which makes the engine's path conditions externally
+// auditable.
+func WriteSMTLIB2(w io.Writer, assertions []*Expr) error {
+	pr := &smtPrinter{
+		w:       w,
+		parents: map[*Expr]int{},
+		names:   map[*Expr]string{},
+	}
+	return pr.write(assertions)
+}
+
+// SMTLIB2String is WriteSMTLIB2 into a string.
+func SMTLIB2String(assertions []*Expr) string {
+	var sb strings.Builder
+	if err := WriteSMTLIB2(&sb, assertions); err != nil {
+		return "; error: " + err.Error()
+	}
+	return sb.String()
+}
+
+type smtPrinter struct {
+	w       io.Writer
+	parents map[*Expr]int
+	names   map[*Expr]string
+	defs    int
+	err     error
+}
+
+func (p *smtPrinter) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *smtPrinter) write(assertions []*Expr) error {
+	// Count parents to find shared nodes worth naming.
+	Walk(assertions, func(e *Expr) {
+		for i := 0; i < e.NumArgs(); i++ {
+			p.parents[e.Arg(i)]++
+		}
+	})
+
+	p.printf("(set-logic QF_BV)\n")
+
+	// Declare variables, sorted for deterministic output.
+	var vars []*Expr
+	Walk(assertions, func(e *Expr) {
+		if e.Kind() == KVar || e.Kind() == KBoolVar {
+			vars = append(vars, e)
+		}
+	})
+	sort.Slice(vars, func(i, j int) bool { return vars[i].VarName() < vars[j].VarName() })
+	for _, v := range vars {
+		if v.IsBool() {
+			p.printf("(declare-const %s Bool)\n", v.VarName())
+		} else {
+			p.printf("(declare-const %s (_ BitVec %d))\n", v.VarName(), v.Width())
+		}
+	}
+
+	// Define shared interior nodes bottom-up.
+	Walk(assertions, func(e *Expr) {
+		if e.NumArgs() == 0 || p.parents[e] < 2 {
+			return
+		}
+		name := fmt.Sprintf("t%d", p.defs)
+		p.defs++
+		sortStr := "Bool"
+		if !e.IsBool() {
+			sortStr = fmt.Sprintf("(_ BitVec %d)", e.Width())
+		}
+		p.printf("(define-fun %s () %s ", name, sortStr)
+		p.node(e, true)
+		p.printf(")\n")
+		p.names[e] = name
+	})
+
+	for _, a := range assertions {
+		p.printf("(assert ")
+		p.node(a, false)
+		p.printf(")\n")
+	}
+	p.printf("(check-sat)\n")
+	return p.err
+}
+
+// node prints one expression, using the defined name unless expandSelf
+// asks for the definition body.
+func (p *smtPrinter) node(e *Expr, expandSelf bool) {
+	if !expandSelf {
+		if n, ok := p.names[e]; ok {
+			p.printf("%s", n)
+			return
+		}
+	}
+	switch e.Kind() {
+	case KConst:
+		p.printf("(_ bv%d %d)", e.ConstVal(), e.Width())
+	case KBoolConst:
+		if e.ConstVal() != 0 {
+			p.printf("true")
+		} else {
+			p.printf("false")
+		}
+	case KVar, KBoolVar:
+		p.printf("%s", e.VarName())
+	case KExtract:
+		hi, lo := e.ExtractBounds()
+		p.printf("((_ extract %d %d) ", hi, lo)
+		p.node(e.Arg(0), false)
+		p.printf(")")
+	case KZExt, KSExt:
+		op := "zero_extend"
+		if e.Kind() == KSExt {
+			op = "sign_extend"
+		}
+		p.printf("((_ %s %d) ", op, e.Width()-e.Arg(0).Width())
+		p.node(e.Arg(0), false)
+		p.printf(")")
+	case KBoolNot:
+		p.printf("(not ")
+		p.node(e.Arg(0), false)
+		p.printf(")")
+	default:
+		p.printf("(%s", smtOpName(e.Kind()))
+		for i := 0; i < e.NumArgs(); i++ {
+			p.printf(" ")
+			p.node(e.Arg(i), false)
+		}
+		p.printf(")")
+	}
+}
+
+func smtOpName(k Kind) string {
+	switch k {
+	case KITE, KBoolITE:
+		return "ite"
+	case KBoolAnd:
+		return "and"
+	case KBoolOr:
+		return "or"
+	case KBoolXor:
+		return "xor"
+	case KEq:
+		return "="
+	default:
+		return k.String()
+	}
+}

@@ -1,0 +1,90 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTLIB2Basic(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(8, "x")
+	y := b.Var(8, "y")
+	p := b.ULt(b.Add(x, y), b.Const(8, 10))
+	out := SMTLIB2String([]*Expr{p})
+	for _, want := range []string{
+		"(set-logic QF_BV)",
+		"(declare-const x (_ BitVec 8))",
+		"(declare-const y (_ BitVec 8))",
+		"(assert (bvult (bvadd x y) (_ bv10 8)))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSMTLIB2SharedSubterms(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(32, "x")
+	sq := b.Mul(x, x)
+	// sq is used twice: it must become a define-fun, referenced by name.
+	p := b.BoolAnd(
+		b.ULt(sq, b.Const(32, 100)),
+		b.NonZero(sq),
+	)
+	out := SMTLIB2String([]*Expr{p})
+	if !strings.Contains(out, "(define-fun t0 () (_ BitVec 32) (bvmul x x))") {
+		t.Errorf("shared subterm not defined:\n%s", out)
+	}
+	if strings.Count(out, "(bvmul x x)") != 1 {
+		t.Errorf("shared subterm expanded more than once:\n%s", out)
+	}
+}
+
+func TestSMTLIB2AllOperators(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(16, "x")
+	y := b.Var(16, "y")
+	c := b.BoolVar("c")
+	exprs := []*Expr{
+		b.Eq(b.Sub(x, y), b.Const(16, 1)),
+		b.SLe(b.SDiv(x, y), b.SRem(x, y)),
+		b.ULe(b.UDiv(x, y), b.URem(x, y)),
+		b.Eq(b.ITE(c, b.Not(x), b.Neg(y)), b.Xor(x, y)),
+		b.Eq(b.Concat(b.Extract(x, 7, 0), b.Extract(y, 15, 8)), b.Or(x, b.And(x, y))),
+		b.Eq(b.SExt(b.Extract(x, 3, 0), 16), b.ZExt(b.Extract(y, 3, 0), 16)),
+		b.SLt(b.Shl(x, y), b.AShr(x, b.LShr(y, x))),
+	}
+	out := SMTLIB2String(exprs)
+	for _, op := range []string{
+		"bvsub", "bvsdiv", "bvsrem", "bvudiv", "bvurem", "ite", "bvnot",
+		"bvneg", "bvxor", "concat", "extract", "sign_extend", "zero_extend",
+		"bvshl", "bvashr", "bvlshr", "bvslt", "bvsle", "bvule",
+		"declare-const c Bool",
+	} {
+		if !strings.Contains(out, op) {
+			t.Errorf("output missing %q:\n%s", op, out)
+		}
+	}
+	if strings.Count(out, "(assert ") != len(exprs) {
+		t.Errorf("expected %d assertions:\n%s", len(exprs), out)
+	}
+}
+
+func TestSMTLIB2Deterministic(t *testing.T) {
+	mk := func() string {
+		b := NewBuilder()
+		z := b.Var(8, "zz")
+		a := b.Var(8, "aa")
+		return SMTLIB2String([]*Expr{b.ULt(a, z)})
+	}
+	if mk() != mk() {
+		t.Error("output not deterministic")
+	}
+	// Declarations sorted by name regardless of creation order.
+	out := mk()
+	if strings.Index(out, "declare-const aa") > strings.Index(out, "declare-const zz") {
+		t.Errorf("declarations not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSubstituteBasic(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(8, "x")
+	y := b.Var(8, "y")
+	e := b.Add(b.Mul(x, x), y)
+	// x -> y+1.
+	out := Substitute(b, e, map[string]*Expr{"x": b.Add(y, b.Const(8, 1))})
+	// Check by evaluation: for y=v, result = (v+1)^2 + v.
+	for _, v := range []uint64{0, 3, 200} {
+		want := ((v+1)*(v+1) + v) & 0xff
+		if got := Eval(out, Env{"y": v}); got != want {
+			t.Errorf("y=%d: got %d, want %d", v, got, want)
+		}
+	}
+	// The original is untouched.
+	if Eval(e, Env{"x": 2, "y": 5}) != 9 {
+		t.Error("original expression modified")
+	}
+}
+
+func TestSubstituteIdentityIsSharing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(16, "x")
+	e := b.Xor(b.Add(x, x), b.Const(16, 9))
+	if Substitute(b, e, map[string]*Expr{"z": b.Const(16, 0)}) != e {
+		t.Error("substitution that changes nothing should return the same node")
+	}
+}
+
+func TestSubstituteConstantsFold(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(8, "x")
+	e := b.Add(x, b.Const(8, 10))
+	out := Substitute(b, e, map[string]*Expr{"x": b.Const(8, 5)})
+	if !out.IsConst() || out.ConstVal() != 15 {
+		t.Errorf("substituting a constant did not fold: %v", out)
+	}
+}
+
+func TestSubstituteBooleans(t *testing.T) {
+	b := NewBuilder()
+	p := b.BoolVar("p")
+	x := b.Var(8, "x")
+	e := b.ITE(p, x, b.Const(8, 0))
+	out := Substitute(b, e, map[string]*Expr{"p": b.True()})
+	if out != x {
+		t.Errorf("ite(true,x,0) should collapse to x: %v", out)
+	}
+}
+
+func TestSubstituteSortMismatchPanics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(8, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("width-changing substitution did not panic")
+		}
+	}()
+	Substitute(b, b.Not(x), map[string]*Expr{"x": b.Var(16, "wide")})
+}
+
+// TestSubstituteEquivalentToEval: substituting constants for all
+// variables must equal direct evaluation, for random expressions.
+func TestSubstituteEquivalentToEval(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		b := NewBuilder()
+		plain := NewBuilder()
+		plain.Simplify = false
+		e, _ := randomExpr(r, b, plain, []string{"a", "b"}, 16, 4)
+		env := Env{"a": r.Uint64(), "b": r.Uint64()}
+		out := Substitute(b, e, map[string]*Expr{
+			"a": b.Const(16, env["a"]),
+			"b": b.Const(16, env["b"]),
+		})
+		if !out.IsConst() {
+			t.Fatalf("full substitution did not fold: %v", out)
+		}
+		if out.ConstVal() != Eval(e, env) {
+			t.Fatalf("substitute %#x != eval %#x for %v under %v",
+				out.ConstVal(), Eval(e, env), e, env)
+		}
+	}
+}

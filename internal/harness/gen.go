@@ -1,0 +1,575 @@
+// Package harness generates the evaluation workloads and drives the
+// experiments (tables and figures) of the reproduction. Each workload is
+// a machine-independent template instantiated as assembly for every
+// supported architecture, so that cross-ISA comparisons run the same
+// source-level program.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Arches lists the architectures every cross-ISA experiment covers.
+var Arches = []string{"tiny32", "rv32i", "m16"}
+
+// AllArches additionally includes tiny64 (used by the retargeting-effort
+// table; the cross-ISA workloads stick to the three contrasting ISAs).
+var AllArches = []string{"tiny32", "tiny64", "rv32i", "m16"}
+
+// BranchLadder returns a program that reads k input bytes and takes one
+// two-way branch per byte (2^k paths), then exits. Used by the
+// path-growth and solver-share experiments.
+func BranchLadder(archName string, k int) string {
+	var sb strings.Builder
+	switch archName {
+	case "tiny32":
+		sb.WriteString("_start:\n\tli r3, 0\n")
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&sb, "\ttrap 1\n\tli r2, %d\n\tbltu r1, r2, skip%d\n\taddi r3, r3, 1\nskip%d:\n", 64+i, i, i)
+		}
+		sb.WriteString("\tmov r1, r3\n\ttrap 2\n\ttrap 0\n")
+	case "rv32i":
+		sb.WriteString("_start:\n\taddi s3, zero, 0\n")
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&sb, "\taddi a7, zero, 1\n\tecall\n\taddi t1, zero, %d\n\tbltu a0, t1, skip%d\n\taddi s3, s3, 1\nskip%d:\n", 64+i, i, i)
+		}
+		sb.WriteString("\taddi a0, s3, 0\n\taddi a7, zero, 2\n\tecall\n\taddi a7, zero, 0\n\tecall\n")
+	case "m16":
+		sb.WriteString("_start:\n\tldi g3, 0\n")
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&sb, "\ttrap 1\n\tcmpi g1, %d\n\tbcs skip%d\n\taddi g3, 1\nskip%d:\n", 64+i, i, i)
+		}
+		sb.WriteString("\tmov g1, g3\n\ttrap 2\n\ttrap 0\n")
+	default:
+		panic("harness: unknown architecture " + archName)
+	}
+	return sb.String()
+}
+
+// Needle returns a needle-in-haystack program: a bug (division by zero)
+// hides behind a depth-long chain of byte comparisons, and every
+// non-matching prefix falls into a "decoy" section that keeps branching
+// on the remaining input bytes (the haystack). Strategies that burrow
+// into the decoys (DFS) pay for it; time-to-first-bug separates them.
+func Needle(archName string, key []byte) string {
+	var sb strings.Builder
+	n := len(key)
+	switch archName {
+	case "tiny32":
+		sb.WriteString("_start:\n")
+		for i, b := range key {
+			fmt.Fprintf(&sb, "\ttrap 1\n\tli r2, %d\n\tbne r1, r2, decoy%d\n", b, i)
+		}
+		sb.WriteString("\tli r2, 7\n\tli r3, 0\n\tdivu r4, r2, r3\n") // the needle
+		sb.WriteString("\ttrap 0\n")
+		// Decoy i: consume the remaining key bytes, branching on each.
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "decoy%d:\n", i)
+			for j := i + 1; j < n; j++ {
+				fmt.Fprintf(&sb, "\ttrap 1\n\tli r2, 128\n\tbltu r1, r2, dskip%d_%d\n\taddi r5, r5, 1\ndskip%d_%d:\n", i, j, i, j)
+			}
+			sb.WriteString("\ttrap 0\n")
+		}
+	case "rv32i":
+		sb.WriteString("_start:\n")
+		for i, b := range key {
+			fmt.Fprintf(&sb, "\taddi a7, zero, 1\n\tecall\n\taddi t1, zero, %d\n\tbne a0, t1, decoy%d\n", b, i)
+		}
+		// rv32i division does not fault; plant an out-of-bounds store.
+		sb.WriteString("\tlui t2, 0xdead0\n\tsw t2, 0(t2)\n")
+		sb.WriteString("\taddi a7, zero, 0\n\tecall\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "decoy%d:\n", i)
+			for j := i + 1; j < n; j++ {
+				fmt.Fprintf(&sb, "\taddi a7, zero, 1\n\tecall\n\taddi t1, zero, 128\n\tbltu a0, t1, dskip%d_%d\n\taddi s5, s5, 1\ndskip%d_%d:\n", i, j, i, j)
+			}
+			sb.WriteString("\taddi a7, zero, 0\n\tecall\n")
+		}
+	case "m16":
+		sb.WriteString("_start:\n")
+		for i, b := range key {
+			fmt.Fprintf(&sb, "\ttrap 1\n\tcmpi g1, %d\n\tbne decoy%d\n", b, i)
+		}
+		sb.WriteString("\tldi g2, 7\n\tldi g3, 0\n\tdiv g2, g3\n")
+		sb.WriteString("\ttrap 0\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "decoy%d:\n", i)
+			for j := i + 1; j < n; j++ {
+				fmt.Fprintf(&sb, "\ttrap 1\n\tcmpi g1, 128\n\tbcs dskip%d_%d\n\taddi g5, 1\ndskip%d_%d:\n", i, j, i, j)
+			}
+			sb.WriteString("\ttrap 0\n")
+		}
+	default:
+		panic("harness: unknown architecture " + archName)
+	}
+	return sb.String()
+}
+
+// Vuln is one test case of the planted-vulnerability suite.
+type Vuln struct {
+	Name   string
+	Kind   string // checker expected to fire ("" for fixed variants)
+	Buggy  bool
+	Inputs int // symbolic input bytes the case needs (0 = default)
+	Src    string
+}
+
+// VulnSuite returns the detection workload for one architecture: for
+// each vulnerability class a buggy variant (the checker must fire) and a
+// fixed variant (it must stay silent).
+func VulnSuite(archName string) []Vuln {
+	switch archName {
+	case "tiny32":
+		return vulnsTiny32()
+	case "rv32i":
+		return vulnsRV32I()
+	case "m16":
+		return vulnsM16()
+	}
+	panic("harness: unknown architecture " + archName)
+}
+
+func vulnsTiny32() []Vuln {
+	return []Vuln{
+		{
+			Name: "div0", Kind: "div-by-zero", Buggy: true,
+			Src: `
+_start:
+	trap 1
+	li   r2, 1000
+	divu r3, r2, r1
+	trap 0
+`,
+		},
+		{
+			Name: "div0-fixed",
+			Src: `
+_start:
+	trap 1
+	li   r2, 0
+	beq  r1, r2, out
+	li   r2, 1000
+	divu r3, r2, r1
+out:
+	trap 0
+`,
+		},
+		{
+			Name: "oob-read", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	trap 1
+	li  r2, table
+	add r2, r2, r1
+	lbu r3, 0(r2)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-read-fixed",
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	trap 1
+	andi r1, r1, 3
+	li  r2, table
+	add r2, r2, r1
+	lbu r3, 0(r2)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-write", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+buf:	.space 8
+_start:
+	trap 1
+	li  r2, buf
+	add r2, r2, r1
+	slli r1, r1, 8
+	add r2, r2, r1
+	sb  r1, 0(r2)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-write-fixed",
+			Src: `
+buf:	.space 8
+_start:
+	trap 1
+	andi r1, r1, 7
+	li  r2, buf
+	add r2, r2, r1
+	sb  r1, 0(r2)
+	trap 0
+`,
+		},
+		{
+			Name: "wild-jump", Kind: "tainted-jump", Buggy: true,
+			Src: `
+_start:
+	trap 1
+	slli r1, r1, 4
+	jr   r1
+`,
+		},
+		{
+			Name: "wild-jump-fixed",
+			Src: `
+_start:
+	trap 1
+	andi r1, r1, 1
+	li   r2, a
+	li   r3, b
+	beq  r1, r0, pick
+	mov  r2, r3
+pick:
+	jr   r2
+a:	trap 0
+b:	trap 0
+`,
+		},
+		{
+			Name: "assert-reach", Kind: "", Buggy: true, // surfaces as a fault path
+			Src: `
+_start:
+	trap 1
+	li  r2, 42
+	bne r1, r2, ok
+	li  r3, 1
+	li  r4, 0
+	divu r5, r3, r4
+ok:
+	trap 0
+`,
+		},
+		{
+			Name: "stack-smash", Kind: "tainted-jump", Buggy: true, Inputs: 12,
+			Src: `
+// A "read n bytes into an 8-byte stack buffer" routine with no bound:
+// input controls the saved return address.
+_start:
+	addi sp, sp, -12
+	sw   lr, 8(sp)     // save return address above the buffer
+	jal  readbuf
+	lw   lr, 8(sp)
+	addi sp, sp, 12
+	jr   lr            // smashed: target is attacker data
+readbuf:
+	li   r2, 0
+rb1:
+	trap 1             // length is unchecked against the 8-byte buffer
+	li   r3, 12
+	bgeu r2, r3, rbdone
+	add  r4, sp, r2
+	sb   r1, 0(r4)
+	addi r2, r2, 1
+	jmp  rb1
+rbdone:
+	jr   lr
+`,
+		},
+	}
+}
+
+func vulnsRV32I() []Vuln {
+	return []Vuln{
+		{
+			Name: "div0", Kind: "div-by-zero", Buggy: true,
+			Src: `
+_start:
+	addi a7, zero, 1
+	ecall
+	addi t0, zero, 1000
+	divu t1, t0, a0
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "div0-fixed",
+			Src: `
+_start:
+	addi a7, zero, 1
+	ecall
+	beq  a0, zero, out
+	addi t0, zero, 1000
+	divu t1, t0, a0
+out:
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "oob-read", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	addi a7, zero, 1
+	ecall
+	lui  t0, hi20(table)
+	addi t0, t0, lo12(table)
+	add  t0, t0, a0
+	lbu  t1, 0(t0)
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "oob-read-fixed",
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	addi a7, zero, 1
+	ecall
+	andi a0, a0, 3
+	lui  t0, hi20(table)
+	addi t0, t0, lo12(table)
+	add  t0, t0, a0
+	lbu  t1, 0(t0)
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "oob-write", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+buf:	.space 8
+_start:
+	addi a7, zero, 1
+	ecall
+	slli t2, a0, 8
+	lui  t0, hi20(buf)
+	addi t0, t0, lo12(buf)
+	add  t0, t0, t2
+	sb   a0, 0(t0)
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "oob-write-fixed",
+			Src: `
+buf:	.space 8
+_start:
+	addi a7, zero, 1
+	ecall
+	andi a0, a0, 7
+	lui  t0, hi20(buf)
+	addi t0, t0, lo12(buf)
+	add  t0, t0, a0
+	sb   a0, 0(t0)
+	addi a7, zero, 0
+	ecall
+`,
+		},
+		{
+			Name: "wild-jump", Kind: "tainted-jump", Buggy: true,
+			Src: `
+_start:
+	addi a7, zero, 1
+	ecall
+	slli a0, a0, 4
+	jalr zero, 0(a0)
+`,
+		},
+		{
+			Name: "wild-jump-fixed",
+			Src: `
+_start:
+	addi a7, zero, 1
+	ecall
+	andi a0, a0, 1
+	lui  t0, hi20(a)
+	addi t0, t0, lo12(a)
+	lui  t1, hi20(b)
+	addi t1, t1, lo12(b)
+	beq  a0, zero, pick
+	addi t0, t1, 0
+pick:
+	jalr zero, 0(t0)
+a:	addi a7, zero, 0
+	ecall
+b:	addi a7, zero, 0
+	ecall
+`,
+		},
+	}
+}
+
+func vulnsM16() []Vuln {
+	return []Vuln{
+		{
+			Name: "div0", Kind: "div-by-zero", Buggy: true,
+			Src: `
+_start:
+	trap 1
+	ldi g2, 1000
+	div g2, g1
+	trap 0
+`,
+		},
+		{
+			Name: "div0-fixed",
+			Src: `
+_start:
+	trap 1
+	cmpi g1, 0
+	beq out
+	ldi g2, 1000
+	div g2, g1
+out:
+	trap 0
+`,
+		},
+		{
+			Name: "oob-read", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	trap 1
+	ldbx g2, table(g1)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-read-fixed",
+			Src: `
+table:	.byte 10, 20, 30, 40
+_start:
+	trap 1
+	ldi g2, 3
+	and g1, g2
+	ldbx g2, table(g1)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-write", Kind: "out-of-bounds", Buggy: true,
+			Src: `
+buf:	.space 8
+_start:
+	trap 1
+	mov g2, g1
+	shl g2, g1
+	stbx g1, buf(g2)
+	trap 0
+`,
+		},
+		{
+			Name: "oob-write-fixed",
+			Src: `
+buf:	.space 8
+_start:
+	trap 1
+	ldi g2, 7
+	and g1, g2
+	stbx g1, buf(g1)
+	trap 0
+`,
+		},
+		{
+			Name: "wild-jump", Kind: "tainted-jump", Buggy: true,
+			Src: `
+_start:
+	trap 1
+	jmpr g1
+`,
+		},
+		{
+			Name: "wild-jump-fixed",
+			Src: `
+_start:
+	trap 1
+	ldi g2, 1
+	and g1, g2
+	ldi g2, a
+	cmpi g1, 0
+	beq pick
+	ldi g2, b
+pick:
+	jmpr g2
+a:	trap 0
+b:	trap 0
+`,
+		},
+	}
+}
+
+// Throughput returns concrete-heavy workloads (no input) for the
+// generated-vs-baseline throughput comparison on tiny32: an insertion
+// sort over an n-word array and a checksum loop.
+func Throughput(name string, n int) string {
+	switch name {
+	case "sort":
+		var sb strings.Builder
+		sb.WriteString("arr:")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "\t.word %d\n", (n-i)*7%97)
+		}
+		fmt.Fprintf(&sb, `
+_start:
+	li r10, arr
+	li r11, %d        // n
+	li r1, 1          // i
+outer:
+	bgeu r1, r11, done
+	slli r2, r1, 2
+	add  r2, r2, r10
+	lw   r3, 0(r2)    // key
+	mov  r4, r1       // j
+inner:
+	beq  r4, r0, place
+	addi r5, r4, -1
+	slli r6, r5, 2
+	add  r6, r6, r10
+	lw   r7, 0(r6)
+	bgeu r3, r7, place
+	slli r8, r4, 2
+	add  r8, r8, r10
+	sw   r7, 0(r8)
+	mov  r4, r5
+	jmp  inner
+place:
+	slli r8, r4, 2
+	add  r8, r8, r10
+	sw   r3, 0(r8)
+	addi r1, r1, 1
+	jmp  outer
+done:
+	halt
+`, n)
+		return sb.String()
+	case "checksum":
+		var sb strings.Builder
+		sb.WriteString("data:")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "\t.word %d\n", i*2654435761%1000003)
+		}
+		fmt.Fprintf(&sb, `
+_start:
+	li r10, data
+	li r11, %d
+	li r1, 0          // sum
+	li r2, 0          // i
+loop:
+	bgeu r2, r11, done
+	slli r3, r2, 2
+	add  r3, r3, r10
+	lw   r4, 0(r3)
+	xor  r1, r1, r4
+	slli r5, r1, 1
+	srli r6, r1, 31
+	or   r1, r5, r6   // rotate left 1
+	addi r2, r2, 1
+	jmp  loop
+done:
+	halt
+`, n)
+		return sb.String()
+	}
+	panic("harness: unknown throughput workload " + name)
+}

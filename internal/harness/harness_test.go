@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBranchLadderAssembles(t *testing.T) {
+	for _, name := range Arches {
+		for _, k := range []int{1, 4} {
+			src := BranchLadder(name, k)
+			_, p := mustBuild(name, src) // panics on failure
+			if p.Size() == 0 {
+				t.Errorf("%s ladder %d: empty image", name, k)
+			}
+		}
+	}
+}
+
+func TestNeedleAssembles(t *testing.T) {
+	for _, name := range Arches {
+		_, p := mustBuild(name, Needle(name, []byte{1, 2, 3}))
+		if p.Size() == 0 {
+			t.Errorf("%s needle: empty image", name)
+		}
+	}
+}
+
+func TestVulnSuiteAssembles(t *testing.T) {
+	for _, name := range Arches {
+		suite := VulnSuite(name)
+		if len(suite) < 6 {
+			t.Errorf("%s: only %d vulnerability cases", name, len(suite))
+		}
+		for _, v := range suite {
+			mustBuild(name, v.Src)
+		}
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	tbl := RunTable1()
+	if len(tbl.Rows) != len(AllArches) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.ADLLines < 50 || r.Insns < 20 || r.RTLStmts < 20 {
+			t.Errorf("%s: implausible sizes %+v", r.Arch, r)
+		}
+	}
+	// The paper's claim: an ADL description is far smaller than the
+	// hand-written engine it replaces.
+	if tbl.BaselineLoC > 0 {
+		for _, r := range tbl.Rows {
+			if r.ADLLines >= tbl.BaselineLoC {
+				t.Errorf("%s: ADL (%d lines) not smaller than hand-written engine (%d LoC)",
+					r.Arch, r.ADLLines, tbl.BaselineLoC)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	if !strings.Contains(buf.String(), "tiny32") {
+		t.Error("print output lacks tiny32 row")
+	}
+}
+
+func TestTable2AllDetectedNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detection suite in short mode")
+	}
+	tbl := RunTable2()
+	buggy, detected, fixed, falsePos := tbl.Summary()
+	if buggy == 0 || fixed == 0 {
+		t.Fatalf("suite degenerate: %d buggy, %d fixed", buggy, fixed)
+	}
+	if detected != buggy {
+		var buf bytes.Buffer
+		tbl.Print(&buf)
+		t.Fatalf("detected %d of %d planted bugs:\n%s", detected, buggy, buf.String())
+	}
+	if falsePos != 0 {
+		var buf bytes.Buffer
+		tbl.Print(&buf)
+		t.Fatalf("%d false positives on fixed variants:\n%s", falsePos, buf.String())
+	}
+}
+
+func TestFig1ShapeExponentialAndISAIndependent(t *testing.T) {
+	pts := RunFig1(5)
+	byArch := map[string]map[int]int{}
+	for _, p := range pts {
+		if byArch[p.Arch] == nil {
+			byArch[p.Arch] = map[int]int{}
+		}
+		byArch[p.Arch][p.Branches] = p.Paths
+	}
+	for a, m := range byArch {
+		for k, paths := range m {
+			if paths != 1<<uint(k) {
+				t.Errorf("%s: %d branches -> %d paths, want %d", a, k, paths, 1<<uint(k))
+			}
+		}
+	}
+}
+
+func TestFig2SolverShareGrows(t *testing.T) {
+	pts := RunFig2(6)
+	if len(pts) < 3 {
+		t.Fatal("too few points")
+	}
+	if pts[len(pts)-1].Queries <= pts[0].Queries {
+		t.Errorf("query count did not grow: %+v", pts)
+	}
+}
+
+func TestFig3AllStrategiesFindShallowNeedle(t *testing.T) {
+	pts := RunFig3([]int{2})
+	for _, p := range pts {
+		if !p.Found {
+			t.Errorf("strategy %v missed the depth-2 needle", p.Strategy)
+		}
+	}
+}
+
+func TestFig4CNFGrowth(t *testing.T) {
+	pts := RunFig4([]uint{8, 16, 32})
+	sizes := map[string][]int{}
+	for _, p := range pts {
+		sizes[p.Op] = append(sizes[p.Op], p.Clauses)
+	}
+	for op, s := range sizes {
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Errorf("%s: clause count not increasing with width: %v", op, s)
+			}
+		}
+	}
+	// Multiplication must blast super-linearly vs addition.
+	if 4*sizes["add"][2] > sizes["mul"][2] {
+		t.Errorf("mul (%d clauses) not clearly larger than add (%d) at width 32",
+			sizes["mul"][2], sizes["add"][2])
+	}
+}
+
+func TestThroughputWorkloadsTerminate(t *testing.T) {
+	for _, name := range []string{"sort", "checksum"} {
+		a, p := mustBuild("tiny32", Throughput(name, 10))
+		e := core.NewEngine(a, p, core.Options{MaxSteps: 100000})
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Paths) != 1 || r.Paths[0].Status != core.StatusHalt {
+			t.Errorf("%s: paths %+v", name, r.Paths)
+		}
+	}
+}
+
+func TestTable4BothModesCoverAllBehaviours(t *testing.T) {
+	tbl := RunTable4(4)
+	for _, r := range tbl.Rows {
+		if r.FullPaths != 1<<uint(r.Branches) {
+			t.Errorf("k=%d: full paths %d", r.Branches, r.FullPaths)
+		}
+		if r.ConcRuns != r.FullPaths {
+			t.Errorf("k=%d: concolic runs %d != full paths %d", r.Branches, r.ConcRuns, r.FullPaths)
+		}
+		if r.ConcQueries <= r.FullQueries {
+			t.Errorf("k=%d: expected concolic to issue more queries (%d vs %d)",
+				r.Branches, r.ConcQueries, r.FullQueries)
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	if !strings.Contains(buf.String(), "concolic") {
+		t.Error("print output malformed")
+	}
+}
+
+func TestTable5CompiledBinariesISAIndependent(t *testing.T) {
+	tbl := RunTable5()
+	// Per workload: identical path and query counts on every ISA.
+	paths := map[string]map[string]int{}
+	queries := map[string]map[string]int64{}
+	for _, r := range tbl.Rows {
+		if paths[r.Workload] == nil {
+			paths[r.Workload] = map[string]int{}
+			queries[r.Workload] = map[string]int64{}
+		}
+		paths[r.Workload][r.Arch] = r.Paths
+		queries[r.Workload][r.Arch] = r.Queries
+	}
+	for wl, m := range paths {
+		var first int
+		var set bool
+		for a, n := range m {
+			if !set {
+				first, set = n, true
+				continue
+			}
+			if n != first {
+				t.Errorf("%s: %s explores %d paths, others %d", wl, a, n, first)
+			}
+		}
+	}
+	for wl, m := range queries {
+		var first int64
+		var set bool
+		for a, n := range m {
+			if !set {
+				first, set = n, true
+				continue
+			}
+			if n != first {
+				t.Errorf("%s: %s issues %d queries, others %d", wl, a, n, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package minic
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Func returns the named function, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global is a module-level int or int array.
+type Global struct {
+	Name string
+	Size int     // 1 for scalars, >1 for arrays
+	Init []int64 // optional initializer values
+	Line int
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Locals []string // declared local ints, in declaration order
+	Body   []Stmt
+	Void   bool
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is `lhs = value;` where lhs is a variable or array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalars
+	Value Expr
+	Line  int
+}
+
+// IfStmt is `if (cond) { ... } else { ... }`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is `while (cond) { ... }`.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt is `return;` or `return e;`.
+type ReturnStmt struct {
+	Value Expr // nil for void returns
+	Line  int
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Val int64 }
+
+// VarExpr reads a parameter, local or global scalar.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// UnaryExpr is -x or !x or ~x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr is a binary operation; Op is the C operator text.
+type BinExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*VarExpr) exprNode()   {}
+func (*IndexExpr) exprNode() {}
+func (*UnaryExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*CallExpr) exprNode()  {}

@@ -1,0 +1,188 @@
+package minic
+
+import "fmt"
+
+// builtins maps builtin names to their arities; -1 marks "returns no
+// value" entries combined below.
+var builtinArity = map[string]int{"input": 0, "output": 1, "exit": 0}
+
+// builtinVoid marks builtins unusable as values.
+var builtinVoid = map[string]bool{"output": true, "exit": true}
+
+type checkCtx struct {
+	file    string
+	prog    *Program
+	globals map[string]*Global
+	funcs   map[string]*Func
+}
+
+func (c *checkCtx) errf(line int, format string, args ...any) error {
+	return &Error{File: c.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// check resolves names and enforces arity and value/void rules.
+func check(file string, prog *Program) error {
+	c := &checkCtx{file: file, prog: prog,
+		globals: map[string]*Global{}, funcs: map[string]*Func{}}
+	for _, g := range prog.Globals {
+		if c.globals[g.Name] != nil {
+			return c.errf(g.Line, "global %s redeclared", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if c.funcs[f.Name] != nil {
+			return c.errf(f.Line, "function %s redeclared", f.Name)
+		}
+		if builtinArity[f.Name] != 0 || f.Name == "input" {
+			return c.errf(f.Line, "%s is a builtin and cannot be redefined", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		scope := map[string]bool{}
+		for _, p := range f.Params {
+			if scope[p] {
+				return c.errf(f.Line, "%s: parameter %s repeated", f.Name, p)
+			}
+			scope[p] = true
+		}
+		for _, l := range f.Locals {
+			if scope[l] {
+				return c.errf(f.Line, "%s: local %s shadows a parameter or local", f.Name, l)
+			}
+			scope[l] = true
+		}
+		if err := c.stmts(f, scope, f.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checkCtx) stmts(f *Func, scope map[string]bool, ss []Stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(f, scope, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checkCtx) stmt(f *Func, scope map[string]bool, s Stmt) error {
+	switch s := s.(type) {
+	case *AssignStmt:
+		if s.Index != nil {
+			g := c.globals[s.Name]
+			if g == nil || g.Size == 1 {
+				return c.errf(s.Line, "%s is not a global array", s.Name)
+			}
+			if err := c.expr(f, scope, s.Index); err != nil {
+				return err
+			}
+		} else if !scope[s.Name] {
+			g := c.globals[s.Name]
+			if g == nil {
+				return c.errf(s.Line, "unknown variable %s", s.Name)
+			}
+			if g.Size != 1 {
+				return c.errf(s.Line, "array %s needs an index", s.Name)
+			}
+		}
+		return c.expr(f, scope, s.Value)
+	case *IfStmt:
+		if err := c.expr(f, scope, s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmts(f, scope, s.Then); err != nil {
+			return err
+		}
+		return c.stmts(f, scope, s.Else)
+	case *WhileStmt:
+		if err := c.expr(f, scope, s.Cond); err != nil {
+			return err
+		}
+		return c.stmts(f, scope, s.Body)
+	case *ReturnStmt:
+		if f.Void && s.Value != nil {
+			return c.errf(s.Line, "%s is void but returns a value", f.Name)
+		}
+		if !f.Void && s.Value == nil {
+			return c.errf(s.Line, "%s must return a value", f.Name)
+		}
+		if s.Value != nil {
+			return c.expr(f, scope, s.Value)
+		}
+		return nil
+	case *ExprStmt:
+		// Statement position: void calls allowed.
+		if call, ok := s.X.(*CallExpr); ok {
+			return c.call(f, scope, call, true)
+		}
+		return c.expr(f, scope, s.X)
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+func (c *checkCtx) expr(f *Func, scope map[string]bool, e Expr) error {
+	switch e := e.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		if scope[e.Name] {
+			return nil
+		}
+		g := c.globals[e.Name]
+		if g == nil {
+			return c.errf(e.Line, "unknown variable %s", e.Name)
+		}
+		if g.Size != 1 {
+			return c.errf(e.Line, "array %s needs an index", e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		g := c.globals[e.Name]
+		if g == nil || g.Size == 1 {
+			return c.errf(e.Line, "%s is not a global array", e.Name)
+		}
+		return c.expr(f, scope, e.Index)
+	case *UnaryExpr:
+		return c.expr(f, scope, e.X)
+	case *BinExpr:
+		if err := c.expr(f, scope, e.X); err != nil {
+			return err
+		}
+		return c.expr(f, scope, e.Y)
+	case *CallExpr:
+		return c.call(f, scope, e, false)
+	}
+	return fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+func (c *checkCtx) call(f *Func, scope map[string]bool, e *CallExpr, stmtPos bool) error {
+	if arity, ok := builtinArity[e.Name]; ok {
+		if len(e.Args) != arity {
+			return c.errf(e.Line, "%s takes %d argument(s)", e.Name, arity)
+		}
+		if builtinVoid[e.Name] && !stmtPos {
+			return c.errf(e.Line, "%s does not return a value", e.Name)
+		}
+	} else {
+		callee := c.funcs[e.Name]
+		if callee == nil {
+			return c.errf(e.Line, "unknown function %s", e.Name)
+		}
+		if len(e.Args) != len(callee.Params) {
+			return c.errf(e.Line, "%s takes %d argument(s), got %d", e.Name, len(callee.Params), len(e.Args))
+		}
+		if callee.Void && !stmtPos {
+			return c.errf(e.Line, "void function %s used as a value", e.Name)
+		}
+	}
+	for _, a := range e.Args {
+		if err := c.expr(f, scope, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

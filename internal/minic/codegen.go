@@ -1,0 +1,286 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compile translates a MiniC program to assembly for the named target
+// architecture ("tiny32", "rv32i" or "m16"). The program must define
+// main (with no parameters); execution enters at `_start`, which sets up
+// the stack, calls main, and exits through the trap convention.
+func Compile(prog *Program, targetName string) (string, error) {
+	t, err := targetFor(targetName)
+	if err != nil {
+		return "", err
+	}
+	if f := prog.Func("main"); f == nil {
+		return "", fmt.Errorf("minic: no main function")
+	} else if len(f.Params) != 0 {
+		return "", fmt.Errorf("minic: main must take no parameters")
+	}
+	g := &gen{prog: prog, t: t}
+	g.program()
+	return g.out.String(), nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(file, src, targetName string) (string, error) {
+	prog, err := Parse(file, src)
+	if err != nil {
+		return "", err
+	}
+	return Compile(prog, targetName)
+}
+
+// varSlot locates a variable for the backend.
+type varSlot struct {
+	global string // non-empty for global scalars (the label)
+	off    int    // frame offset in words: >=0 args, <0 locals
+}
+
+// target is the per-ISA code generation backend. All hooks append
+// assembly lines through gen.line.
+type target interface {
+	name() string
+	wordBytes() int
+
+	// start emits the _start stub: stack setup, call main, exit trap.
+	start(g *gen)
+	// prologue/epilogue bracket a function body; the epilogue's label is
+	// retLabel(f) and it must return with the return value in the
+	// target's result register (placed there by ret).
+	prologue(g *gen, f *Func)
+	epilogue(g *gen, f *Func)
+
+	pushConst(g *gen, v int64)
+	pushVar(g *gen, s varSlot)
+	storeVar(g *gen, s varSlot)
+	// pushElem pops an index and pushes word at label + index*W;
+	// storeElem pops a value then an index and stores it there.
+	pushElem(g *gen, label string)
+	storeElem(g *gen, label string)
+
+	// binary pops y then x and pushes x OP y. op is one of
+	// + - * / % & | ^ << >> == != < <= > >= (comparisons push 0/1,
+	// signed where applicable).
+	binary(g *gen, op string)
+	// unary modifies the top of stack: "-" or "!".
+	unary(g *gen, op string)
+	// drop pops and discards the top of stack.
+	drop(g *gen)
+
+	jump(g *gen, label string)
+	// jumpIfZero pops the top of stack and jumps when it is zero.
+	jumpIfZero(g *gen, label string)
+
+	// call invokes fn with nargs already pushed; it pops the args and,
+	// when wantValue, pushes the result.
+	call(g *gen, fn string, nargs int, wantValue bool)
+	// ret pops the return value (when hasValue) into the result register
+	// and jumps to the epilogue.
+	ret(g *gen, f *Func, hasValue bool)
+
+	// input pushes one input byte (-1 on EOF); output pops and writes a
+	// byte; exit stops the program.
+	input(g *gen)
+	output(g *gen)
+	exit(g *gen)
+
+	// global emits the data definition for one global.
+	global(g *gen, gl *Global)
+}
+
+type gen struct {
+	prog   *Program
+	t      target
+	out    strings.Builder
+	f      *Func
+	labelN int
+}
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.out, format+"\n", args...)
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s%d", prefix, g.labelN)
+}
+
+func retLabel(f *Func) string { return "mc_" + f.Name + "_ret" }
+
+// fnLabel prefixes user functions to avoid clashing with mnemonics and
+// assembler keywords.
+func fnLabel(name string) string { return "mc_" + name }
+
+func globalLabel(name string) string { return "gv_" + name }
+
+func (g *gen) program() {
+	g.line("// MiniC compiler output, target %s", g.t.name())
+	g.t.start(g)
+	for _, f := range g.prog.Funcs {
+		g.f = f
+		g.line("")
+		g.line("%s:", fnLabel(f.Name))
+		g.t.prologue(g, f)
+		g.stmts(f.Body)
+		// Implicit return: int functions fall out with value 0.
+		if !f.Void {
+			g.t.pushConst(g, 0)
+		}
+		g.t.ret(g, f, !f.Void)
+		g.t.epilogue(g, f)
+	}
+	g.line("")
+	for _, gl := range g.prog.Globals {
+		g.t.global(g, gl)
+	}
+}
+
+// slotOf resolves a scalar variable reference in the current function.
+func (g *gen) slotOf(name string) varSlot {
+	for i, p := range g.f.Params {
+		if p == name {
+			// Args pushed left-to-right: first arg is deepest.
+			return varSlot{off: len(g.f.Params) - 1 - i}
+		}
+	}
+	for i, l := range g.f.Locals {
+		if l == name {
+			return varSlot{off: -(i + 1)}
+		}
+	}
+	return varSlot{global: globalLabel(name)}
+}
+
+func (g *gen) stmts(ss []Stmt) {
+	for _, s := range ss {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		if s.Index != nil {
+			g.expr(s.Index)
+			g.expr(s.Value)
+			g.t.storeElem(g, globalLabel(s.Name))
+		} else {
+			g.expr(s.Value)
+			g.t.storeVar(g, g.slotOf(s.Name))
+		}
+	case *IfStmt:
+		els := g.label("else")
+		end := g.label("endif")
+		g.expr(s.Cond)
+		g.t.jumpIfZero(g, els)
+		g.stmts(s.Then)
+		if len(s.Else) > 0 {
+			g.t.jump(g, end)
+		}
+		g.line("%s:", els)
+		if len(s.Else) > 0 {
+			g.stmts(s.Else)
+			g.line("%s:", end)
+		}
+	case *WhileStmt:
+		top := g.label("loop")
+		end := g.label("endloop")
+		g.line("%s:", top)
+		g.expr(s.Cond)
+		g.t.jumpIfZero(g, end)
+		g.stmts(s.Body)
+		g.t.jump(g, top)
+		g.line("%s:", end)
+	case *ReturnStmt:
+		if s.Value != nil {
+			g.expr(s.Value)
+		}
+		g.t.ret(g, g.f, s.Value != nil)
+	case *ExprStmt:
+		// Calls in statement position discard any result.
+		if call, ok := s.X.(*CallExpr); ok {
+			g.call(call, false)
+			return
+		}
+		g.expr(s.X)
+		g.t.drop(g)
+	}
+}
+
+func (g *gen) expr(e Expr) {
+	switch e := e.(type) {
+	case *NumExpr:
+		g.t.pushConst(g, e.Val)
+	case *VarExpr:
+		g.t.pushVar(g, g.slotOf(e.Name))
+	case *IndexExpr:
+		g.expr(e.Index)
+		g.t.pushElem(g, globalLabel(e.Name))
+	case *UnaryExpr:
+		g.expr(e.X)
+		g.t.unary(g, e.Op)
+	case *BinExpr:
+		switch e.Op {
+		case "&&":
+			fail := g.label("andf")
+			end := g.label("ande")
+			g.expr(e.X)
+			g.t.jumpIfZero(g, fail)
+			g.expr(e.Y)
+			g.t.jumpIfZero(g, fail)
+			g.t.pushConst(g, 1)
+			g.t.jump(g, end)
+			g.line("%s:", fail)
+			g.t.pushConst(g, 0)
+			g.line("%s:", end)
+		case "||":
+			taken := g.label("ort")
+			check2 := g.label("or2")
+			end := g.label("ore")
+			g.expr(e.X)
+			g.t.jumpIfZero(g, check2)
+			g.t.jump(g, taken)
+			g.line("%s:", check2)
+			g.expr(e.Y)
+			g.t.jumpIfZero(g, end+"f")
+			g.line("%s:", taken)
+			g.t.pushConst(g, 1)
+			g.t.jump(g, end)
+			g.line("%sf:", end)
+			g.t.pushConst(g, 0)
+			g.line("%s:", end)
+		default:
+			g.expr(e.X)
+			g.expr(e.Y)
+			g.t.binary(g, e.Op)
+		}
+	case *CallExpr:
+		g.call(e, true)
+	}
+}
+
+func (g *gen) call(e *CallExpr, wantValue bool) {
+	switch e.Name {
+	case "input":
+		g.t.input(g)
+		if !wantValue {
+			g.t.drop(g)
+		}
+		return
+	case "output":
+		g.expr(e.Args[0])
+		g.t.output(g)
+		return
+	case "exit":
+		g.t.exit(g)
+		return
+	}
+	for _, a := range e.Args {
+		g.expr(a)
+	}
+	callee := g.prog.Func(e.Name)
+	g.t.call(g, fnLabel(e.Name), len(e.Args), wantValue && !callee.Void)
+}

@@ -1,0 +1,176 @@
+// Package minic implements MiniC, a small C-like language with a
+// retargetable code generator. The evaluation workloads can be written
+// once in MiniC and compiled to assembly for every supported
+// architecture, which is how the paper's setting — symbolic execution of
+// compiler-produced binaries — is reproduced without a proprietary
+// toolchain.
+//
+// The language: `int` (one machine word) and global `int` arrays;
+// functions with value parameters; `if`/`else`, `while`, `return`,
+// assignment and expression statements; the usual C operators with
+// C precedence (arithmetic is signed; `/` and `%` use the target's
+// division semantics); short-circuit `&&`/`||`; and three builtins
+// wired to the trap convention: `input()` (next byte, -1 on EOF),
+// `output(x)` (write low byte), `exit()`.
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Error is a source-located MiniC error.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // operators and delimiters, text in tok.text
+	tKeyword
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true,
+	"while": true, "return": true,
+}
+
+// twoCharOps are matched before single characters.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+func lex(file, src string) ([]tok, error) {
+	var toks []tok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &Error{file, line, "unterminated block comment"}
+			}
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			k := tIdent
+			if keywords[word] {
+				k = tKeyword
+			}
+			toks = append(toks, tok{kind: k, text: word, line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			base := int64(10)
+			if c == '0' && j+1 < len(src) && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			var v int64
+			digits := 0
+			for j < len(src) {
+				d := int64(-1)
+				ch := src[j]
+				switch {
+				case ch >= '0' && ch <= '9':
+					d = int64(ch - '0')
+				case base == 16 && ch >= 'a' && ch <= 'f':
+					d = int64(ch-'a') + 10
+				case base == 16 && ch >= 'A' && ch <= 'F':
+					d = int64(ch-'A') + 10
+				}
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*base + d
+				digits++
+				j++
+			}
+			if digits == 0 {
+				return nil, &Error{file, line, "malformed number"}
+			}
+			toks = append(toks, tok{kind: tNumber, num: v, line: line})
+			i = j
+		case c == '\'':
+			// Character literal.
+			if i+2 < len(src) && src[i+1] == '\\' && i+3 < len(src) && src[i+3] == '\'' {
+				var v int64
+				switch src[i+2] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\', '\'':
+					v = int64(src[i+2])
+				default:
+					return nil, &Error{file, line, "unknown escape in char literal"}
+				}
+				toks = append(toks, tok{kind: tNumber, num: v, line: line})
+				i += 4
+			} else if i+2 < len(src) && src[i+2] == '\'' {
+				toks = append(toks, tok{kind: tNumber, num: int64(src[i+1]), line: line})
+				i += 3
+			} else {
+				return nil, &Error{file, line, "malformed char literal"}
+			}
+		default:
+			matched := false
+			for _, op := range twoCharOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, tok{kind: tPunct, text: op, line: line})
+					i += 2
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("+-*/%&|^!<>=(){}[];,", rune(c)) {
+				toks = append(toks, tok{kind: tPunct, text: string(c), line: line})
+				i++
+				break
+			}
+			return nil, &Error{file, line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,445 @@
+package minic
+
+import "fmt"
+
+// Parse parses a MiniC source file into a Program and checks name and
+// arity rules.
+func Parse(file, src string) (*Program, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, check(file, prog)
+}
+
+type parser struct {
+	file string
+	toks []tok
+	pos  int
+}
+
+func (p *parser) cur() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t tok, format string, args ...any) error {
+	return &Error{File: p.file, Line: t.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) punct(text string) error {
+	t := p.cur()
+	if t.kind != tPunct || t.text != text {
+		return p.errf(t, "expected %q, found %q", text, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) atPunct(text string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == text
+}
+
+func (p *parser) keyword(word string) error {
+	t := p.cur()
+	if t.kind != tKeyword || t.text != word {
+		return p.errf(t, "expected %q", word)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) atKeyword(word string) bool {
+	t := p.cur()
+	return t.kind == tKeyword && t.text == word
+}
+
+func (p *parser) ident() (tok, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return t, p.errf(t, "expected an identifier, found %q", t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tEOF {
+		isVoid := false
+		switch {
+		case p.atKeyword("int"):
+			p.pos++
+		case p.atKeyword("void"):
+			p.pos++
+			isVoid = true
+		default:
+			return nil, p.errf(p.cur(), "expected a declaration (int/void)")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct("(") {
+			f, err := p.parseFunc(name, isVoid)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+			continue
+		}
+		if isVoid {
+			return nil, p.errf(name, "void is only valid for functions")
+		}
+		g, err := p.parseGlobal(name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal(name tok) (*Global, error) {
+	g := &Global{Name: name.text, Size: 1, Line: name.line}
+	if p.atPunct("[") {
+		p.pos++
+		n := p.cur()
+		if n.kind != tNumber || n.num <= 0 {
+			return nil, p.errf(n, "array size must be a positive literal")
+		}
+		p.pos++
+		g.Size = int(n.num)
+		if err := p.punct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.atPunct("=") {
+		p.pos++
+		if g.Size == 1 {
+			v, err := p.constant()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		} else {
+			if err := p.punct("{"); err != nil {
+				return nil, err
+			}
+			for !p.atPunct("}") {
+				v, err := p.constant()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if p.atPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			if len(g.Init) > g.Size {
+				return nil, p.errf(name, "too many initializers for %s[%d]", g.Name, g.Size)
+			}
+		}
+	}
+	return g, p.punct(";")
+}
+
+// constant parses a (possibly negated) integer literal.
+func (p *parser) constant() (int64, error) {
+	neg := false
+	if p.atPunct("-") {
+		p.pos++
+		neg = true
+	}
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected a constant")
+	}
+	p.pos++
+	if neg {
+		return -t.num, nil
+	}
+	return t.num, nil
+}
+
+func (p *parser) parseFunc(name tok, isVoid bool) (*Func, error) {
+	f := &Func{Name: name.text, Void: isVoid, Line: name.line}
+	p.pos++ // (
+	for !p.atPunct(")") {
+		if err := p.keyword("int"); err != nil {
+			return nil, err
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, pn.text)
+		if p.atPunct(",") {
+			p.pos++
+		}
+	}
+	p.pos++ // )
+	if err := p.punct("{"); err != nil {
+		return nil, err
+	}
+	// Leading local declarations.
+	for p.atKeyword("int") {
+		p.pos++
+		for {
+			ln, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.Locals = append(f.Locals, ln.text)
+			if p.atPunct(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.punct(";"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlockRest()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// parseBlockRest parses statements up to and including the closing brace.
+func (p *parser) parseBlockRest() ([]Stmt, error) {
+	var out []Stmt
+	for !p.atPunct("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf(p.cur(), "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.pos++ // }
+	return out, nil
+}
+
+func (p *parser) parseBlockOrStmt() ([]Stmt, error) {
+	if p.atPunct("{") {
+		p.pos++
+		return p.parseBlockRest()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atKeyword("if"):
+		p.pos++
+		if err := p.punct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.atKeyword("else") {
+			p.pos++
+			els, err := p.parseBlockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.atKeyword("while"):
+		p.pos++
+		if err := p.punct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case p.atKeyword("return"):
+		p.pos++
+		st := &ReturnStmt{Line: t.line}
+		if !p.atPunct(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		return st, p.punct(";")
+	}
+	// Assignment or expression statement: disambiguate by lookahead.
+	if t.kind == tIdent {
+		save := p.pos
+		name, _ := p.ident()
+		var index Expr
+		if p.atPunct("[") {
+			p.pos++
+			ix, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.punct("]"); err != nil {
+				return nil, err
+			}
+			index = ix
+		}
+		if p.atPunct("=") {
+			p.pos++
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.punct(";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.text, Index: index, Value: val, Line: t.line}, nil
+		}
+		p.pos = save // not an assignment: reparse as an expression
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.line}, p.punct(";")
+}
+
+// Binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct || !contains(precLevels[level], t.text) {
+			return x, nil
+		}
+		p.pos++
+		y, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinExpr{Op: t.text, X: x, Y: y, Line: t.line}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &NumExpr{Val: t.num}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.punct(")")
+	case t.kind == tIdent:
+		p.pos++
+		switch {
+		case p.atPunct("("):
+			p.pos++
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.atPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.atPunct(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			return call, nil
+		case p.atPunct("["):
+			p.pos++
+			ix, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.punct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: ix, Line: t.line}, nil
+		}
+		return &VarExpr{Name: t.text, Line: t.line}, nil
+	}
+	return nil, p.errf(t, "expected an expression, found %q", t.text)
+}

@@ -1,0 +1,666 @@
+package minic
+
+import "fmt"
+
+func targetFor(name string) (target, error) {
+	switch name {
+	case "tiny32":
+		return tiny32Target{}, nil
+	case "rv32i":
+		return rv32iTarget{}, nil
+	case "m16":
+		return m16Target{}, nil
+	}
+	return nil, fmt.Errorf("minic: no code generator for architecture %q", name)
+}
+
+// Targets lists the architectures the compiler can emit code for.
+func Targets() []string { return []string{"tiny32", "rv32i", "m16"} }
+
+// ---- tiny32 ------------------------------------------------------------
+//
+// Frame (word = 4 bytes, fp = r13): [locals...][saved fp][saved lr][args...]
+// with fp pointing at the saved fp. Scratch r2/r3/r4; result register r1.
+
+type tiny32Target struct{}
+
+func (tiny32Target) name() string   { return "tiny32" }
+func (tiny32Target) wordBytes() int { return 4 }
+
+func (tiny32Target) start(g *gen) {
+	g.line("_start:")
+	g.line("\tlih sp, 4            // sp = 0x40000")
+	g.line("\tjal mc_main")
+	g.line("\ttrap 0")
+}
+
+func (tiny32Target) prologue(g *gen, f *Func) {
+	g.line("\taddi sp, sp, -8")
+	g.line("\tsw lr, 4(sp)")
+	g.line("\tsw fp, 0(sp)")
+	g.line("\tmov fp, sp")
+	if n := len(f.Locals); n > 0 {
+		g.line("\taddi sp, sp, %d", -4*n)
+	}
+}
+
+func (tiny32Target) epilogue(g *gen, f *Func) {
+	g.line("%s:", retLabel(f))
+	g.line("\tmov sp, fp")
+	g.line("\tlw fp, 0(sp)")
+	g.line("\tlw lr, 4(sp)")
+	g.line("\taddi sp, sp, 8")
+	g.line("\tjr lr")
+}
+
+func (t tiny32Target) push(g *gen, reg string) {
+	g.line("\taddi sp, sp, -4")
+	g.line("\tsw %s, 0(sp)", reg)
+}
+
+func (t tiny32Target) pop(g *gen, reg string) {
+	g.line("\tlw %s, 0(sp)", reg)
+	g.line("\taddi sp, sp, 4")
+}
+
+func (t tiny32Target) loadConst(g *gen, reg string, v int64) {
+	u := uint32(v)
+	if v >= -(1<<15) && v < 1<<15 {
+		g.line("\tli %s, %d", reg, v)
+		return
+	}
+	g.line("\tlih %s, %d", reg, u>>16)
+	if lo := u & 0xffff; lo != 0 {
+		g.line("\tori %s, %s, %d", reg, reg, lo)
+	}
+}
+
+func (t tiny32Target) pushConst(g *gen, v int64) {
+	t.loadConst(g, "r2", v)
+	t.push(g, "r2")
+}
+
+func (t tiny32Target) slotAddr(s varSlot) string {
+	if s.off >= 0 {
+		return fmt.Sprintf("%d(fp)", 8+4*s.off)
+	}
+	return fmt.Sprintf("%d(fp)", 4*s.off)
+}
+
+func (t tiny32Target) pushVar(g *gen, s varSlot) {
+	if s.global != "" {
+		g.line("\tlw r2, %s(r0)", s.global)
+	} else {
+		g.line("\tlw r2, %s", t.slotAddr(s))
+	}
+	t.push(g, "r2")
+}
+
+func (t tiny32Target) storeVar(g *gen, s varSlot) {
+	t.pop(g, "r2")
+	if s.global != "" {
+		g.line("\tsw r2, %s(r0)", s.global)
+	} else {
+		g.line("\tsw r2, %s", t.slotAddr(s))
+	}
+}
+
+func (t tiny32Target) pushElem(g *gen, label string) {
+	t.pop(g, "r2")
+	g.line("\tslli r2, r2, 2")
+	g.line("\tli r3, %s", label)
+	g.line("\tadd r2, r2, r3")
+	g.line("\tlw r2, 0(r2)")
+	t.push(g, "r2")
+}
+
+func (t tiny32Target) storeElem(g *gen, label string) {
+	t.pop(g, "r4") // value
+	t.pop(g, "r2") // index
+	g.line("\tslli r2, r2, 2")
+	g.line("\tli r3, %s", label)
+	g.line("\tadd r2, r2, r3")
+	g.line("\tsw r4, 0(r2)")
+}
+
+func (t tiny32Target) binary(g *gen, op string) {
+	t.pop(g, "r3")
+	t.pop(g, "r2")
+	switch op {
+	case "+":
+		g.line("\tadd r2, r2, r3")
+	case "-":
+		g.line("\tsub r2, r2, r3")
+	case "*":
+		g.line("\tmul r2, r2, r3")
+	case "/":
+		g.line("\tdivs r2, r2, r3")
+	case "%":
+		g.line("\trems r2, r2, r3")
+	case "&":
+		g.line("\tand r2, r2, r3")
+	case "|":
+		g.line("\tor r2, r2, r3")
+	case "^":
+		g.line("\txor r2, r2, r3")
+	case "<<":
+		g.line("\tsll r2, r2, r3")
+	case ">>":
+		g.line("\tsra r2, r2, r3")
+	case "<":
+		g.line("\tslts r2, r2, r3")
+	case ">":
+		g.line("\tslts r2, r3, r2")
+	case "<=":
+		g.line("\tslts r2, r3, r2")
+		g.line("\txori r2, r2, 1")
+	case ">=":
+		g.line("\tslts r2, r2, r3")
+		g.line("\txori r2, r2, 1")
+	case "==":
+		g.line("\tsub r2, r2, r3")
+		g.line("\tsltiu r2, r2, 1")
+	case "!=":
+		g.line("\tsub r2, r2, r3")
+		g.line("\tsltu r2, r0, r2")
+	default:
+		panic("tiny32: op " + op)
+	}
+	t.push(g, "r2")
+}
+
+func (t tiny32Target) unary(g *gen, op string) {
+	t.pop(g, "r2")
+	switch op {
+	case "-":
+		g.line("\tsub r2, r0, r2")
+	case "!":
+		g.line("\tsltiu r2, r2, 1")
+	default:
+		panic("tiny32: unary " + op)
+	}
+	t.push(g, "r2")
+}
+
+func (t tiny32Target) drop(g *gen) { g.line("\taddi sp, sp, 4") }
+
+func (tiny32Target) jump(g *gen, label string) { g.line("\tjmp %s", label) }
+
+func (t tiny32Target) jumpIfZero(g *gen, label string) {
+	t.pop(g, "r2")
+	g.line("\tbeq r2, r0, %s", label)
+}
+
+func (t tiny32Target) call(g *gen, fn string, nargs int, wantValue bool) {
+	g.line("\tjal %s", fn)
+	if nargs > 0 {
+		g.line("\taddi sp, sp, %d", 4*nargs)
+	}
+	if wantValue {
+		t.push(g, "r1")
+	}
+}
+
+func (t tiny32Target) ret(g *gen, f *Func, hasValue bool) {
+	if hasValue {
+		t.pop(g, "r1")
+	}
+	g.line("\tjmp %s", retLabel(f))
+}
+
+func (t tiny32Target) input(g *gen) {
+	g.line("\ttrap 1")
+	t.push(g, "r1")
+}
+
+func (t tiny32Target) output(g *gen) {
+	t.pop(g, "r1")
+	g.line("\ttrap 2")
+}
+
+func (tiny32Target) exit(g *gen) { g.line("\ttrap 0") }
+
+func (t tiny32Target) global(g *gen, gl *Global) {
+	emitGlobal(g, gl, 4)
+}
+
+// emitGlobal writes the data definition shared by the word-addressed
+// backends.
+func emitGlobal(g *gen, gl *Global, w int) {
+	g.line("%s:", globalLabel(gl.Name))
+	if len(gl.Init) > 0 {
+		for _, v := range gl.Init {
+			g.line("\t.word %d", v)
+		}
+	}
+	if rest := gl.Size - len(gl.Init); rest > 0 {
+		g.line("\t.space %d", rest*w)
+	}
+}
+
+// ---- rv32i --------------------------------------------------------------
+//
+// Frame (word = 4, fp = s0): [locals...][saved s0][saved ra][args...].
+// Scratch t0/t1/t2; result register a0.
+
+type rv32iTarget struct{}
+
+func (rv32iTarget) name() string   { return "rv32i" }
+func (rv32iTarget) wordBytes() int { return 4 }
+
+func (rv32iTarget) start(g *gen) {
+	g.line("_start:")
+	g.line("\tlui sp, 0x40          # sp = 0x40000")
+	g.line("\tjal ra, mc_main")
+	g.line("\taddi a7, zero, 0")
+	g.line("\tecall")
+}
+
+func (rv32iTarget) prologue(g *gen, f *Func) {
+	g.line("\taddi sp, sp, -8")
+	g.line("\tsw ra, 4(sp)")
+	g.line("\tsw s0, 0(sp)")
+	g.line("\taddi s0, sp, 0")
+	if n := len(f.Locals); n > 0 {
+		g.line("\taddi sp, sp, %d", -4*n)
+	}
+}
+
+func (rv32iTarget) epilogue(g *gen, f *Func) {
+	g.line("%s:", retLabel(f))
+	g.line("\taddi sp, s0, 0")
+	g.line("\tlw s0, 0(sp)")
+	g.line("\tlw ra, 4(sp)")
+	g.line("\taddi sp, sp, 8")
+	g.line("\tjalr zero, 0(ra)")
+}
+
+func (t rv32iTarget) push(g *gen, reg string) {
+	g.line("\taddi sp, sp, -4")
+	g.line("\tsw %s, 0(sp)", reg)
+}
+
+func (t rv32iTarget) pop(g *gen, reg string) {
+	g.line("\tlw %s, 0(sp)", reg)
+	g.line("\taddi sp, sp, 4")
+}
+
+func (t rv32iTarget) loadConst(g *gen, reg string, v int64) {
+	if v >= -2048 && v < 2048 {
+		g.line("\taddi %s, zero, %d", reg, v)
+		return
+	}
+	u := uint32(v)
+	g.line("\tlui %s, hi20(%d)", reg, u)
+	g.line("\taddi %s, %s, lo12(%d)", reg, reg, u)
+}
+
+func (t rv32iTarget) pushConst(g *gen, v int64) {
+	t.loadConst(g, "t0", v)
+	t.push(g, "t0")
+}
+
+func (t rv32iTarget) slotAddr(s varSlot) string {
+	if s.off >= 0 {
+		return fmt.Sprintf("%d(s0)", 8+4*s.off)
+	}
+	return fmt.Sprintf("%d(s0)", 4*s.off)
+}
+
+func (t rv32iTarget) globalAddr(g *gen, reg, label string) {
+	g.line("\tlui %s, hi20(%s)", reg, label)
+	g.line("\taddi %s, %s, lo12(%s)", reg, reg, label)
+}
+
+func (t rv32iTarget) pushVar(g *gen, s varSlot) {
+	if s.global != "" {
+		t.globalAddr(g, "t1", s.global)
+		g.line("\tlw t0, 0(t1)")
+	} else {
+		g.line("\tlw t0, %s", t.slotAddr(s))
+	}
+	t.push(g, "t0")
+}
+
+func (t rv32iTarget) storeVar(g *gen, s varSlot) {
+	t.pop(g, "t0")
+	if s.global != "" {
+		t.globalAddr(g, "t1", s.global)
+		g.line("\tsw t0, 0(t1)")
+	} else {
+		g.line("\tsw t0, %s", t.slotAddr(s))
+	}
+}
+
+func (t rv32iTarget) pushElem(g *gen, label string) {
+	t.pop(g, "t0")
+	g.line("\tslli t0, t0, 2")
+	t.globalAddr(g, "t1", label)
+	g.line("\tadd t0, t0, t1")
+	g.line("\tlw t0, 0(t0)")
+	t.push(g, "t0")
+}
+
+func (t rv32iTarget) storeElem(g *gen, label string) {
+	t.pop(g, "t2") // value
+	t.pop(g, "t0") // index
+	g.line("\tslli t0, t0, 2")
+	t.globalAddr(g, "t1", label)
+	g.line("\tadd t0, t0, t1")
+	g.line("\tsw t2, 0(t0)")
+}
+
+func (t rv32iTarget) binary(g *gen, op string) {
+	t.pop(g, "t1")
+	t.pop(g, "t0")
+	switch op {
+	case "+":
+		g.line("\tadd t0, t0, t1")
+	case "-":
+		g.line("\tsub t0, t0, t1")
+	case "*":
+		g.line("\tmul t0, t0, t1")
+	case "/":
+		g.line("\tdiv t0, t0, t1")
+	case "%":
+		g.line("\trem t0, t0, t1")
+	case "&":
+		g.line("\tand t0, t0, t1")
+	case "|":
+		g.line("\tor t0, t0, t1")
+	case "^":
+		g.line("\txor t0, t0, t1")
+	case "<<":
+		g.line("\tsll t0, t0, t1")
+	case ">>":
+		g.line("\tsra t0, t0, t1")
+	case "<":
+		g.line("\tslt t0, t0, t1")
+	case ">":
+		g.line("\tslt t0, t1, t0")
+	case "<=":
+		g.line("\tslt t0, t1, t0")
+		g.line("\txori t0, t0, 1")
+	case ">=":
+		g.line("\tslt t0, t0, t1")
+		g.line("\txori t0, t0, 1")
+	case "==":
+		g.line("\tsub t0, t0, t1")
+		g.line("\tsltiu t0, t0, 1")
+	case "!=":
+		g.line("\tsub t0, t0, t1")
+		g.line("\tsltu t0, zero, t0")
+	default:
+		panic("rv32i: op " + op)
+	}
+	t.push(g, "t0")
+}
+
+func (t rv32iTarget) unary(g *gen, op string) {
+	t.pop(g, "t0")
+	switch op {
+	case "-":
+		g.line("\tsub t0, zero, t0")
+	case "!":
+		g.line("\tsltiu t0, t0, 1")
+	default:
+		panic("rv32i: unary " + op)
+	}
+	t.push(g, "t0")
+}
+
+func (t rv32iTarget) drop(g *gen) { g.line("\taddi sp, sp, 4") }
+
+func (rv32iTarget) jump(g *gen, label string) { g.line("\tjal zero, %s", label) }
+
+func (t rv32iTarget) jumpIfZero(g *gen, label string) {
+	t.pop(g, "t0")
+	g.line("\tbeq t0, zero, %s", label)
+}
+
+func (t rv32iTarget) call(g *gen, fn string, nargs int, wantValue bool) {
+	g.line("\tjal ra, %s", fn)
+	if nargs > 0 {
+		g.line("\taddi sp, sp, %d", 4*nargs)
+	}
+	if wantValue {
+		t.push(g, "a0")
+	}
+}
+
+func (t rv32iTarget) ret(g *gen, f *Func, hasValue bool) {
+	if hasValue {
+		t.pop(g, "a0")
+	}
+	g.line("\tjal zero, %s", retLabel(f))
+}
+
+func (t rv32iTarget) input(g *gen) {
+	g.line("\taddi a7, zero, 1")
+	g.line("\tecall")
+	t.push(g, "a0")
+}
+
+func (t rv32iTarget) output(g *gen) {
+	t.pop(g, "a0")
+	g.line("\taddi a7, zero, 2")
+	g.line("\tecall")
+}
+
+func (rv32iTarget) exit(g *gen) {
+	g.line("\taddi a7, zero, 0")
+	g.line("\tecall")
+}
+
+func (t rv32iTarget) global(g *gen, gl *Global) { emitGlobal(g, gl, 4) }
+
+// ---- m16 ----------------------------------------------------------------
+//
+// Frame (word = 2, fp = g5): [locals...][saved fp][ret addr][args...] —
+// the call instruction itself pushes the return address. Scratch
+// g2/g3/g4; result register g1. MiniC caveats on this target: `/` and
+// `>>` are unsigned (the ISA has no signed divide or arithmetic shift).
+
+type m16Target struct{}
+
+func (m16Target) name() string   { return "m16" }
+func (m16Target) wordBytes() int { return 2 }
+
+func (m16Target) start(g *gen) {
+	g.line("_start:")
+	g.line("\tldi sp, 0x7ff0")
+	g.line("\tcall mc_main")
+	g.line("\ttrap 0")
+}
+
+func (m16Target) prologue(g *gen, f *Func) {
+	g.line("\tpush g5")
+	g.line("\tmov g5, sp")
+	if n := len(f.Locals); n > 0 {
+		g.line("\taddi sp, %d", -2*n)
+	}
+}
+
+func (m16Target) epilogue(g *gen, f *Func) {
+	g.line("%s:", retLabel(f))
+	g.line("\tmov sp, g5")
+	g.line("\tpop g5")
+	g.line("\tret")
+}
+
+func (t m16Target) pushConst(g *gen, v int64) {
+	g.line("\tldi g2, %d", int16(v))
+	g.line("\tpush g2")
+}
+
+func (t m16Target) slotOff(s varSlot) int {
+	if s.off >= 0 {
+		return 4 + 2*s.off
+	}
+	return 2 * s.off
+}
+
+func (t m16Target) pushVar(g *gen, s varSlot) {
+	if s.global != "" {
+		g.line("\tld g2, %s", s.global)
+	} else {
+		g.line("\tldx g2, %d(g5)", t.slotOff(s))
+	}
+	g.line("\tpush g2")
+}
+
+func (t m16Target) storeVar(g *gen, s varSlot) {
+	g.line("\tpop g2")
+	if s.global != "" {
+		g.line("\tst g2, %s", s.global)
+	} else {
+		g.line("\tstx g2, %d(g5)", t.slotOff(s))
+	}
+}
+
+func (t m16Target) pushElem(g *gen, label string) {
+	g.line("\tpop g2")
+	g.line("\tldi g3, 1")
+	g.line("\tshl g2, g3")
+	g.line("\tldx g2, %s(g2)", label)
+	g.line("\tpush g2")
+}
+
+func (t m16Target) storeElem(g *gen, label string) {
+	g.line("\tpop g3") // value
+	g.line("\tpop g2") // index
+	g.line("\tldi g4, 1")
+	g.line("\tshl g2, g4")
+	g.line("\tstx g3, %s(g2)", label)
+}
+
+func (t m16Target) binary(g *gen, op string) {
+	g.line("\tpop g3")
+	g.line("\tpop g2")
+	switch op {
+	case "+":
+		g.line("\tadd g2, g3")
+	case "-":
+		g.line("\tsub g2, g3")
+	case "*":
+		g.line("\tmul g2, g3")
+	case "/":
+		g.line("\tdiv g2, g3")
+	case "%":
+		// x - (x/y)*y with the unsigned divider.
+		g.line("\tmov g4, g2")
+		g.line("\tdiv g4, g3")
+		g.line("\tmul g4, g3")
+		g.line("\tsub g2, g4")
+	case "&":
+		g.line("\tand g2, g3")
+	case "|":
+		g.line("\tor g2, g3")
+	case "^":
+		g.line("\txor g2, g3")
+	case "<<":
+		g.line("\tshl g2, g3")
+	case ">>":
+		g.line("\tshr g2, g3")
+	case "<", ">", "<=", ">=", "==", "!=":
+		t.compare(g, op)
+	default:
+		panic("m16: op " + op)
+	}
+	g.line("\tpush g2")
+}
+
+// compare materializes a flag-based comparison of g2 OP g3 into g2.
+func (t m16Target) compare(g *gen, op string) {
+	tl := g.label("ct")
+	el := g.label("ce")
+	var cmp, br string
+	switch op {
+	case "<":
+		cmp, br = "cmp g2, g3", "blt"
+	case ">":
+		cmp, br = "cmp g3, g2", "blt"
+	case "<=":
+		cmp, br = "cmp g3, g2", "bge"
+	case ">=":
+		cmp, br = "cmp g2, g3", "bge"
+	case "==":
+		cmp, br = "cmp g2, g3", "beq"
+	case "!=":
+		cmp, br = "cmp g2, g3", "bne"
+	}
+	g.line("\t%s", cmp)
+	g.line("\t%s %s", br, tl)
+	g.line("\tldi g2, 0")
+	g.line("\tbra %s", el)
+	g.line("%s:", tl)
+	g.line("\tldi g2, 1")
+	g.line("%s:", el)
+}
+
+func (t m16Target) unary(g *gen, op string) {
+	g.line("\tpop g2")
+	switch op {
+	case "-":
+		g.line("\tneg g2")
+	case "!":
+		tl := g.label("nt")
+		el := g.label("ne")
+		g.line("\tcmpi g2, 0")
+		g.line("\tbeq %s", tl)
+		g.line("\tldi g2, 0")
+		g.line("\tbra %s", el)
+		g.line("%s:", tl)
+		g.line("\tldi g2, 1")
+		g.line("%s:", el)
+	default:
+		panic("m16: unary " + op)
+	}
+	g.line("\tpush g2")
+}
+
+func (t m16Target) drop(g *gen) { g.line("\taddi sp, 2") }
+
+func (m16Target) jump(g *gen, label string) { g.line("\tjmp %s", label) }
+
+func (t m16Target) jumpIfZero(g *gen, label string) {
+	// Short branches reach only ±127 bytes; invert around an absolute
+	// jump so any target works.
+	skip := g.label("jz")
+	g.line("\tpop g2")
+	g.line("\tcmpi g2, 0")
+	g.line("\tbne %s", skip)
+	g.line("\tjmp %s", label)
+	g.line("%s:", skip)
+}
+
+func (t m16Target) call(g *gen, fn string, nargs int, wantValue bool) {
+	g.line("\tcall %s", fn)
+	if nargs > 0 {
+		g.line("\taddi sp, %d", 2*nargs)
+	}
+	if wantValue {
+		g.line("\tpush g1")
+	}
+}
+
+func (t m16Target) ret(g *gen, f *Func, hasValue bool) {
+	if hasValue {
+		g.line("\tpop g1")
+	}
+	g.line("\tjmp %s", retLabel(f))
+}
+
+func (t m16Target) input(g *gen) {
+	g.line("\ttrap 1")
+	g.line("\tpush g1")
+}
+
+func (t m16Target) output(g *gen) {
+	g.line("\tpop g1")
+	g.line("\ttrap 2")
+}
+
+func (m16Target) exit(g *gen) { g.line("\ttrap 0") }
+
+func (t m16Target) global(g *gen, gl *Global) { emitGlobal(g, gl, 2) }

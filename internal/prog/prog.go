@@ -1,0 +1,177 @@
+// Package prog defines the program image produced by the assembler and
+// consumed by the emulator and the symbolic execution engine, together
+// with a simple flat binary serialization ("RIMG") so that the command
+// line tools can exchange images through files.
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous run of initialized memory.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// Program is a loadable image for one architecture.
+type Program struct {
+	Arch     string // architecture name the image was assembled for
+	Entry    uint64
+	Segments []Segment
+	Symbols  map[string]uint64
+}
+
+// Symbol returns the address of a defined symbol.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// Image flattens the segments into an address-indexed byte map.
+func (p *Program) Image() map[uint64]byte {
+	m := make(map[uint64]byte)
+	for _, s := range p.Segments {
+		for i, b := range s.Data {
+			m[s.Addr+uint64(i)] = b
+		}
+	}
+	return m
+}
+
+// Size returns the total number of initialized bytes.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Bounds returns the lowest and one-past-highest initialized addresses.
+// ok is false for an empty image.
+func (p *Program) Bounds() (lo, hi uint64, ok bool) {
+	if len(p.Segments) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = p.Segments[0].Addr, p.Segments[0].Addr
+	for _, s := range p.Segments {
+		if s.Addr < lo {
+			lo = s.Addr
+		}
+		if end := s.Addr + uint64(len(s.Data)); end > hi {
+			hi = end
+		}
+	}
+	return lo, hi, true
+}
+
+const magic = "RIMG"
+
+// Marshal serializes the program image.
+func (p *Program) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	write64 := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		buf.Write(n[:])
+	}
+	writeStr(p.Arch)
+	write64(p.Entry)
+	write64(uint64(len(p.Segments)))
+	for _, s := range p.Segments {
+		write64(s.Addr)
+		write64(uint64(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	write64(uint64(len(names)))
+	for _, n := range names {
+		writeStr(n)
+		write64(p.Symbols[n])
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal parses a serialized program image.
+func Unmarshal(b []byte) (*Program, error) {
+	r := &reader{b: b}
+	if string(r.bytes(4)) != magic {
+		return nil, fmt.Errorf("prog: bad magic (not a RIMG file)")
+	}
+	p := &Program{Symbols: map[string]uint64{}}
+	p.Arch = r.str()
+	p.Entry = r.u64()
+	nseg := r.u64()
+	if nseg > 1<<20 {
+		return nil, fmt.Errorf("prog: implausible segment count %d", nseg)
+	}
+	for i := uint64(0); i < nseg && r.err == nil; i++ {
+		addr := r.u64()
+		n := r.u64()
+		if n > 1<<32 {
+			return nil, fmt.Errorf("prog: implausible segment size %d", n)
+		}
+		data := append([]byte(nil), r.bytes(int(n))...)
+		p.Segments = append(p.Segments, Segment{Addr: addr, Data: data})
+	}
+	nsym := r.u64()
+	if nsym > 1<<20 {
+		return nil, fmt.Errorf("prog: implausible symbol count %d", nsym)
+	}
+	for i := uint64(0); i < nsym && r.err == nil; i++ {
+		name := r.str()
+		p.Symbols[name] = r.u64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) || r.pos+n < 0 {
+		if r.err == nil {
+			r.err = fmt.Errorf("prog: truncated image")
+		}
+		// Never allocate attacker-controlled sizes on the error path; the
+		// fixed-size buffer satisfies the u64/str header reads.
+		return make([]byte, min(n, 8))
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u64() uint64 {
+	return binary.LittleEndian.Uint64(r.bytes(8))
+}
+
+func (r *reader) str() string {
+	n := binary.LittleEndian.Uint32(r.bytes(4))
+	if uint64(n) > 1<<20 {
+		r.err = fmt.Errorf("prog: implausible string length %d", n)
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}

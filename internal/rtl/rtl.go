@@ -1,0 +1,277 @@
+// Package rtl interprets the checked ADL semantics IR over machine
+// states. It provides two evaluators with identical structure: a symbolic
+// evaluator producing expression-DAG values with guard-based predication
+// (control dependence inside an instruction becomes if-then-else merging,
+// so the path-level engine only ever forks on the program counter and on
+// guarded events), and a concrete evaluator over uint64 values used by the
+// emulator and as the differential-testing oracle.
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/expr"
+)
+
+// Operands carries the decoded operand values of one instruction.
+type Operands map[string]uint64
+
+// EventKind classifies guarded control events raised during evaluation.
+type EventKind int
+
+// Event kinds.
+const (
+	EvTrap  EventKind = iota // environment call
+	EvHalt                   // machine stop
+	EvFault                  // explicit error() in the description
+	EvDiv                    // a division was evaluated (divisor recorded)
+)
+
+// Event is a control effect raised under a guard. A nil Guard means the
+// event is unconditional within the instruction.
+type Event struct {
+	Kind  EventKind
+	Guard *expr.Expr // nil = always
+	Code  *expr.Expr // trap code or divisor
+	Msg   string     // fault message
+}
+
+// SymState is the mutable symbolic machine state the evaluator acts on.
+// Control dependence arrives as guards: a guarded register write must be
+// merged by the state as ite(guard, v, old) — the state owns the merge
+// because it knows the correct "old" value (for the program counter the
+// fall-through continuation differs from the value semantics read).
+type SymState interface {
+	// ReadReg returns the value the semantics observe (for the program
+	// counter: the executing instruction's own address).
+	ReadReg(r *adl.Reg) *expr.Expr
+	// WriteReg stores v into r; a non-nil guard predicates the write.
+	WriteReg(r *adl.Reg, v *expr.Expr, guard *expr.Expr)
+	// Load reads cells memory cells at addr (arch byte order). guard is
+	// nil when the access is unconditional.
+	Load(addr *expr.Expr, cells uint, guard *expr.Expr) *expr.Expr
+	// Store writes cells memory cells at addr under guard.
+	Store(addr *expr.Expr, cells uint, val *expr.Expr, guard *expr.Expr)
+}
+
+// SymEval evaluates instruction semantics symbolically.
+type SymEval struct {
+	B *expr.Builder
+	A *adl.Arch
+}
+
+// Exec runs the semantics of ins with the given operand values against
+// st, returning the control events raised. The caller must have set the
+// architecture's pc register to the instruction's own address beforehand.
+func (ev *SymEval) Exec(st SymState, ins *adl.Insn, ops Operands) []Event {
+	ctx := &symCtx{ev: ev, st: st, ops: ops, locals: make([]*expr.Expr, adl.NumLocals(ins.Sem))}
+	ctx.stmts(ins.Sem, nil)
+	return ctx.events
+}
+
+type symCtx struct {
+	ev     *SymEval
+	st     SymState
+	ops    Operands
+	locals []*expr.Expr
+	events []Event
+}
+
+// and conjoins two optional guards (nil = true).
+func (c *symCtx) and(g, h *expr.Expr) *expr.Expr {
+	switch {
+	case g == nil:
+		return h
+	case h == nil:
+		return g
+	default:
+		return c.ev.B.BoolAnd(g, h)
+	}
+}
+
+func (c *symCtx) stmts(ss []adl.Stmt, guard *expr.Expr) {
+	for _, s := range ss {
+		c.stmt(s, guard)
+	}
+}
+
+func (c *symCtx) stmt(s adl.Stmt, guard *expr.Expr) {
+	b := c.ev.B
+	switch s := s.(type) {
+	case *adl.AssignStmt:
+		v := c.expr(s.RHS, guard)
+		switch lv := s.LHS.(type) {
+		case *adl.RegLV:
+			c.st.WriteReg(lv.Reg, v, guard)
+		case *adl.RegOpLV:
+			c.st.WriteReg(c.opReg(lv.Op), v, guard)
+		case *adl.SubLV:
+			old := c.st.ReadReg(lv.Reg)
+			merged := insertBits(b, old, v, lv.Hi, lv.Lo)
+			c.st.WriteReg(lv.Reg, merged, guard)
+		case *adl.LocalLV:
+			old := c.locals[lv.Idx]
+			if guard != nil && old != nil {
+				v = b.ITE(guard, v, old)
+			}
+			c.locals[lv.Idx] = v
+		}
+	case *adl.StoreStmt:
+		addr := c.expr(s.Addr, guard)
+		val := c.expr(s.Val, guard)
+		c.st.Store(addr, s.Cells, val, guard)
+	case *adl.IfStmt:
+		cond := c.expr(s.Cond, guard)
+		switch cond.Kind() {
+		case expr.KBoolConst:
+			if cond.ConstVal() != 0 {
+				c.stmts(s.Then, guard)
+			} else {
+				c.stmts(s.Else, guard)
+			}
+		default:
+			c.stmts(s.Then, c.and(guard, cond))
+			c.stmts(s.Else, c.and(guard, b.BoolNot(cond)))
+		}
+	case *adl.LocalStmt:
+		c.locals[s.Idx] = c.expr(s.Init, guard)
+	case *adl.TrapStmt:
+		c.events = append(c.events, Event{Kind: EvTrap, Guard: guard, Code: c.expr(s.Code, guard)})
+	case *adl.HaltStmt:
+		c.events = append(c.events, Event{Kind: EvHalt, Guard: guard})
+	case *adl.ErrorStmt:
+		c.events = append(c.events, Event{Kind: EvFault, Guard: guard, Msg: s.Msg})
+	default:
+		panic(fmt.Sprintf("rtl: unhandled statement %T", s))
+	}
+}
+
+func (c *symCtx) opReg(op *adl.Operand) *adl.Reg {
+	idx := c.ops[op.Name]
+	return op.File.Regs[idx]
+}
+
+// insertBits replaces bits hi..lo of old with v.
+func insertBits(b *expr.Builder, old, v *expr.Expr, hi, lo uint) *expr.Expr {
+	w := old.Width()
+	out := v
+	if hi < w-1 {
+		out = b.Concat(b.Extract(old, w-1, hi+1), out)
+	}
+	if lo > 0 {
+		out = b.Concat(out, b.Extract(old, lo-1, 0))
+	}
+	return out
+}
+
+func (c *symCtx) expr(e adl.Expr, guard *expr.Expr) *expr.Expr {
+	b := c.ev.B
+	switch e := e.(type) {
+	case *adl.ConstExpr:
+		return b.Const(e.W, e.Val)
+	case *adl.RegExpr:
+		return c.st.ReadReg(e.Reg)
+	case *adl.RegOpExpr:
+		return c.st.ReadReg(c.opReg(e.Op))
+	case *adl.ImmExpr:
+		return b.Const(e.Op.Bits(), c.ops[e.Op.Name])
+	case *adl.SubExpr:
+		return b.Extract(c.st.ReadReg(e.Reg), e.Hi, e.Lo)
+	case *adl.LocalExpr:
+		v := c.locals[e.Idx]
+		if v == nil {
+			return b.Const(e.W, 0)
+		}
+		return v
+	case *adl.UnExpr:
+		x := c.expr(e.X, guard)
+		if e.Op == adl.UNot {
+			return b.Not(x)
+		}
+		return b.Neg(x)
+	case *adl.BinExpr:
+		x := c.expr(e.X, guard)
+		y := c.expr(e.Y, guard)
+		switch e.Op {
+		case adl.BUDiv, adl.BURem, adl.BSDiv, adl.BSRem:
+			c.events = append(c.events, Event{Kind: EvDiv, Guard: guard, Code: y})
+		}
+		return symBin(b, e.Op, x, y)
+	case *adl.CmpExpr:
+		x := c.expr(e.X, guard)
+		y := c.expr(e.Y, guard)
+		switch e.Op {
+		case adl.CEq:
+			return b.Eq(x, y)
+		case adl.CNe:
+			return b.Ne(x, y)
+		case adl.CULt:
+			return b.ULt(x, y)
+		case adl.CULe:
+			return b.ULe(x, y)
+		case adl.CSLt:
+			return b.SLt(x, y)
+		default:
+			return b.SLe(x, y)
+		}
+	case *adl.BoolExpr:
+		x := c.expr(e.X, guard)
+		switch e.Op {
+		case adl.LNot:
+			return b.BoolNot(x)
+		case adl.LAnd:
+			return b.BoolAnd(x, c.expr(e.Y, guard))
+		default:
+			return b.BoolOr(x, c.expr(e.Y, guard))
+		}
+	case *adl.TernExpr:
+		cond := c.expr(e.Cond, guard)
+		return b.ITE(cond, c.expr(e.T, guard), c.expr(e.F, guard))
+	case *adl.ExtractExpr:
+		return b.Extract(c.expr(e.X, guard), e.Hi, e.Lo)
+	case *adl.ExtendExpr:
+		x := c.expr(e.X, guard)
+		if e.Signed {
+			return b.SExt(x, e.W)
+		}
+		return b.ZExt(x, e.W)
+	case *adl.CatExpr:
+		return b.Concat(c.expr(e.Hi, guard), c.expr(e.Lo, guard))
+	case *adl.LoadExpr:
+		return c.st.Load(c.expr(e.Addr, guard), e.Cells, guard)
+	default:
+		panic(fmt.Sprintf("rtl: unhandled expression %T", e))
+	}
+}
+
+func symBin(b *expr.Builder, op adl.BinOp, x, y *expr.Expr) *expr.Expr {
+	switch op {
+	case adl.BAdd:
+		return b.Add(x, y)
+	case adl.BSub:
+		return b.Sub(x, y)
+	case adl.BMul:
+		return b.Mul(x, y)
+	case adl.BUDiv:
+		return b.UDiv(x, y)
+	case adl.BURem:
+		return b.URem(x, y)
+	case adl.BSDiv:
+		return b.SDiv(x, y)
+	case adl.BSRem:
+		return b.SRem(x, y)
+	case adl.BAnd:
+		return b.And(x, y)
+	case adl.BOr:
+		return b.Or(x, y)
+	case adl.BXor:
+		return b.Xor(x, y)
+	case adl.BShl:
+		return b.Shl(x, y)
+	case adl.BLShr:
+		return b.LShr(x, y)
+	default:
+		return b.AShr(x, y)
+	}
+}

@@ -1,0 +1,350 @@
+package rtl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/bv"
+	"repro/internal/expr"
+	"repro/internal/rtl"
+)
+
+// testArch is a compact architecture covering every semantics feature:
+// register files, subfields, locals, memory of both widths, traps,
+// faults, nested conditionals and the full operator set.
+const testArch = `
+arch rtltest
+bits 16
+endian big
+
+reg g0 .. g3 : 16
+reg pc : 16 [pc]
+reg fl : 2 { z = 0, n = 1 }
+
+space mem : addr 16 cell 8
+
+format F : 16 { op:5, rd:2 reg(g), rs:2 reg(g), imm:7 simm }
+
+insn alu : F(op = 1) "alu %rd, %rs, %imm" {
+	local t : 16 = rs + sext(imm, 16);
+	rd = (t * 3:16) ^ (rs >>u 2:16);
+	fl.z = rd == 0:16 ? 1:1 : 0:1;
+	fl.n = ext(rd, 15, 15);
+}
+
+insn divish : F(op = 2) "divish %rd, %rs, %imm" {
+	rd = udiv(rs, sext(imm, 16)) + sdiv(rs, rs | 1:16) + urem(rs, 7:16) - srem(rs, 5:16);
+}
+
+insn memop : F(op = 3) "memop %rd, %rs, %imm" {
+	store(zext(imm, 16), 2, rs);
+	rd = load(zext(imm, 16), 2) + zext(load(zext(imm, 16), 1), 16);
+}
+
+insn branchy : F(op = 4) "branchy %rd, %rs, %imm" {
+	if (rs <s 0:16) {
+		rd = -rs;
+		if (rd <u 10:16) { pc = pc + 2:16; } else { pc = pc + 4:16; }
+	} else if (rs == 0:16) {
+		trap(9:16);
+	} else {
+		rd = cat(ext(rs, 7, 0), ext(rs, 15, 8));
+	}
+}
+
+insn faulty : F(op = 5) "faulty %rd, %rs, %imm" {
+	if (rs == 42:16) { error("boom"); }
+	rd = rs & sext(imm, 16);
+}
+
+insn shifty : F(op = 6) "shifty %rd, %rs, %imm" {
+	rd = (rs << zext(imm, 16)) | (rs >>s 1:16);
+	halt();
+}
+`
+
+// concState is a trivial rtl.ConcState over maps.
+type concState struct {
+	regs map[*adl.Reg]uint64
+	mem  map[uint64]byte
+	big  bool
+}
+
+func newConcState(big bool) *concState {
+	return &concState{regs: map[*adl.Reg]uint64{}, mem: map[uint64]byte{}, big: big}
+}
+
+func (s *concState) ReadReg(r *adl.Reg) uint64     { return s.regs[r] }
+func (s *concState) WriteReg(r *adl.Reg, v uint64) { s.regs[r] = bv.Trunc(v, r.Width) }
+
+func (s *concState) Load(addr uint64, cells uint) uint64 {
+	var v uint64
+	for i := uint(0); i < cells; i++ {
+		b := s.mem[addr+uint64(i)]
+		if s.big {
+			v = v<<8 | uint64(b)
+		} else {
+			v |= uint64(b) << (8 * i)
+		}
+	}
+	return v
+}
+
+func (s *concState) Store(addr uint64, cells uint, val uint64) {
+	for i := uint(0); i < cells; i++ {
+		if s.big {
+			s.mem[addr+uint64(i)] = byte(val >> (8 * (cells - 1 - i)))
+		} else {
+			s.mem[addr+uint64(i)] = byte(val >> (8 * i))
+		}
+	}
+}
+
+// symState mirrors concState but holds expressions; with constant
+// contents it must agree with the concrete evaluator exactly.
+type symState struct {
+	b    *expr.Builder
+	regs map[*adl.Reg]*expr.Expr
+	mem  map[uint64]*expr.Expr
+	big  bool
+}
+
+func newSymState(b *expr.Builder, big bool) *symState {
+	return &symState{b: b, regs: map[*adl.Reg]*expr.Expr{}, mem: map[uint64]*expr.Expr{}, big: big}
+}
+
+func (s *symState) ReadReg(r *adl.Reg) *expr.Expr {
+	if v, ok := s.regs[r]; ok {
+		return v
+	}
+	return s.b.Const(r.Width, 0)
+}
+
+func (s *symState) WriteReg(r *adl.Reg, v *expr.Expr, guard *expr.Expr) {
+	if guard != nil {
+		v = s.b.ITE(guard, v, s.ReadReg(r))
+	}
+	s.regs[r] = v
+}
+
+func (s *symState) byteAt(a uint64) *expr.Expr {
+	if v, ok := s.mem[a]; ok {
+		return v
+	}
+	return s.b.Const(8, 0)
+}
+
+func (s *symState) Load(addr *expr.Expr, cells uint, _ *expr.Expr) *expr.Expr {
+	a := addr.ConstVal() // tests use constant addresses
+	var out *expr.Expr
+	for i := uint(0); i < cells; i++ {
+		byt := s.byteAt(a + uint64(i))
+		switch {
+		case out == nil:
+			out = byt
+		case s.big:
+			out = s.b.Concat(out, byt)
+		default:
+			out = s.b.Concat(byt, out)
+		}
+	}
+	return out
+}
+
+func (s *symState) Store(addr *expr.Expr, cells uint, val *expr.Expr, guard *expr.Expr) {
+	a := addr.ConstVal()
+	for i := uint(0); i < cells; i++ {
+		var byt *expr.Expr
+		if s.big {
+			byt = s.b.Extract(val, val.Width()-8*i-1, val.Width()-8*i-8)
+		} else {
+			byt = s.b.Extract(val, 8*i+7, 8*i)
+		}
+		if guard != nil {
+			byt = s.b.ITE(guard, byt, s.byteAt(a+uint64(i)))
+		}
+		s.mem[a+uint64(i)] = byt
+	}
+}
+
+func loadTestArch(t *testing.T) *adl.Arch {
+	t.Helper()
+	a, err := adl.Load("rtltest.adl", testArch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSymbolicMatchesConcreteOnConstants is the evaluator-equivalence
+// property: for every instruction, random operands and random constant
+// machine states, the symbolic evaluator (which must fold to constants)
+// and the concrete evaluator produce identical final states and events.
+func TestSymbolicMatchesConcreteOnConstants(t *testing.T) {
+	a := loadTestArch(t)
+	b := expr.NewBuilder()
+	r := rand.New(rand.NewSource(99))
+	ev := &rtl.SymEval{B: b, A: a}
+
+	for _, ins := range a.Insns {
+		for iter := 0; iter < 200; iter++ {
+			// Random operand values within field widths.
+			ops := rtl.Operands{}
+			for _, op := range ins.Operands {
+				ops[op.Name] = r.Uint64() & (1<<op.Bits() - 1)
+			}
+			// Random initial state, mirrored into both evaluators.
+			cs := newConcState(true)
+			ss := newSymState(b, true)
+			for _, reg := range a.Regs {
+				v := bv.Trunc(r.Uint64(), reg.Width)
+				cs.WriteReg(reg, v)
+				ss.regs[reg] = b.Const(reg.Width, v)
+			}
+			for addr := uint64(0); addr < 256; addr++ {
+				v := byte(r.Uint32())
+				cs.mem[addr] = v
+				ss.mem[addr] = b.Const(8, uint64(v))
+			}
+
+			res := rtl.ConcExec(cs, ins, ops)
+			events := ev.Exec(ss, ins, ops)
+
+			// Compare control outcomes.
+			var sHalt, sTrap, sFault bool
+			var sTrapCode uint64
+			var sFaultMsg string
+			for _, e := range events {
+				on := e.Guard == nil || e.Guard.IsConst() && e.Guard.ConstVal() != 0
+				if !on {
+					if !e.Guard.IsConst() {
+						t.Fatalf("%s: non-constant guard on constant state: %v", ins.Name, e.Guard)
+					}
+					continue
+				}
+				switch e.Kind {
+				case rtl.EvHalt:
+					sHalt = true
+				case rtl.EvTrap:
+					sTrap = true
+					sTrapCode = e.Code.ConstVal()
+				case rtl.EvFault:
+					sFault = true
+					sFaultMsg = e.Msg
+				}
+			}
+			if sHalt != res.Halted || sTrap != res.Trapped || sFault != (res.Fault != "") {
+				t.Fatalf("%s ops=%v: control mismatch: sym halt=%v trap=%v fault=%v vs conc %+v",
+					ins.Name, ops, sHalt, sTrap, sFault, res)
+			}
+			if sTrap && sTrapCode != res.TrapCode {
+				t.Fatalf("%s: trap code %d vs %d", ins.Name, sTrapCode, res.TrapCode)
+			}
+			if sFault && sFaultMsg != res.Fault {
+				t.Fatalf("%s: fault %q vs %q", ins.Name, sFaultMsg, res.Fault)
+			}
+			if res.Stopped() {
+				// The concrete evaluator stops mid-instruction on control
+				// events; state comparison below would compare against
+				// partially executed semantics.
+				continue
+			}
+
+			// Compare final register values.
+			for _, reg := range a.Regs {
+				sv := ss.ReadReg(reg)
+				if !sv.IsConst() {
+					t.Fatalf("%s: register %s not constant: %v", ins.Name, reg.Name, sv)
+				}
+				if sv.ConstVal() != cs.ReadReg(reg) {
+					t.Fatalf("%s ops=%v: register %s: sym %#x vs conc %#x",
+						ins.Name, ops, reg.Name, sv.ConstVal(), cs.ReadReg(reg))
+				}
+			}
+			// Compare memory.
+			for addr, sv := range ss.mem {
+				if !sv.IsConst() {
+					t.Fatalf("%s: mem[%#x] not constant", ins.Name, addr)
+				}
+				if byte(sv.ConstVal()) != cs.mem[addr] {
+					t.Fatalf("%s ops=%v: mem[%#x]: sym %#x vs conc %#x",
+						ins.Name, ops, addr, sv.ConstVal(), cs.mem[addr])
+				}
+			}
+		}
+	}
+}
+
+// TestGuardedEventsOnSymbolicState checks that a symbolic condition in
+// the semantics produces guarded events and ITE-merged register values.
+func TestGuardedEventsOnSymbolicState(t *testing.T) {
+	a := loadTestArch(t)
+	b := expr.NewBuilder()
+	ev := &rtl.SymEval{B: b, A: a}
+
+	var branchy *adl.Insn
+	for _, i := range a.Insns {
+		if i.Name == "branchy" {
+			branchy = i
+		}
+	}
+	ss := newSymState(b, true)
+	sym := b.Var(16, "s")
+	ss.regs[a.Reg("g1")] = sym // rs
+	ops := rtl.Operands{"rd": 0, "rs": 1, "imm": 0}
+
+	events := ev.Exec(ss, branchy, ops)
+	// The rs == 0 trap must be guarded by a non-constant condition.
+	foundTrap := false
+	for _, e := range events {
+		if e.Kind == rtl.EvTrap {
+			foundTrap = true
+			if e.Guard == nil || e.Guard.IsConst() {
+				t.Errorf("trap guard should be symbolic, got %v", e.Guard)
+			}
+		}
+	}
+	if !foundTrap {
+		t.Fatal("no trap event emitted")
+	}
+	// rd (g0) must be an ITE-merged value mentioning s.
+	rd := ss.ReadReg(a.Reg("g0"))
+	if rd.IsConst() {
+		t.Errorf("rd unexpectedly constant: %v", rd)
+	}
+	vars := expr.VarsOf(rd)
+	if len(vars) != 1 || vars[0] != sym {
+		t.Errorf("rd does not depend on s: %v", rd)
+	}
+	// pc must also be merged (two different targets under s<0).
+	pc := ss.ReadReg(a.Reg("pc"))
+	if pc.IsConst() {
+		t.Errorf("pc unexpectedly constant: %v", pc)
+	}
+}
+
+// TestDivEventsEmitted verifies that every division operator announces
+// its divisor.
+func TestDivEventsEmitted(t *testing.T) {
+	a := loadTestArch(t)
+	b := expr.NewBuilder()
+	ev := &rtl.SymEval{B: b, A: a}
+	var divish *adl.Insn
+	for _, i := range a.Insns {
+		if i.Name == "divish" {
+			divish = i
+		}
+	}
+	ss := newSymState(b, true)
+	events := ev.Exec(ss, divish, rtl.Operands{"rd": 0, "rs": 1, "imm": 3})
+	divs := 0
+	for _, e := range events {
+		if e.Kind == rtl.EvDiv {
+			divs++
+		}
+	}
+	if divs != 4 {
+		t.Errorf("div events = %d, want 4 (udiv, sdiv, urem, srem)", divs)
+	}
+}

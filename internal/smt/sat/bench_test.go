@@ -1,0 +1,67 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPigeonholeUnsat(b *testing.B) {
+	for _, n := range []int{6, 8} {
+		b.Run(string(rune('0'+n)), func(b *testing.B) {
+			for b.Loop() {
+				s := New()
+				pigeonhole(s, n+1, n)
+				if r, _ := s.Solve(); r != Unsat {
+					b.Fatal("php sat?!")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	// Near the phase-transition ratio (4.26 clauses/var).
+	const nVars, nClauses = 120, 511
+	r := rand.New(rand.NewSource(3))
+	var cnf [][]Lit
+	for c := 0; c < nClauses; c++ {
+		cl := make([]Lit, 3)
+		for k := range cl {
+			cl[k] = MkLit(r.Intn(nVars), r.Intn(2) == 1)
+		}
+		cnf = append(cnf, cl)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	// One clause database, many assumption queries: the engine's usage
+	// pattern.
+	s := New()
+	const n = 60
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		a := vars[i%n]
+		c := vars[(i+n/2)%n]
+		s.Solve(MkLit(a, false), MkLit(c, i%2 == 0))
+		i++
+	}
+}

@@ -1,0 +1,321 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	r, err := s.Solve()
+	if err != nil || r != Sat {
+		t.Fatalf("Solve = %v, %v", r, err)
+	}
+	if !s.Value(v) {
+		t.Error("unit clause x not reflected in model")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	if ok := s.AddClause(MkLit(v, true)); ok {
+		t.Error("adding ~x after unit x should report unsat")
+	}
+	r, _ := s.Solve()
+	if r != Unsat {
+		t.Fatalf("Solve = %v, want unsat", r)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	w := s.NewVar()
+	if !s.AddClause(MkLit(v, false), MkLit(v, true), MkLit(w, false)) {
+		t.Error("tautological clause rejected")
+	}
+	if r, _ := s.Solve(); r != Sat {
+		t.Error("empty problem after tautology should be sat")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// x0 & (x0 -> x1) & (x1 -> x2) ... forces all true.
+	s := New()
+	const n = 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], false))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	if r, _ := s.Solve(); r != Sat {
+		t.Fatal("chain should be sat")
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons in n holes, classically unsat.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i1 := 0; i1 < pigeons; i1++ {
+			for i2 := i1 + 1; i2 < pigeons; i2++ {
+				s.AddClause(MkLit(p[i1][j], true), MkLit(p[i2][j], true))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n+1, n)
+		if r, _ := s.Solve(); r != Unsat {
+			t.Errorf("PHP(%d,%d) = sat?!", n+1, n)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if r, _ := s.Solve(); r != Sat {
+		t.Error("PHP(5,5) should be sat")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	s.AddClause(MkLit(x, true), MkLit(y, false)) // x -> y
+	if r, _ := s.Solve(MkLit(x, false), MkLit(y, true)); r != Unsat {
+		t.Error("assuming x & ~y against x->y should be unsat")
+	}
+	// The database itself must still be satisfiable afterwards.
+	if r, _ := s.Solve(); r != Sat {
+		t.Error("database became unsat after failed assumption solve")
+	}
+	if r, _ := s.Solve(MkLit(x, false)); r != Sat {
+		t.Error("assuming x alone should be sat")
+	}
+	if !s.Value(y) {
+		t.Error("model under assumption x must have y true")
+	}
+}
+
+func TestRepeatedIncrementalSolves(t *testing.T) {
+	// Alternate contradictory assumption sets many times; learned clauses
+	// must never leak unsoundness across calls.
+	s := New()
+	const n = 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Ring of implications x_i -> x_{i+1 mod n}.
+	for i := 0; i < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[(i+1)%n], false))
+	}
+	for iter := 0; iter < 50; iter++ {
+		i := iter % n
+		j := (i + n/2) % n
+		// x_i & ~x_j contradicts the ring.
+		if r, _ := s.Solve(MkLit(vars[i], false), MkLit(vars[j], true)); r != Unsat {
+			t.Fatalf("iter %d: expected unsat", iter)
+		}
+		if r, _ := s.Solve(MkLit(vars[i], false)); r != Sat {
+			t.Fatalf("iter %d: expected sat", iter)
+		}
+	}
+}
+
+// bruteForce checks satisfiability of a CNF with <= 20 variables by
+// enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				bit := m>>l.Var()&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + r.Intn(9) // 4..12
+		nClauses := int(float64(nVars) * (2.0 + r.Float64()*3.0))
+		var cnf [][]Lit
+		for c := 0; c < nClauses; c++ {
+			cl := make([]Lit, 3)
+			for k := range cl {
+				cl[k] = MkLit(r.Intn(nVars), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		trivUnsat := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				trivUnsat = true
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		if trivUnsat {
+			if want {
+				t.Fatalf("iter %d: AddClause claimed unsat but brute force disagrees", iter)
+			}
+			continue
+		}
+		got, err := s.Solve()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v (%d vars, %d clauses)",
+				iter, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies the CNF.
+			for ci, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWithAssumptionsAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 4 + r.Intn(7)
+		nClauses := nVars * 3
+		var cnf [][]Lit
+		for c := 0; c < nClauses; c++ {
+			cl := make([]Lit, 3)
+			for k := range cl {
+				cl[k] = MkLit(r.Intn(nVars), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		skip := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		// Random assumption set, checked against brute force with the
+		// assumptions added as unit clauses.
+		nAssume := 1 + r.Intn(3)
+		var assume []Lit
+		cnfPlus := append([][]Lit(nil), cnf...)
+		used := map[int]bool{}
+		for len(assume) < nAssume {
+			v := r.Intn(nVars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			l := MkLit(v, r.Intn(2) == 1)
+			assume = append(assume, l)
+			cnfPlus = append(cnfPlus, []Lit{l})
+		}
+		want := bruteForce(nVars, cnfPlus)
+		got, err := s.Solve(assume...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v", iter, got, want)
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
+		t.Errorf("stats not collected: %+v", s.Stats)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8) // hard enough to exceed a tiny budget
+	s.MaxConflicts = 10
+	r, err := s.Solve()
+	if err != ErrBudget || r != Unknown {
+		// A very good solver might still finish; accept Unsat too.
+		if r != Unsat {
+			t.Errorf("Solve = %v, %v; want budget error or unsat", r, err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package smt implements an incremental SMT solver for the QF_BV logic
+// (quantifier-free bit-vectors) by eager bit-blasting onto the CDCL SAT
+// solver in internal/smt/sat.
+//
+// The solver is incremental in the style the symbolic execution engine
+// needs: terms are blasted once and cached for the lifetime of the solver,
+// every Tseitin definition is added as a permanent clause (definitions are
+// always consistent), and each Check call merely passes the literals of
+// the queried path condition as SAT assumptions. Learned clauses therefore
+// carry over between queries that share structure.
+package smt
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/smt/sat"
+)
+
+// Result mirrors sat.Result for callers that do not import the sat package.
+type Result = sat.Result
+
+// Re-exported results.
+const (
+	Unknown = sat.Unknown
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+)
+
+// ErrBudget is returned when a query exceeds the configured conflict
+// budget.
+var ErrBudget = errors.New("smt: solver budget exhausted")
+
+// Stats accumulates solver-facade counters across Check calls.
+type Stats struct {
+	Queries    int64
+	SatResults int64
+	UnsatCount int64
+	SolveTime  time.Duration
+	BlastTime  time.Duration
+	// CNF size counters (cumulative over the solver lifetime).
+	AuxVars int64
+	Clauses int64
+}
+
+// Solver is an incremental QF_BV solver over expressions from one Builder.
+type Solver struct {
+	b   *expr.Builder
+	sat *sat.Solver
+
+	bits  map[*expr.Expr][]sat.Lit // bit-vector term -> lits, LSB first
+	lits  map[*expr.Expr]sat.Lit   // boolean term -> lit
+	vars  []*expr.Expr             // blasted expr variables, for Model
+	truth sat.Lit                  // literal fixed to true
+
+	model expr.Env
+
+	// MaxConflicts bounds each individual Check; 0 means unlimited.
+	MaxConflicts int64
+
+	Stats Stats
+}
+
+// New returns a solver for expressions built by b.
+func New(b *expr.Builder) *Solver {
+	s := &Solver{
+		b:    b,
+		sat:  sat.New(),
+		bits: make(map[*expr.Expr][]sat.Lit),
+		lits: make(map[*expr.Expr]sat.Lit),
+	}
+	s.truth = s.fresh()
+	s.sat.AddClause(s.truth)
+	return s
+}
+
+// NumSATVars exposes the size of the underlying SAT instance.
+func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
+
+// NumClauses exposes the number of permanent clauses.
+func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
+
+// SATStats returns the underlying SAT solver statistics.
+func (s *Solver) SATStats() sat.Stats { return s.sat.Stats }
+
+func (s *Solver) fresh() sat.Lit {
+	s.Stats.AuxVars++
+	return sat.MkLit(s.sat.NewVar(), false)
+}
+
+func (s *Solver) add(lits ...sat.Lit) {
+	s.Stats.Clauses++
+	s.sat.AddClause(lits...)
+}
+
+func (s *Solver) constLit(v bool) sat.Lit {
+	if v {
+		return s.truth
+	}
+	return s.truth.Not()
+}
+
+// Check decides the conjunction of the given boolean expressions. On Sat,
+// Model returns a satisfying assignment for every bit-vector variable
+// blasted so far.
+func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
+	t0 := time.Now()
+	as := make([]sat.Lit, 0, len(assumptions))
+	for _, a := range assumptions {
+		if !a.IsBool() {
+			panic("smt: Check with non-boolean assumption")
+		}
+		as = append(as, s.blastBool(a))
+	}
+	s.Stats.BlastTime += time.Since(t0)
+
+	s.Stats.Queries++
+	s.sat.MaxConflicts = s.MaxConflicts
+	t1 := time.Now()
+	r, err := s.sat.Solve(as...)
+	s.Stats.SolveTime += time.Since(t1)
+	if err != nil {
+		return Unknown, ErrBudget
+	}
+	switch r {
+	case Sat:
+		s.Stats.SatResults++
+		s.extractModel()
+	case Unsat:
+		s.Stats.UnsatCount++
+	}
+	return r, nil
+}
+
+func (s *Solver) extractModel() {
+	s.model = make(expr.Env, len(s.vars))
+	for _, v := range s.vars {
+		if v.IsBool() {
+			if s.sat.Value(s.lits[v].Var()) != s.lits[v].Neg() {
+				s.model[v.VarName()] = 1
+			} else {
+				s.model[v.VarName()] = 0
+			}
+			continue
+		}
+		bits := s.bits[v]
+		var val uint64
+		for i, l := range bits {
+			if s.sat.Value(l.Var()) != l.Neg() {
+				val |= 1 << uint(i)
+			}
+		}
+		s.model[v.VarName()] = val
+	}
+}
+
+// Model returns the satisfying assignment found by the most recent Sat
+// Check. Variables never mentioned in any checked formula are absent
+// (callers should treat them as zero, which expr.Eval does).
+func (s *Solver) Model() expr.Env { return s.model }
+
+// Value evaluates e under the current model.
+func (s *Solver) Value(e *expr.Expr) uint64 { return expr.Eval(e, s.model) }

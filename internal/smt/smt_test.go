@@ -1,0 +1,322 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/expr"
+)
+
+func TestTrivialSat(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	r, err := s.Check(b.Eq(x, b.Const(8, 42)))
+	if err != nil || r != Sat {
+		t.Fatalf("Check = %v, %v", r, err)
+	}
+	if got := s.Model()["x"]; got != 42 {
+		t.Errorf("model x = %d, want 42", got)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	r, err := s.Check(
+		b.ULt(x, b.Const(8, 5)),
+		b.UGt(x, b.Const(8, 10)),
+	)
+	if err != nil || r != Unsat {
+		t.Fatalf("Check = %v, %v; want unsat", r, err)
+	}
+}
+
+func TestArithmeticEquation(t *testing.T) {
+	// 3*x + 7 == 52 at width 16 => x == 15.
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(16, "x")
+	eq := b.Eq(b.Add(b.Mul(b.Const(16, 3), x), b.Const(16, 7)), b.Const(16, 52))
+	r, err := s.Check(eq)
+	if err != nil || r != Sat {
+		t.Fatalf("Check = %v, %v", r, err)
+	}
+	if got := s.Model()["x"]; got != 15 {
+		t.Errorf("x = %d, want 15", got)
+	}
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	// x udiv 0 == 0xff must be valid: its negation is unsat.
+	q := b.UDiv(x, b.Const(8, 0))
+	r, err := s.Check(b.Ne(q, b.Const(8, 0xff)))
+	if err != nil || r != Unsat {
+		t.Fatalf("x udiv 0 != 0xff should be unsat, got %v, %v", r, err)
+	}
+	// x urem 0 == x valid.
+	rm := b.URem(x, b.Const(8, 0))
+	r, err = s.Check(b.Ne(rm, x))
+	if err != nil || r != Unsat {
+		t.Fatalf("x urem 0 != x should be unsat, got %v, %v", r, err)
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	// For y != 0: (x udiv y)*y + (x urem y) == x must be valid.
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(6, "x")
+	y := b.Var(6, "y")
+	lhs := b.Add(b.Mul(b.UDiv(x, y), y), b.URem(x, y))
+	r, err := s.Check(b.NonZero(y), b.Ne(lhs, x))
+	if err != nil || r != Unsat {
+		t.Fatalf("udiv/urem round trip violated: %v, %v", r, err)
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	// x <s 0 && x >u 0x7f is satisfiable (negative values).
+	r, err := s.Check(b.SLt(x, b.Const(8, 0)), b.UGt(x, b.Const(8, 0x7f)))
+	if err != nil || r != Sat {
+		t.Fatalf("Check = %v, %v", r, err)
+	}
+	if m := s.Model()["x"]; m < 0x80 {
+		t.Errorf("model x = %#x should be negative", m)
+	}
+	// x <s 0 && x <u 0x40: unsat (negatives are large unsigned).
+	r, err = s.Check(b.SLt(x, b.Const(8, 0)), b.ULt(x, b.Const(8, 0x40)))
+	if err != nil || r != Unsat {
+		t.Fatalf("Check = %v, %v; want unsat", r, err)
+	}
+}
+
+func TestIncrementalQueries(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(16, "x")
+	y := b.Var(16, "y")
+	pc1 := b.ULt(x, y)
+	pc2 := b.Eq(b.Add(x, y), b.Const(16, 100))
+	// Query a growing path condition, then contradictory extensions.
+	if r, _ := s.Check(pc1); r != Sat {
+		t.Fatal("pc1 should be sat")
+	}
+	if r, _ := s.Check(pc1, pc2); r != Sat {
+		t.Fatal("pc1 & pc2 should be sat")
+	}
+	m := s.Model()
+	if !(m["x"] < m["y"]) || bv.Add(m["x"], m["y"], 16) != 100 {
+		t.Errorf("model %v does not satisfy constraints", m)
+	}
+	// x > y directly contradicts pc1 (note x+y can wrap, so a bound on x
+	// alone would NOT be contradictory at width 16).
+	if r, _ := s.Check(pc1, pc2, b.UGt(x, y)); r != Unsat {
+		t.Fatal("x>y with x<y should be unsat")
+	}
+	// The earlier query must still be answerable.
+	if r, _ := s.Check(pc1, pc2); r != Sat {
+		t.Fatal("pc1 & pc2 regressed to unsat")
+	}
+}
+
+// randomExpr generates a random bit-vector expression for the equivalence
+// and model-soundness property tests.
+func randomExpr(r *rand.Rand, b *expr.Builder, vars []*expr.Expr, depth int) *expr.Expr {
+	w := vars[0].Width()
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return vars[r.Intn(len(vars))]
+		}
+		return b.Const(w, r.Uint64())
+	}
+	x := randomExpr(r, b, vars, depth-1)
+	y := randomExpr(r, b, vars, depth-1)
+	switch r.Intn(16) {
+	case 0:
+		return b.Add(x, y)
+	case 1:
+		return b.Sub(x, y)
+	case 2:
+		return b.Mul(x, y)
+	case 3:
+		return b.And(x, y)
+	case 4:
+		return b.Or(x, y)
+	case 5:
+		return b.Xor(x, y)
+	case 6:
+		return b.Shl(x, y)
+	case 7:
+		return b.LShr(x, y)
+	case 8:
+		return b.AShr(x, y)
+	case 9:
+		return b.Not(x)
+	case 10:
+		return b.Neg(x)
+	case 11:
+		return b.UDiv(x, y)
+	case 12:
+		return b.URem(x, y)
+	case 13:
+		return b.SDiv(x, y)
+	case 14:
+		return b.SRem(x, y)
+	default:
+		return b.ITE(b.ULt(x, y), x, y)
+	}
+}
+
+// TestBlastingMatchesEval: for random expressions e and random concrete
+// environments, asserting "e == Eval(e, env)" together with "var == env
+// value" must be satisfiable, and asserting e != value under the pinned
+// variables must be unsatisfiable. This ties the bit-blaster to the
+// reference evaluator bit-for-bit.
+func TestBlastingMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, w := range []uint{1, 3, 8, 13} {
+		for iter := 0; iter < 25; iter++ {
+			b := expr.NewBuilder()
+			s := New(b)
+			vars := []*expr.Expr{b.Var(w, "a"), b.Var(w, "b")}
+			e := randomExpr(r, b, vars, 3)
+			env := expr.Env{"a": bv.Trunc(r.Uint64(), w), "b": bv.Trunc(r.Uint64(), w)}
+			want := expr.Eval(e, env)
+			pin := []*expr.Expr{
+				b.Eq(vars[0], b.Const(w, env["a"])),
+				b.Eq(vars[1], b.Const(w, env["b"])),
+			}
+			res, err := s.Check(append(pin, b.Eq(e, b.Const(w, want)))...)
+			if err != nil || res != Sat {
+				t.Fatalf("w=%d iter=%d: e==eval(e) under pinned vars not sat (%v, %v)\ne=%v env=%v want=%#x",
+					w, iter, res, err, e, env, want)
+			}
+			res, err = s.Check(append(pin, b.Ne(e, b.Const(w, want)))...)
+			if err != nil || res != Unsat {
+				t.Fatalf("w=%d iter=%d: e!=eval(e) under pinned vars not unsat (%v, %v)\ne=%v env=%v want=%#x",
+					w, iter, res, err, e, env, want)
+			}
+		}
+	}
+}
+
+// TestModelSoundness: whenever the solver reports Sat, evaluating the
+// asserted formula under the returned model must yield true.
+func TestModelSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 60; iter++ {
+		b := expr.NewBuilder()
+		s := New(b)
+		w := uint(4 + r.Intn(10))
+		vars := []*expr.Expr{b.Var(w, "a"), b.Var(w, "b"), b.Var(w, "c")}
+		e1 := randomExpr(r, b, vars, 3)
+		e2 := randomExpr(r, b, vars, 3)
+		var p *expr.Expr
+		switch r.Intn(3) {
+		case 0:
+			p = b.Eq(e1, e2)
+		case 1:
+			p = b.ULt(e1, e2)
+		default:
+			p = b.SLe(e1, e2)
+		}
+		res, err := s.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == Sat && !expr.EvalBool(p, s.Model()) {
+			t.Fatalf("iter %d: model %v does not satisfy %v", iter, s.Model(), p)
+		}
+	}
+}
+
+// TestSimplifierEquivalenceProved: the solver proves that the simplifying
+// and non-simplifying builders produce logically equivalent terms.
+func TestSimplifierEquivalenceProved(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		b := expr.NewBuilder()
+		s := New(b)
+		w := uint(8)
+		vars := []*expr.Expr{b.Var(w, "a"), b.Var(w, "b")}
+		// Build the same random structure twice: once as-is (builder
+		// simplifies) and once wrapped to defeat sharing-based shortcuts.
+		r2 := rand.New(rand.NewSource(int64(iter)))
+		e1 := randomExpr(r2, b, vars, 3)
+		b.Simplify = false
+		r2 = rand.New(rand.NewSource(int64(iter)))
+		e2 := randomExpr(r2, b, vars, 3)
+		b.Simplify = true
+		res, err := s.Check(b.Ne(e1, e2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != Unsat {
+			t.Fatalf("iter %d: simplified %v and plain %v differ (model %v)", iter, e1, e2, s.Model())
+		}
+	}
+}
+
+func TestExtractConcatShift(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(16, "x")
+	hi := b.Extract(x, 15, 8)
+	lo := b.Extract(x, 7, 0)
+	// concat(lo, hi) == (x >> 8) | (x << 8) is the 16-bit byte swap.
+	swapped := b.Concat(lo, hi)
+	alt := b.Or(b.LShr(x, b.Const(16, 8)), b.Shl(x, b.Const(16, 8)))
+	r, err := s.Check(b.Ne(swapped, alt))
+	if err != nil || r != Unsat {
+		t.Fatalf("byte-swap identity not proved: %v, %v", r, err)
+	}
+}
+
+func TestSExtProperty(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	// sext16(x) as signed equals x as signed: sext preserves slt with 0.
+	p := b.BoolXor(b.SLt(x, b.Const(8, 0)), b.SLt(b.SExt(x, 16), b.Const(16, 0)))
+	r, err := s.Check(p)
+	if err != nil || r != Unsat {
+		t.Fatalf("sext sign preservation not proved: %v, %v", r, err)
+	}
+}
+
+func TestBoolVars(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	p := b.BoolVar("p")
+	q := b.BoolVar("q")
+	res, err := s.Check(b.BoolOr(p, q), b.BoolNot(p))
+	if err != nil || res != Sat {
+		t.Fatalf("Check = %v, %v", res, err)
+	}
+	m := s.Model()
+	if m["p"] != 0 || m["q"] != 1 {
+		t.Errorf("model %v, want p=0 q=1", m)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	x := b.Var(8, "x")
+	s.Check(b.Eq(x, b.Const(8, 1)))
+	s.Check(b.Eq(x, b.Const(8, 2)))
+	if s.Stats.Queries != 2 || s.Stats.SatResults != 2 {
+		t.Errorf("stats %+v", s.Stats)
+	}
+	if s.Stats.Clauses == 0 || s.Stats.AuxVars == 0 {
+		t.Errorf("no CNF accounted: %+v", s.Stats)
+	}
+}
