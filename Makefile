@@ -1,0 +1,21 @@
+# Tier-1 verification (see ROADMAP.md): build, tests, vet, and the race
+# detector over the packages with concurrent machinery.
+
+.PHONY: check build test vet race bench
+
+check: build test vet race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/core ./internal/smt
+
+bench:
+	go test -bench=. -benchmem

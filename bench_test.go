@@ -11,7 +11,9 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/arch"
 	"repro/internal/asm"
@@ -321,6 +323,75 @@ func BenchmarkTable5CompiledBinaries(b *testing.B) {
 				paths = len(r.Paths)
 			}
 			b.ReportMetric(float64(paths), "paths")
+		})
+	}
+}
+
+// BenchmarkParallelExplore compares worker counts on a fork-heavy
+// program (the parallel-architecture experiment, docs/engine.md). The
+// paths/sec metric is the headline: on multi-core hardware workers=4
+// multiplies it; on a single-core host it exposes the coordination
+// overhead instead (a few percent).
+func BenchmarkParallelExplore(b *testing.B) {
+	src := harness.BranchLadder("tiny32", 10)
+	p := mustAssemble(b, "tiny32", src)
+	a := arch.MustLoad("tiny32")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var paths int
+			var hits, misses int64
+			var wall time.Duration
+			for b.Loop() {
+				e := core.NewEngine(a, p, core.Options{
+					InputBytes: 10, MaxPaths: 1 << 11, Workers: workers,
+				})
+				r, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				paths = len(r.Paths)
+				hits, misses = r.Stats.Solver.CacheHits, r.Stats.Solver.CacheMisses
+				wall += r.Stats.WallTime
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(paths)*float64(b.N)/wall.Seconds(), "paths/s")
+			}
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
+			}
+			b.ReportMetric(float64(paths), "paths")
+		})
+	}
+}
+
+// BenchmarkQueryCache isolates the solver-query cache on the workload
+// where queries genuinely repeat: concolic generational search, which
+// re-poses prefix conditions across generations.
+func BenchmarkQueryCache(b *testing.B) {
+	src := harness.Needle("tiny32", []byte{1, 2, 3})
+	p := mustAssemble(b, "tiny32", src)
+	a := arch.MustLoad("tiny32")
+	for _, cfg := range []struct {
+		name    string
+		noCache bool
+	}{
+		{"cache", false},
+		{"no-cache", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var hits, misses, queries int64
+			for b.Loop() {
+				e := core.NewEngine(a, p, core.Options{InputBytes: 6, NoQueryCache: cfg.noCache})
+				if _, err := e.Concolic(nil, 64); err != nil {
+					b.Fatal(err)
+				}
+				hits, misses = e.Solver.Stats.CacheHits, e.Solver.Stats.CacheMisses
+				queries = e.Solver.Stats.Queries
+			}
+			b.ReportMetric(float64(queries), "queries")
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
+			}
 		})
 	}
 }

@@ -4,20 +4,37 @@
 //
 // Usage:
 //
-//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4]
+//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/harness"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel (0 = all CPUs)")
 	flag.Parse()
+
+	var workerCounts []int
+	for _, f := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad -workers value %q\n", f)
+			os.Exit(2)
+		}
+		if n == 0 {
+			n = runtime.NumCPU()
+		}
+		workerCounts = append(workerCounts, n)
+	}
 
 	switch *only {
 	case "":
@@ -40,6 +57,8 @@ func main() {
 		harness.PrintFig3(os.Stdout, harness.RunFig3([]int{3, 5, 7}))
 	case "fig4":
 		harness.PrintFig4(os.Stdout, harness.RunFig4([]uint{8, 16, 24, 32, 48, 64}))
+	case "parallel":
+		harness.RunParallelScaling(workerCounts).Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

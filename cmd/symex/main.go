@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-paths-detail] <image.rimg>
+//	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail] <image.rimg>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/arch"
 	"repro/internal/checker"
@@ -28,6 +29,8 @@ func main() {
 	dumpSMT := flag.Int("dump-smtlib", 0, "print the first N path conditions as SMT-LIB 2 scripts")
 	concolic := flag.Int("concolic", 0, "run generational concolic testing with up to N concrete executions instead of full exploration")
 	seed := flag.String("seed", "", "seed input for -concolic")
+	workers := flag.Int("workers", 1, "parallel exploration workers (0 = all CPUs)")
+	noCache := flag.Bool("no-query-cache", false, "disable the shared solver-query cache")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
@@ -65,11 +68,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 	e := core.NewEngine(a, p, core.Options{
-		InputBytes: *inputs,
-		MaxSteps:   *steps,
-		MaxPaths:   *paths,
-		Strategy:   strat,
+		InputBytes:   *inputs,
+		MaxSteps:     *steps,
+		MaxPaths:     *paths,
+		Strategy:     strat,
+		Workers:      *workers,
+		NoQueryCache: *noCache,
 	})
 	for _, c := range checker.All() {
 		e.AddChecker(c)
@@ -109,6 +117,18 @@ func main() {
 	fmt.Printf("solver: %d queries (%d sat / %d unsat), %v solving\n",
 		r.Stats.Solver.Queries, r.Stats.Solver.SatResults,
 		r.Stats.Solver.UnsatCount, r.Stats.Solver.SolveTime.Round(1000))
+	if h, m := r.Stats.Solver.CacheHits, r.Stats.Solver.CacheMisses; h+m > 0 {
+		fmt.Printf("query cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			h, m, 100*float64(h)/float64(h+m))
+	}
+	for _, ws := range r.Stats.WorkerStats {
+		util := 0.0
+		if r.Stats.WallTime > 0 {
+			util = 100 * float64(ws.Busy) / float64(r.Stats.WallTime)
+		}
+		fmt.Printf("worker %d: %d instructions, %d paths, %d steals, %.0f%% busy\n",
+			ws.ID, ws.Steps, ws.Paths, ws.Steals, util)
+	}
 
 	byStatus := map[core.Status]int{}
 	for _, pth := range r.Paths {

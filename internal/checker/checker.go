@@ -77,8 +77,12 @@ func (c OutOfBounds) MemAccess(ctx *core.CheckCtx, addr *expr.Expr, cells uint, 
 	}
 	valid := e.ValidAddr(addr, cells)
 	if ok, model := ctx.SatUnder(e.B.BoolNot(valid)); ok {
-		bad := e.Solver.Value(addr)
-		ctx.Report(c.Name(), fmt.Sprintf("%d-byte %s can reach invalid address %#x", cells, kind, bad), model)
+		// The message deliberately omits the offending concrete address:
+		// the model (and thus the witness value) is solver-order dependent,
+		// and the finding text must be stable across runs and worker
+		// schedules for deduplication and report diffing. The witness
+		// remains available through Bug.Model/Input.
+		ctx.Report(c.Name(), fmt.Sprintf("%d-byte %s can reach an invalid address", cells, kind), model)
 	}
 }
 
@@ -98,8 +102,9 @@ func (c TaintedJump) Jump(ctx *core.CheckCtx, target *expr.Expr) {
 	e := ctx.Engine
 	valid := e.ValidAddr(target, 1)
 	if ok, model := ctx.SatUnder(e.B.BoolNot(valid)); ok {
-		bad := e.Solver.Value(target)
-		ctx.Report(c.Name(), fmt.Sprintf("computed jump can leave the image (e.g. to %#x)", bad), model)
+		// As in OutOfBounds, no concrete witness address in the message:
+		// message text must be schedule-independent (witness in Bug.Model).
+		ctx.Report(c.Name(), "computed jump can leave the image", model)
 		return
 	}
 	// Otherwise still note it when it depends on program input.

@@ -41,7 +41,7 @@ type ConcolicReport struct {
 // classic heuristic).
 func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 	e.report = Report{}
-	e.bugDedup = make(map[string]bool)
+	e.bugSeen = newBugDedup()
 	rep := &ConcolicReport{}
 	covered := map[uint64]bool{}
 	tried := map[string]bool{}
@@ -121,7 +121,7 @@ func normalizeInput(in []byte, n int) []byte {
 func (e *Engine) runConcolic(input []byte, covered map[uint64]bool) (*ConcolicPath, []*expr.Expr, error) {
 	env := expr.Env{}
 	for i, b := range input {
-		env[inputVarName(i)] = uint64(b)
+		env[e.inputName(i)] = uint64(b)
 	}
 	st := e.initialState()
 	out := &ConcolicPath{Input: input}

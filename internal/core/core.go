@@ -80,8 +80,24 @@ type Options struct {
 
 	// MergeStates enables opportunistic state merging: live states at
 	// the same program counter fold into one if-then-else-merged state,
-	// trading path count for term size (veritesting-style).
+	// trading path count for term size (veritesting-style). Merging needs
+	// a global view of the live set, so it only applies to serial runs;
+	// it is ignored when Workers > 1.
 	MergeStates bool
+
+	// Workers is the number of exploration workers. 0 or 1 runs the
+	// classic serial loop; N > 1 explores paths concurrently: each worker
+	// owns its own expression builder and solver (neither is
+	// goroutine-safe), pulls states from a shared strategy-aware frontier,
+	// and re-homes stolen states onto its builder via a term-transfer
+	// pass. The explored path set, the bug sites and the coverage are
+	// deterministic and identical to a serial run as long as no budget
+	// (MaxPaths, MaxStates, TimeBudget, StopOnBug) truncates the search;
+	// see docs/engine.md for exactly which report fields stay bit-stable.
+	Workers int
+
+	// NoQueryCache disables the shared solver-query cache (ablation).
+	NoQueryCache bool
 
 	// TimeBudget bounds the wall-clock time of a Run (0 = unlimited).
 	// Checked between instructions; remaining live states are killed.
@@ -141,6 +157,11 @@ type PathResult struct {
 	Depth    int
 	PathCond []*expr.Expr
 	Output   []*expr.Expr
+
+	// sig is the builder-independent path signature (a hash chain over
+	// the appended path conditions); the parallel merge orders completed
+	// paths by it.
+	sig uint64
 }
 
 // Stats aggregates engine counters for one run.
@@ -154,8 +175,23 @@ type Stats struct {
 	MaxLiveSet   int
 	DecodeCalls  int64 // actual decoder invocations (cache misses)
 	Merges       int64 // state merges performed (MergeStates)
+	Coverage     int   // distinct instruction addresses executed
 	WallTime     time.Duration
 	Solver       smt.Stats
+
+	// WorkerStats has one entry per exploration worker when Workers > 1
+	// (nil for serial runs). Per-worker numbers are schedule-dependent.
+	WorkerStats []WorkerStat
+}
+
+// WorkerStat describes one exploration worker's share of a parallel run.
+type WorkerStat struct {
+	ID     int
+	Steps  int64         // instructions executed by this worker
+	Paths  int           // paths this worker completed
+	Steals int64         // states claimed from other workers' forks
+	Busy   time.Duration // time spent executing (vs waiting on the frontier)
+	Solver smt.Stats
 }
 
 // Report is the outcome of Engine.Run.
@@ -214,8 +250,27 @@ type Engine struct {
 	// an ongoing concolic replay.
 	concEnv expr.Env
 
-	// bugDedup suppresses duplicate findings at the same pc/checker.
-	bugDedup map[string]bool
+	// bugSeen suppresses duplicate findings at the same pc/checker. It is
+	// sharded and concurrency-safe: in parallel runs one instance is
+	// shared by every worker engine.
+	bugSeen *bugDedup
+
+	// cache memoizes solver queries; shared across workers and concolic
+	// replays. Nil only when Options.NoQueryCache is set.
+	cache *smt.QueryCache
+
+	// inputNames is the precomputed "in<i>" variable-name table, so the
+	// input-byte hot paths never fmt.Sprintf.
+	inputNames []string
+
+	// Parallel-run plumbing: shVisits replaces the visits map when this
+	// engine is a worker of a parallel run (shared, sharded); par points
+	// at the coordinating run state; workerID is this worker's index.
+	shVisits *visitTable
+	par      *parRun
+	workerID int
+	steals   int64         // states adopted from other workers' builders
+	busy     time.Duration // time spent executing states
 }
 
 // Region is a half-open address range with a human-readable role.
@@ -241,16 +296,24 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 	b := expr.NewBuilder()
 	b.Simplify = !opts.NoSimplify
 	e := &Engine{
-		Arch:     a,
-		B:        b,
-		Solver:   smt.New(b),
-		Dec:      decoder.New(a),
-		Prog:     p,
-		Opts:     opts,
-		xlate:    make(map[uint64]decoder.Decoded),
-		visits:   make(map[uint64]int64),
-		rng:      rand.New(rand.NewSource(opts.Seed + 1)),
-		bugDedup: make(map[string]bool),
+		Arch:    a,
+		B:       b,
+		Solver:  smt.New(b),
+		Dec:     decoder.New(a),
+		Prog:    p,
+		Opts:    opts,
+		xlate:   make(map[uint64]decoder.Decoded),
+		visits:  make(map[uint64]int64),
+		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
+		bugSeen: newBugDedup(),
+	}
+	e.inputNames = make([]string, opts.InputBytes)
+	for i := range e.inputNames {
+		e.inputNames[i] = fmt.Sprintf("in%d", i)
+	}
+	if !opts.NoQueryCache {
+		e.cache = smt.NewQueryCache()
+		e.Solver.Cache = e.cache
 	}
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts
 	// Default layout: each program segment plus the stack.
@@ -293,14 +356,17 @@ func (e *Engine) ValidAddr(addr *expr.Expr, cells uint) *expr.Expr {
 	return valid
 }
 
-// ReportBug records a finding (deduplicated per checker+pc+msg).
+// ReportBug records a finding (deduplicated per checker+pc+msg, globally
+// across workers in parallel runs).
 func (ctx *CheckCtx) Report(check, msg string, model expr.Env) {
 	e := ctx.Engine
-	key := fmt.Sprintf("%s|%x|%s", check, ctx.PC, msg)
-	if e.bugDedup[key] {
+	key := dedupKey{check: check, pc: ctx.PC, msg: msg}
+	if !e.bugSeen.first(key) {
 		return
 	}
-	e.bugDedup[key] = true
+	if e.par != nil {
+		e.par.bugCount.Add(1)
+	}
 	e.report.Bugs = append(e.report.Bugs, Bug{
 		Check:   check,
 		PC:      ctx.PC,
@@ -329,18 +395,29 @@ func (ctx *CheckCtx) SatUnder(extra ...*expr.Expr) (bool, expr.Env) {
 
 // InputFromModel concretizes the symbolic input bytes under a model.
 // Bytes the model does not constrain read as zero; the result is trimmed
-// after the last constrained byte.
+// after the last constrained byte. Two passes over the precomputed name
+// table keep this allocation-exact (one make of the trimmed length) on a
+// path hot enough to show up in bug-dense runs.
 func (e *Engine) InputFromModel(m expr.Env) []byte {
-	out := make([]byte, 0, e.Opts.InputBytes)
 	last := 0
-	for i := 0; i < e.Opts.InputBytes; i++ {
-		v, ok := m[inputVarName(i)]
-		out = append(out, byte(v))
-		if ok {
+	for i := len(e.inputNames) - 1; i >= 0; i-- {
+		if _, ok := m[e.inputNames[i]]; ok {
 			last = i + 1
+			break
 		}
 	}
-	return out[:last]
+	out := make([]byte, last)
+	for i := 0; i < last; i++ {
+		out[i] = byte(m[e.inputNames[i]])
+	}
+	return out
 }
 
-func inputVarName(i int) string { return fmt.Sprintf("in%d", i) }
+// inputName returns the symbolic-input variable name for byte i without
+// formatting in the hot path.
+func (e *Engine) inputName(i int) string {
+	if i < len(e.inputNames) {
+		return e.inputNames[i]
+	}
+	return fmt.Sprintf("in%d", i)
+}

@@ -12,10 +12,15 @@ import (
 )
 
 // Run explores the program from its entry point and returns the report.
+// With Options.Workers > 1 the exploration is distributed over a worker
+// pool (see parallel.go); otherwise the classic serial loop runs.
 func (e *Engine) Run() (*Report, error) {
+	if e.Opts.Workers > 1 {
+		return e.runParallel()
+	}
 	t0 := time.Now()
 	e.report = Report{}
-	e.bugDedup = make(map[string]bool)
+	e.bugSeen = newBugDedup()
 
 	live := []*State{e.initialState()}
 
@@ -51,6 +56,7 @@ func (e *Engine) Run() (*Report, error) {
 	}
 	e.report.Stats.WallTime = time.Since(t0)
 	e.report.Stats.Solver = e.Solver.Stats
+	e.report.Stats.Coverage = len(e.visits)
 	return &e.report, nil
 }
 
@@ -60,6 +66,7 @@ func (e *Engine) initialState() *State {
 		regs: make([]*expr.Expr, len(e.Arch.Regs)),
 		mem:  newMemory(e.Prog.Image(), e.Arch.Bits),
 		PC:   e.Prog.Entry,
+		home: e.B,
 	}
 	e.nextID++
 	for i, r := range e.Arch.Regs {
@@ -82,7 +89,7 @@ func (e *Engine) pick(live []*State) (*State, []*State) {
 	case Coverage:
 		best := int64(1) << 62
 		for i, s := range live {
-			if v := e.visits[s.PC]; v < best {
+			if v := e.visitCount(s.PC); v < best {
 				best, idx = v, i
 			}
 		}
@@ -106,7 +113,26 @@ func (e *Engine) finish(st *State) {
 		Depth:    st.Depth,
 		PathCond: st.PathCond,
 		Output:   st.Output,
+		sig:      st.sig,
 	})
+}
+
+// visitCount reads the per-pc execution count, from the shared table in
+// parallel runs and the engine-local map otherwise.
+func (e *Engine) visitCount(pc uint64) int64 {
+	if e.shVisits != nil {
+		return e.shVisits.get(pc)
+	}
+	return e.visits[pc]
+}
+
+// recordVisit bumps the per-pc execution count.
+func (e *Engine) recordVisit(pc uint64) {
+	if e.shVisits != nil {
+		e.shVisits.inc(pc)
+		return
+	}
+	e.visits[pc]++
 }
 
 func (st *State) done(status Status) *State {
@@ -149,7 +175,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 		st.Fault = err.Error()
 		return []*State{st.done(StatusDecode)}, nil
 	}
-	e.visits[st.PC]++
+	e.recordVisit(st.PC)
 	e.report.Stats.Instructions++
 	st.Steps++
 
@@ -266,7 +292,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	if sat {
 		taken = st.clone(e.nextID)
 		e.nextID++
-		taken.PathCond = append(taken.PathCond, guard)
+		taken.appendCond(guard)
 	} else {
 		e.report.Stats.Infeasible++
 	}
@@ -276,7 +302,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 		return nil, nil, err
 	}
 	if sat {
-		st.PathCond = append(st.PathCond, neg)
+		st.appendCond(neg)
 		fallthru = st
 	} else {
 		e.report.Stats.Infeasible++
@@ -314,7 +340,7 @@ func (e *Engine) trap(st *State, code *expr.Expr, pc uint64) *State {
 			return st.done(StatusFault)
 		}
 		if st.inputCount < e.Opts.InputBytes {
-			in := e.B.Var(8, inputVarName(st.inputCount))
+			in := e.B.Var(8, e.inputName(st.inputCount))
 			st.inputCount++
 			st.SetReg(ret, e.B.ZExt(in, ret.Width))
 		} else {
@@ -385,6 +411,7 @@ func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
 	if len(ts) > 1 {
 		e.report.Stats.Forks += int64(len(ts) - 1)
 	}
+	baseSig := st.sig
 	for i, t := range ts {
 		cond := append(append([]*expr.Expr(nil), st.PathCond...), t.conds...)
 		if len(ts) > 1 || len(t.conds) > 0 {
@@ -408,6 +435,11 @@ func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
 			e.nextID++
 		}
 		child.PathCond = cond
+		sig := baseSig
+		for _, c := range t.conds {
+			sig = expr.MixHash(sig, expr.Hash(c))
+		}
+		child.sig = sig
 		child.PC = bv.Trunc(t.addr, e.Arch.Bits)
 		out = append(out, child)
 	}
@@ -420,7 +452,7 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 	if e.concEnv != nil {
 		// Concolic replay: follow the concrete target only.
 		addr := expr.Eval(pcv, e.concEnv)
-		st.PathCond = append(st.PathCond, e.B.Eq(pcv, e.B.Const(pcv.Width(), addr)))
+		st.appendCond(e.B.Eq(pcv, e.B.Const(pcv.Width(), addr)))
 		st.PC = addr
 		return []*State{st}, nil
 	}
@@ -438,7 +470,7 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 		eq := e.B.Eq(pcv, e.B.Const(pcv.Width(), addr))
 		child := st.clone(e.nextID)
 		e.nextID++
-		child.PathCond = append(child.PathCond, eq)
+		child.appendCond(eq)
 		child.PC = addr
 		out = append(out, child)
 		excl = append(excl, e.B.BoolNot(eq))

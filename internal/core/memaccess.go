@@ -101,7 +101,7 @@ func (c *execCtx) concretize(addr *expr.Expr, guard *expr.Expr) (uint64, bool) {
 		if guard != nil {
 			eq = c.e.B.Implies(guard, eq)
 		}
-		c.st.PathCond = append(c.st.PathCond, eq)
+		c.st.appendCond(eq)
 		return v, true
 	}
 	cond := c.st.PathCond
@@ -114,7 +114,7 @@ func (c *execCtx) concretize(addr *expr.Expr, guard *expr.Expr) (uint64, bool) {
 		case err == nil && r == smt.Sat:
 			v := c.e.Solver.Value(addr)
 			eq := c.e.B.Eq(addr, c.e.B.Const(addr.Width(), v))
-			c.st.PathCond = append(c.st.PathCond, c.e.B.Implies(guard, eq))
+			c.st.appendCond(c.e.B.Implies(guard, eq))
 			return v, true
 		case err == nil && r == smt.Unsat:
 			return 0, false // guard infeasible: the access never happens
@@ -145,7 +145,7 @@ func (c *execCtx) concretize(addr *expr.Expr, guard *expr.Expr) (uint64, bool) {
 	if guard != nil {
 		eq = c.e.B.Implies(guard, eq)
 	}
-	c.st.PathCond = append(c.st.PathCond, eq)
+	c.st.appendCond(eq)
 	return v, true
 }
 

@@ -57,7 +57,9 @@ func (e *Engine) merge(a, b *State) *State {
 		Depth:      max(a.Depth, b.Depth),
 		inputCount: a.inputCount,
 		PathCond:   []*expr.Expr{e.B.BoolOr(condA, condB)},
+		home:       e.B,
 	}
+	m.sig = expr.MixHash(0, expr.Hash(m.PathCond[0]))
 	e.nextID++
 	for i := range a.regs {
 		m.regs[i] = e.ite(condA, a.regs[i], b.regs[i])

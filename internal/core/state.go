@@ -30,10 +30,29 @@ type State struct {
 
 	inputCount int
 
+	// sig is an order-sensitive hash chain over the structural digests of
+	// the appended path conditions. Unlike ID (an allocation order that is
+	// schedule-dependent in parallel runs) it identifies a path by the
+	// branch decisions that produced it, so the parallel engine can order
+	// completed paths canonically.
+	sig uint64
+
+	// home is the Builder that owns this state's terms. A worker claiming
+	// a state forked on another worker's builder must re-home it (term
+	// transfer) before touching it.
+	home *expr.Builder
+
 	// Terminal status, set when the path completes.
 	Done   bool
 	Status Status
 	Fault  string
+}
+
+// appendCond extends the path condition and folds the condition's
+// structural digest into the path signature.
+func (st *State) appendCond(c *expr.Expr) {
+	st.PathCond = append(st.PathCond, c)
+	st.sig = expr.MixHash(st.sig, expr.Hash(c))
 }
 
 // Status tells how a path ended.

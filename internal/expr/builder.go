@@ -65,6 +65,7 @@ func (b *Builder) mk(kind Kind, width uint8, val uint64, name string, a0, a1, a2
 		args: [3]*Expr{a0, a1, a2}, nargs: k.nargs,
 		id: b.nextID,
 	}
+	e.h0, e.h1 = nodeDigest(kind, width, val, name, a0, a1, a2)
 	b.nextID++
 	b.interned[k] = e
 	return e

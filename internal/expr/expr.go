@@ -105,6 +105,11 @@ type Expr struct {
 	args  [3]*Expr
 	nargs uint8
 	id    uint32 // builder-local sequence number, stable and dense
+	// h0/h1 are two independent lanes of the structural digest, computed
+	// once at intern time from the operator and the operand digests. They
+	// are builder-independent: structurally equal terms built by different
+	// Builders carry the same digest (see hash.go).
+	h0, h1 uint64
 }
 
 // Kind returns the node's operator kind.

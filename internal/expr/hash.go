@@ -1,0 +1,106 @@
+package expr
+
+// Structural hashing of expression DAGs.
+//
+// Every node carries a 128-bit digest (two independent 64-bit lanes)
+// computed once when the node is interned, so hashing a term at use sites
+// is O(1). The digest depends only on the structure of the term — operator
+// kind, width, constant value, variable name and operand digests — never
+// on builder-local state such as intern ids. Two Builders that construct
+// structurally equal terms therefore produce equal digests, which is what
+// lets the shared solver-query cache and the parallel engine's canonical
+// path ordering work across worker-owned builders.
+//
+// Operand digests of commutative operators are combined in sorted order,
+// so terms that differ only by a commutative argument swap (which the
+// Builder performs based on builder-local intern ids) hash identically.
+
+// Digest is the 128-bit structural fingerprint of an expression. The two
+// lanes are mixed with independent constants; treating the pair as the
+// identity of a term has a collision probability of ~2^-128 per pair,
+// negligible against the term counts any analysis reaches.
+type Digest struct {
+	H0, H1 uint64
+}
+
+// Digest returns the node's structural fingerprint.
+func (e *Expr) Digest() Digest { return Digest{e.h0, e.h1} }
+
+// Hash returns one 64-bit lane of the structural digest, for callers that
+// only need a hash (path signatures, shard selection). Use Digest when a
+// collision would be unsound.
+func Hash(e *Expr) uint64 { return e.h0 }
+
+// Less orders digests lexicographically by lane.
+func (d Digest) Less(o Digest) bool {
+	if d.H0 != o.H0 {
+		return d.H0 < o.H0
+	}
+	return d.H1 < o.H1
+}
+
+// Mixing constants: splitmix64 / murmur3 finalizer multipliers, with a
+// distinct seed per lane.
+const (
+	hashSeed0 = 0x9e3779b97f4a7c15
+	hashSeed1 = 0xc2b2ae3d27d4eb4f
+	hashMul0  = 0xff51afd7ed558ccd
+	hashMul1  = 0xc4ceb9fe1a85ec53
+)
+
+func mix(h, v, mul uint64) uint64 {
+	h ^= v
+	h *= mul
+	h ^= h >> 33
+	return h
+}
+
+// MixHash folds v into an accumulator; exported for order-sensitive
+// hash chains over digests (path signatures).
+func MixHash(h, v uint64) uint64 { return mix(h, v, hashMul0) }
+
+// commutes reports whether the operator's binary operands can be swapped
+// without changing its meaning. The Builder canonicalizes some of these by
+// builder-local id, so cross-builder digests must not see the order.
+func commutes(k Kind) bool {
+	switch k {
+	case KAdd, KMul, KAnd, KOr, KXor, KEq, KBoolAnd, KBoolOr, KBoolXor:
+		return true
+	}
+	return false
+}
+
+// nodeDigest computes the structural digest for a node under construction.
+// args carries the already-interned operands (nil-padded).
+func nodeDigest(kind Kind, width uint8, val uint64, name string, a0, a1, a2 *Expr) (uint64, uint64) {
+	h0 := mix(hashSeed0, uint64(kind)<<8|uint64(width), hashMul0)
+	h1 := mix(hashSeed1, uint64(kind)<<8|uint64(width), hashMul1)
+	h0 = mix(h0, val, hashMul0)
+	h1 = mix(h1, val, hashMul1)
+	for i := 0; i < len(name); i++ {
+		h0 = mix(h0, uint64(name[i])+1, hashMul0)
+		h1 = mix(h1, uint64(name[i])+1, hashMul1)
+	}
+	if a0 == nil {
+		return h0, h1
+	}
+	if a1 != nil && a2 == nil && commutes(kind) {
+		// Combine the two operand digests order-insensitively but keep the
+		// pairing of lanes: sort by (h0, h1).
+		x, y := a0, a1
+		if y.h0 < x.h0 || y.h0 == x.h0 && y.h1 < x.h1 {
+			x, y = y, x
+		}
+		h0 = mix(mix(h0, x.h0, hashMul0), y.h0, hashMul0)
+		h1 = mix(mix(h1, x.h1, hashMul1), y.h1, hashMul1)
+		return h0, h1
+	}
+	for _, a := range [...]*Expr{a0, a1, a2} {
+		if a == nil {
+			break
+		}
+		h0 = mix(h0, a.h0, hashMul0)
+		h1 = mix(h1, a.h1, hashMul1)
+	}
+	return h0, h1
+}

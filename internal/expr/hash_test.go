@@ -1,0 +1,108 @@
+package expr
+
+import "testing"
+
+// Structural digests must be independent of the owning Builder: the
+// parallel engine's query cache keys on them across workers that each
+// intern the same terms in a different order.
+func TestDigestBuilderIndependent(t *testing.T) {
+	mk := func(b *Builder) *Expr {
+		x := b.Var(32, "x")
+		y := b.Var(32, "y")
+		return b.ULt(b.Add(b.Mul(x, y), b.Const(32, 7)), b.Xor(x, y))
+	}
+	b1, b2 := NewBuilder(), NewBuilder()
+	// Pollute b2 with unrelated terms first so the intern ids diverge.
+	b2.Add(b2.Var(32, "z"), b2.Const(32, 1))
+	e1, e2 := mk(b1), mk(b2)
+	if e1.Digest() != e2.Digest() {
+		t.Errorf("digest differs across builders: %v vs %v", e1.Digest(), e2.Digest())
+	}
+}
+
+// Commutative operators canonicalize operand order by builder-local
+// intern id, which differs between builders; the digest must not see the
+// difference.
+func TestDigestCommutativeOrderInsensitive(t *testing.T) {
+	b1 := NewBuilder()
+	x1 := b1.Var(32, "x") // x interned first
+	y1 := b1.Var(32, "y")
+	b2 := NewBuilder()
+	y2 := b2.Var(32, "y") // y interned first
+	x2 := b2.Var(32, "x")
+	cases := []struct {
+		name string
+		a, b *Expr
+	}{
+		{"add", b1.Add(x1, y1), b2.Add(x2, y2)},
+		{"mul", b1.Mul(x1, y1), b2.Mul(x2, y2)},
+		{"and", b1.And(x1, y1), b2.And(x2, y2)},
+		{"or", b1.Or(x1, y1), b2.Or(x2, y2)},
+		{"xor", b1.Xor(x1, y1), b2.Xor(x2, y2)},
+		{"eq", b1.Eq(x1, y1), b2.Eq(x2, y2)},
+	}
+	for _, c := range cases {
+		if c.a.Digest() != c.b.Digest() {
+			t.Errorf("%s: digest depends on intern order: %v vs %v", c.name, c.a.Digest(), c.b.Digest())
+		}
+	}
+}
+
+func TestDigestDistinguishes(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(32, "x")
+	y := b.Var(32, "y")
+	pairs := []struct {
+		name string
+		a, c *Expr
+	}{
+		{"op", b.Add(x, y), b.Mul(x, y)},
+		{"operand", b.Add(x, x), b.Add(x, y)},
+		{"const", b.Const(32, 1), b.Const(32, 2)},
+		{"width", b.Const(16, 1), b.Const(32, 1)},
+		{"var", x, y},
+		{"non-commutative order", b.Sub(x, y), b.Sub(y, x)},
+	}
+	for _, p := range pairs {
+		if p.a.Digest() == p.c.Digest() {
+			t.Errorf("%s: distinct terms share a digest", p.name)
+		}
+	}
+}
+
+func TestTransferPreservesDigestAndValue(t *testing.T) {
+	src := NewBuilder()
+	x := src.Var(32, "x")
+	y := src.Var(32, "y")
+	e := src.ITE(src.ULt(x, y), src.Add(src.Mul(x, y), src.Const(32, 3)), src.Shl(x, src.Const(32, 2)))
+	dst := NewBuilder()
+	dst.Var(32, "y") // different intern order in the destination
+	memo := make(map[*Expr]*Expr)
+	out := Transfer(dst, e, memo)
+	if out.Digest() != e.Digest() {
+		t.Errorf("transfer changed the digest: %v vs %v", out.Digest(), e.Digest())
+	}
+	env := Env{"x": 12, "y": 99}
+	if Eval(out, env) != Eval(e, env) {
+		t.Errorf("transfer changed the value: %d vs %d", Eval(out, env), Eval(e, env))
+	}
+	if memo[e] != out {
+		t.Error("memo does not record the transferred root")
+	}
+}
+
+func TestTransferMemoSharing(t *testing.T) {
+	src := NewBuilder()
+	x := src.Var(8, "x")
+	sum := src.Add(x, src.Const(8, 1))
+	top := src.Mul(sum, sum)
+	dst := NewBuilder()
+	memo := make(map[*Expr]*Expr)
+	out := Transfer(dst, top, memo)
+	if out.Arg(0) != out.Arg(1) {
+		t.Error("shared subterm was not interned to one node in the destination")
+	}
+	if got := Eval(out, Env{"x": 4}); got != 25 {
+		t.Errorf("Eval = %d, want 25", got)
+	}
+}

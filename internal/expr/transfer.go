@@ -1,0 +1,40 @@
+package expr
+
+// Transfer rebuilds e inside builder dst, which may be a different Builder
+// than the one that created e. The parallel engine uses this to re-home a
+// forked state onto the claiming worker's builder: Builders are not
+// goroutine-safe, so a state's terms must live in the builder of the
+// worker that executes it.
+//
+// memo caches source-node -> destination-node mappings; pass the same map
+// for all terms of one state so shared subterms are rebuilt once. Reading
+// the source nodes is safe while the source builder keeps interning new
+// terms, because nodes are immutable after creation.
+//
+// The result is structurally equal to e modulo the Builder's commutative
+// operand canonicalization (which orders by builder-local intern id), so
+// the structural digest (hash.go) is preserved exactly.
+func Transfer(dst *Builder, e *Expr, memo map[*Expr]*Expr) *Expr {
+	if out, ok := memo[e]; ok {
+		return out
+	}
+	var out *Expr
+	switch e.Kind() {
+	case KConst:
+		out = dst.Const(e.Width(), e.ConstVal())
+	case KBoolConst:
+		out = dst.Bool(e.ConstVal() != 0)
+	case KVar:
+		out = dst.Var(e.Width(), e.VarName())
+	case KBoolVar:
+		out = dst.BoolVar(e.VarName())
+	default:
+		args := make([]*Expr, e.NumArgs())
+		for i := range args {
+			args[i] = Transfer(dst, e.Arg(i), memo)
+		}
+		out = rebuild(dst, e, args)
+	}
+	memo[e] = out
+	return out
+}

@@ -1,0 +1,134 @@
+// Query caching: a concurrent, sharded memo table over solver queries,
+// shared by every Solver of one analysis (and, in parallel runs, by every
+// worker's solver). Symbolic execution re-poses huge numbers of
+// structurally identical queries — both branch sides share the path
+// prefix, sibling paths re-check the same conditions, and concolic replay
+// re-solves conditions full exploration already discharged — so a
+// memoized sat/unsat/model lookup in front of the bit-blaster removes a
+// large share of solver time.
+//
+// Keys are 128-bit structural digests (expr.Digest) folded over the
+// query's assumptions in sorted order, which makes the key independent of
+// both the owning Builder and the order in which the conjuncts were
+// listed. Sat results memoize the model that was found; it remains a
+// valid model for any later structurally identical query.
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+)
+
+const cacheShards = 64
+
+// QueryCache memoizes Check outcomes keyed by the structural digest of
+// the assumption set. It is safe for concurrent use.
+type QueryCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]cacheEntry
+}
+
+// cacheKey is the order-insensitive 128-bit digest of an assumption set.
+type cacheKey struct{ k0, k1 uint64 }
+
+type cacheEntry struct {
+	r     Result
+	model expr.Env // satisfying assignment for Sat entries; must not be mutated
+}
+
+// NewQueryCache returns an empty cache.
+func NewQueryCache() *QueryCache {
+	c := &QueryCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]cacheEntry)
+	}
+	return c
+}
+
+// queryKey folds the assumption digests, sorted, into one key, so that
+// permutations of the same conjunct set share an entry.
+func queryKey(assumptions []*expr.Expr) cacheKey {
+	ds := make([]expr.Digest, len(assumptions))
+	for i, a := range assumptions {
+		ds[i] = a.Digest()
+	}
+	// Insertion sort: assumption lists are short-ish and mostly sorted
+	// (shared path prefixes), so this beats sort.Slice allocations.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Less(ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	k := cacheKey{k0: 0x8f14e45fceea167a, k1: 0x5bd1e9955bd1e995}
+	k.k0 = expr.MixHash(k.k0, uint64(len(ds)))
+	k.k1 = expr.MixHash(k.k1, uint64(len(ds)))
+	for _, d := range ds {
+		k.k0 = expr.MixHash(k.k0, d.H0)
+		k.k1 = expr.MixHash(k.k1, d.H1)
+	}
+	return k
+}
+
+func (c *QueryCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[k.k0%cacheShards]
+}
+
+// lookup returns a memoized result for the key, counting hit/miss.
+func (c *QueryCache) lookup(k cacheKey) (cacheEntry, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store memoizes a definitive result. Budget-limited (Unknown) outcomes
+// must not be stored: they are not canonical.
+func (c *QueryCache) store(k cacheKey, e cacheEntry) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = e
+	}
+	s.mu.Unlock()
+}
+
+// Hits returns the number of lookups answered from the cache.
+func (c *QueryCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of lookups that fell through to the solver.
+func (c *QueryCache) Misses() int64 { return c.misses.Load() }
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *QueryCache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Size returns the number of memoized queries.
+func (c *QueryCache) Size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

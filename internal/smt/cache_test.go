@@ -1,0 +1,140 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestCacheHitOnRepeatQuery(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	s.Cache = NewQueryCache()
+	x := b.Var(8, "x")
+	q := b.Eq(x, b.Const(8, 42))
+	r1, err := s.Check(q)
+	if err != nil || r1 != Sat {
+		t.Fatalf("first check: %v, %v", r1, err)
+	}
+	r2, err := s.Check(q)
+	if err != nil || r2 != Sat {
+		t.Fatalf("second check: %v, %v", r2, err)
+	}
+	if s.Stats.CacheHits != 1 || s.Stats.CacheMisses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", s.Stats.CacheHits, s.Stats.CacheMisses)
+	}
+	if got := s.Value(x); got != 42 {
+		t.Errorf("cached model: x = %d, want 42", got)
+	}
+}
+
+func TestCacheSharedAcrossSolvers(t *testing.T) {
+	cache := NewQueryCache()
+	mkQuery := func(b *expr.Builder) *expr.Expr {
+		x := b.Var(8, "x")
+		return b.BoolAnd(b.ULt(x, b.Const(8, 10)), b.UGt(x, b.Const(8, 20)))
+	}
+
+	b1 := expr.NewBuilder()
+	s1 := New(b1)
+	s1.Cache = cache
+	if r, err := s1.Check(mkQuery(b1)); err != nil || r != Unsat {
+		t.Fatalf("solver 1: %v, %v", r, err)
+	}
+
+	// A second solver over a different builder poses the structurally
+	// identical query; the shared cache must answer it.
+	b2 := expr.NewBuilder()
+	b2.Var(16, "noise") // desynchronize intern order
+	s2 := New(b2)
+	s2.Cache = cache
+	if r, err := s2.Check(mkQuery(b2)); err != nil || r != Unsat {
+		t.Fatalf("solver 2: %v, %v", r, err)
+	}
+	if s2.Stats.CacheHits != 1 {
+		t.Errorf("solver 2 hits = %d, want 1", s2.Stats.CacheHits)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", cache.Hits(), cache.Misses())
+	}
+}
+
+func TestCacheKeyOrderInsensitive(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	s.Cache = NewQueryCache()
+	x := b.Var(8, "x")
+	a1 := b.ULt(x, b.Const(8, 100))
+	a2 := b.UGt(x, b.Const(8, 50))
+	if r, err := s.Check(a1, a2); err != nil || r != Sat {
+		t.Fatalf("first order: %v, %v", r, err)
+	}
+	if r, err := s.Check(a2, a1); err != nil || r != Sat {
+		t.Fatalf("permuted order: %v, %v", r, err)
+	}
+	if s.Stats.CacheHits != 1 {
+		t.Errorf("hits = %d, want 1 (permuted conjuncts should share an entry)", s.Stats.CacheHits)
+	}
+	v := s.Value(x)
+	if v <= 50 || v >= 100 {
+		t.Errorf("cached model out of range: x = %d", v)
+	}
+}
+
+func TestCacheDistinguishesQueries(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(b)
+	s.Cache = NewQueryCache()
+	x := b.Var(8, "x")
+	if r, _ := s.Check(b.Eq(x, b.Const(8, 1))); r != Sat {
+		t.Fatal("q1 not sat")
+	}
+	if r, _ := s.Check(b.Eq(x, b.Const(8, 2))); r != Sat {
+		t.Fatal("q2 not sat")
+	}
+	if s.Stats.CacheHits != 0 {
+		t.Errorf("hits = %d, want 0 for distinct queries", s.Stats.CacheHits)
+	}
+	if s.Cache.Size() != 2 {
+		t.Errorf("size = %d, want 2", s.Cache.Size())
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	cache := NewQueryCache()
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- true }()
+			b := expr.NewBuilder()
+			s := New(b)
+			s.Cache = cache
+			x := b.Var(16, "x")
+			for i := 0; i < 40; i++ {
+				// Everyone poses the same 20 queries; results must agree.
+				want := Sat
+				q := b.Eq(b.And(x, b.Const(16, 0xff)), b.Const(16, uint64(i%20)))
+				if r, err := s.Check(q); err != nil || r != want {
+					t.Errorf("worker %d query %d: %v, %v", w, i, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if cache.Size() != 20 {
+		t.Errorf("size = %d, want 20", cache.Size())
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Queries: 1, SatResults: 2, UnsatCount: 3, AuxVars: 4, Clauses: 5, CacheHits: 6, CacheMisses: 7}
+	b := Stats{Queries: 10, SatResults: 20, UnsatCount: 30, AuxVars: 40, Clauses: 50, CacheHits: 60, CacheMisses: 70}
+	a.Add(b)
+	if a.Queries != 11 || a.SatResults != 22 || a.UnsatCount != 33 ||
+		a.AuxVars != 44 || a.Clauses != 55 || a.CacheHits != 66 || a.CacheMisses != 77 {
+		t.Errorf("Add merged wrong: %+v", a)
+	}
+}

@@ -42,6 +42,23 @@ type Stats struct {
 	// CNF size counters (cumulative over the solver lifetime).
 	AuxVars int64
 	Clauses int64
+	// Query-cache counters (zero when no cache is attached). Hits are
+	// queries answered without blasting or solving.
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Add accumulates o into s (used to merge per-worker solver stats).
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.SatResults += o.SatResults
+	s.UnsatCount += o.UnsatCount
+	s.SolveTime += o.SolveTime
+	s.BlastTime += o.BlastTime
+	s.AuxVars += o.AuxVars
+	s.Clauses += o.Clauses
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // Solver is an incremental QF_BV solver over expressions from one Builder.
@@ -58,6 +75,12 @@ type Solver struct {
 
 	// MaxConflicts bounds each individual Check; 0 means unlimited.
 	MaxConflicts int64
+
+	// Cache, when non-nil, memoizes Check results across structurally
+	// identical queries. One cache may be shared by many solvers (each
+	// owning a different Builder) concurrently; the engine shares one
+	// across all exploration workers and concolic replays.
+	Cache *QueryCache
 
 	Stats Stats
 }
@@ -105,12 +128,32 @@ func (s *Solver) constLit(v bool) sat.Lit {
 // Model returns a satisfying assignment for every bit-vector variable
 // blasted so far.
 func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
-	t0 := time.Now()
-	as := make([]sat.Lit, 0, len(assumptions))
 	for _, a := range assumptions {
 		if !a.IsBool() {
 			panic("smt: Check with non-boolean assumption")
 		}
+	}
+	var key cacheKey
+	if s.Cache != nil {
+		key = queryKey(assumptions)
+		if e, ok := s.Cache.lookup(key); ok {
+			s.Stats.Queries++
+			s.Stats.CacheHits++
+			switch e.r {
+			case Sat:
+				s.Stats.SatResults++
+				s.model = e.model
+			case Unsat:
+				s.Stats.UnsatCount++
+			}
+			return e.r, nil
+		}
+		s.Stats.CacheMisses++
+	}
+
+	t0 := time.Now()
+	as := make([]sat.Lit, 0, len(assumptions))
+	for _, a := range assumptions {
 		as = append(as, s.blastBool(a))
 	}
 	s.Stats.BlastTime += time.Since(t0)
@@ -129,6 +172,13 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 		s.extractModel()
 	case Unsat:
 		s.Stats.UnsatCount++
+	}
+	if s.Cache != nil && r != Unknown {
+		e := cacheEntry{r: r}
+		if r == Sat {
+			e.model = s.model
+		}
+		s.Cache.store(key, e)
 	}
 	return r, nil
 }
