@@ -1,9 +1,10 @@
-# Tier-1 verification (see ROADMAP.md): build, tests, vet, and the race
-# detector over the packages with concurrent machinery.
+# Tier-1 verification (see ROADMAP.md): build, tests, vet, the race
+# detector over the packages with concurrent machinery, and short
+# fixed-budget smokes of the fuzz targets and the differential oracle.
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest
 
-check: build test vet race
+check: build test vet race fuzz-smoke difftest-smoke
 
 build:
 	go build ./...
@@ -15,7 +16,21 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt
+	go test -race ./internal/core ./internal/smt ./internal/difftest
 
 bench:
 	go test -bench=. -benchmem
+
+# Coverage-guided fuzz targets, a few seconds each (go test allows one
+# -fuzz pattern per invocation).
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzExprCompile -fuzztime=5s ./internal/minic
+	go test -run='^$$' -fuzz=FuzzDifferentialTiny32 -fuzztime=5s ./internal/core
+
+# Differential oracle (docs/difftest.md): CI smoke with a fixed seed,
+# and a longer soak for local use.
+difftest-smoke:
+	go run ./cmd/difftest -rounds 40 -seed 1
+
+difftest:
+	go run ./cmd/difftest -duration 120s -seed 42 -v -corpus difftest-corpus

@@ -1,0 +1,96 @@
+// Command difftest runs the differential oracle: ADL-driven cross-layer
+// fuzzing of the decoder, assembler, RTL evaluators, symbolic engine and
+// SMT solver against concrete execution (see docs/difftest.md).
+//
+// Usage:
+//
+//	difftest [-duration 30s | -rounds N] [-seed N] [-arch a,b] \
+//	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] [-v]
+//
+// The run is a pure function of the seed; every divergence is reported
+// with the sub-seed, a minimized program and the triggering input, and
+// (with -corpus) a replayable counterexample file. Exit status 1 means
+// at least one divergence was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/arch"
+	"repro/internal/difftest"
+)
+
+func main() {
+	duration := flag.Duration("duration", 0, "wall-clock budget (overrides -rounds)")
+	rounds := flag.Int("rounds", 0, "fixed number of rounds (default 16 when no -duration)")
+	seed := flag.Int64("seed", 0, "master seed")
+	arches := flag.String("arch", "", "comma-separated architectures (default: all embedded)")
+	workers := flag.String("workers", "", "comma-separated engine worker counts (default 1,2)")
+	steps := flag.Int64("steps", 0, "per-program instruction budget (default 512)")
+	corpus := flag.String("corpus", "", "directory for counterexample files")
+	verbose := flag.Bool("v", false, "log per-round progress")
+
+	// -adl name=file overrides the subject description for one
+	// architecture; the reference emulator keeps the embedded text, so a
+	// deliberately altered description shows up as counterexamples.
+	overrides := map[string]string{}
+	flag.Func("adl", "subject ADL override, name=file (repeatable)", func(s string) error {
+		name, file, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=file, got %q", s)
+		}
+		overrides[name] = file
+		return nil
+	})
+	flag.Parse()
+
+	opts := difftest.Options{
+		Seed:      *seed,
+		Rounds:    *rounds,
+		Duration:  *duration,
+		MaxSteps:  *steps,
+		CorpusDir: *corpus,
+	}
+	if *arches != "" {
+		opts.Arches = strings.Split(*arches, ",")
+	}
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "difftest: bad worker count %q\n", w)
+				os.Exit(2)
+			}
+			opts.Workers = append(opts.Workers, n)
+		}
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	if len(overrides) > 0 {
+		opts.Source = func(name string) (string, error) {
+			if file, ok := overrides[name]; ok {
+				src, err := os.ReadFile(file)
+				return string(src), err
+			}
+			return arch.Source(name)
+		}
+	}
+
+	res, err := difftest.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Summary())
+	for _, d := range res.Divergences {
+		fmt.Printf("\n%v\n", d)
+	}
+	if len(res.Divergences) > 0 {
+		os.Exit(1)
+	}
+}

@@ -174,6 +174,22 @@ func (m *Machine) PC() uint64 { return m.ReadReg(m.Arch.PC) }
 // Mem reads one byte of memory (for tests and tools).
 func (m *Machine) Mem(addr uint64) byte { return m.mem[m.trunc(addr)] }
 
+// RegSnapshot returns a copy of the register file indexed by Reg.Num, for
+// differential comparison against another execution of the same program.
+func (m *Machine) RegSnapshot() []uint64 {
+	return append([]uint64(nil), m.regs...)
+}
+
+// MemSnapshot returns a copy of every mapped memory byte (program image
+// plus stores). Unmapped addresses read as zero and are absent.
+func (m *Machine) MemSnapshot() map[uint64]byte {
+	out := make(map[uint64]byte, len(m.mem))
+	for a, b := range m.mem {
+		out[a] = b
+	}
+	return out
+}
+
 // Step decodes and executes one instruction; done is non-nil when the run
 // should stop.
 func (m *Machine) Step() (done *Stop) {

@@ -99,6 +99,13 @@ type Options struct {
 	// NoQueryCache disables the shared solver-query cache (ablation).
 	NoQueryCache bool
 
+	// CaptureEndState records each completed path's final symbolic
+	// registers and memory overlay in PathResult.End, so differential
+	// oracles can evaluate the whole end state under a concrete input.
+	// Off by default: end states pin every register expression in memory
+	// for the lifetime of the report.
+	CaptureEndState bool
+
 	// TimeBudget bounds the wall-clock time of a Run (0 = unlimited).
 	// Checked between instructions; remaining live states are killed.
 	TimeBudget time.Duration
@@ -157,6 +164,10 @@ type PathResult struct {
 	Depth    int
 	PathCond []*expr.Expr
 	Output   []*expr.Expr
+
+	// End is the final symbolic machine state, captured only when
+	// Options.CaptureEndState is set (nil otherwise).
+	End *EndState
 
 	// sig is the builder-independent path signature (a hash chain over
 	// the appended path conditions); the parallel merge orders completed

@@ -104,7 +104,7 @@ func (e *Engine) finish(st *State) {
 	if st.Depth > e.report.Stats.MaxDepth {
 		e.report.Stats.MaxDepth = st.Depth
 	}
-	e.report.Paths = append(e.report.Paths, PathResult{
+	pr := PathResult{
 		ID:       st.ID,
 		Status:   st.Status,
 		Fault:    st.Fault,
@@ -114,7 +114,19 @@ func (e *Engine) finish(st *State) {
 		PathCond: st.PathCond,
 		Output:   st.Output,
 		sig:      st.sig,
-	})
+	}
+	if e.Opts.CaptureEndState {
+		end := &EndState{
+			Regs: append([]*expr.Expr(nil), st.regs...),
+			Mem:  make(map[uint64]*expr.Expr, len(st.mem.overlay)),
+			Base: st.mem.base,
+		}
+		for a, v := range st.mem.overlay {
+			end.Mem[a] = v
+		}
+		pr.End = end
+	}
+	e.report.Paths = append(e.report.Paths, pr)
 }
 
 // visitCount reads the per-pc execution count, from the shared table in

@@ -77,74 +77,102 @@ func genTiny32(r *rand.Rand, nOps int) string {
 	return sb.String()
 }
 
+// diffTiny32 runs the program generated from progSeed through the
+// concrete emulator and the symbolic engine and compares the outputs
+// under the model matching input. It skips (returns) when the engine's
+// path budget truncated exploration, since path coverage is then
+// unreliable.
+func diffTiny32(t *testing.T, progSeed int64, input []byte) {
+	t.Helper()
+	a := arch.MustLoad("tiny32")
+	src := genTiny32(rand.New(rand.NewSource(progSeed)), 12)
+	p := build(t, "tiny32", src)
+
+	env := expr.Env{}
+	for i, b := range input {
+		env[fmt.Sprintf("in%d", i)] = uint64(b)
+	}
+
+	// Concrete run.
+	m := conc.NewMachine(a)
+	m.LoadProgram(p)
+	m.Input = input
+	stop := m.Run(100000)
+	if stop.Kind != conc.StopExit {
+		t.Fatalf("concrete run %v\n%s", stop, src)
+	}
+
+	// Symbolic run: find the path consistent with the input.
+	e := core.NewEngine(a, p, core.Options{InputBytes: 4, MaxSteps: 5000, MaxPaths: 200})
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var match *core.PathResult
+	for i := range rep.Paths {
+		pth := &rep.Paths[i]
+		if pth.Status != core.StatusExit {
+			continue
+		}
+		ok := true
+		for _, c := range pth.PathCond {
+			if !expr.EvalBool(c, env) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match = pth
+			break
+		}
+	}
+	if match == nil {
+		if rep.Stats.PathsDone >= 200 || rep.Stats.StatesKilled > 0 {
+			return // budget truncation: the matching path may be the one cut off
+		}
+		t.Fatalf("no symbolic path matches input %v (%d paths)\n%s",
+			input, len(rep.Paths), src)
+	}
+	var got []byte
+	for _, o := range match.Output {
+		got = append(got, byte(expr.Eval(o, env)))
+	}
+	if string(got) != string(m.Output) {
+		t.Fatalf("input %v:\nconcrete % x\nsymbolic % x\n%s",
+			input, m.Output, got, src)
+	}
+}
+
 // TestFuzzDifferential is the randomized end-to-end oracle: for random
 // programs and random inputs, the concrete emulator and the symbolic
 // engine (evaluated under the matching model) must produce identical
 // outputs.
 func TestFuzzDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(2024))
-	a := arch.MustLoad("tiny32")
 	iters := 30
 	if testing.Short() {
 		iters = 5
 	}
 	for iter := 0; iter < iters; iter++ {
-		src := genTiny32(r, 12)
-		p := build(t, "tiny32", src)
-
+		progSeed := r.Int63()
 		input := make([]byte, 4)
 		for i := range input {
 			input[i] = byte(r.Uint32())
 		}
-		env := expr.Env{}
-		for i, b := range input {
-			env[fmt.Sprintf("in%d", i)] = uint64(b)
-		}
-
-		// Concrete run.
-		m := conc.NewMachine(a)
-		m.LoadProgram(p)
-		m.Input = input
-		stop := m.Run(100000)
-		if stop.Kind != conc.StopExit {
-			t.Fatalf("iter %d: concrete run %v\n%s", iter, stop, src)
-		}
-
-		// Symbolic run: find the path consistent with the input.
-		e := core.NewEngine(a, p, core.Options{InputBytes: 4, MaxSteps: 5000, MaxPaths: 200})
-		rep, err := e.Run()
-		if err != nil {
-			t.Fatalf("iter %d: %v", iter, err)
-		}
-		var match *core.PathResult
-		for i := range rep.Paths {
-			pth := &rep.Paths[i]
-			if pth.Status != core.StatusExit {
-				continue
-			}
-			ok := true
-			for _, c := range pth.PathCond {
-				if !expr.EvalBool(c, env) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				match = pth
-				break
-			}
-		}
-		if match == nil {
-			t.Fatalf("iter %d: no symbolic path matches input %v (%d paths)\n%s",
-				iter, input, len(rep.Paths), src)
-		}
-		var got []byte
-		for _, o := range match.Output {
-			got = append(got, byte(expr.Eval(o, env)))
-		}
-		if string(got) != string(m.Output) {
-			t.Fatalf("iter %d input %v:\nconcrete % x\nsymbolic % x\n%s",
-				iter, input, m.Output, got, src)
-		}
+		diffTiny32(t, progSeed, input)
 	}
+}
+
+// FuzzDifferentialTiny32 lets the fuzzer steer the program generator
+// seed and the input bytes through the same oracle.
+func FuzzDifferentialTiny32(f *testing.F) {
+	f.Add(int64(2024), []byte{0, 0, 0, 0})
+	f.Add(int64(1), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(int64(42), []byte{1, 2, 3, 4})
+	f.Add(int64(-7), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, progSeed int64, input []byte) {
+		in := make([]byte, 4)
+		copy(in, input) // the generated programs read exactly 4 bytes
+		diffTiny32(t, progSeed, in)
+	})
 }

@@ -471,6 +471,14 @@ func (e *Engine) mergeWorkerReports(workers []*Engine, vt *visitTable, pr *parRu
 		for k, o := range paths[i].Output {
 			paths[i].Output[k] = expr.Transfer(e.B, o, memo)
 		}
+		if end := paths[i].End; end != nil {
+			for k, r := range end.Regs {
+				end.Regs[k] = expr.Transfer(e.B, r, memo)
+			}
+			for a, v := range end.Mem {
+				end.Mem[a] = expr.Transfer(e.B, v, memo)
+			}
+		}
 	}
 	sort.Slice(bugs, func(i, j int) bool {
 		a, b := &bugs[i], &bugs[j]

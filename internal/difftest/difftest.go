@@ -1,0 +1,283 @@
+// Package difftest is the differential oracle for the generated
+// per-architecture stacks. From each architecture description it derives
+// three cross-checking layers:
+//
+//  1. round-trip — random valid encodings synthesized from the ADL must
+//     survive decode → disassemble → assemble → decode as a fixed point;
+//  2. concrete-vs-symbolic — randomly generated programs run in the
+//     generated concrete emulator (internal/conc) and in the symbolic
+//     engine (internal/core) with fully concretized inputs must end in
+//     identical register/memory/trap state;
+//  3. solver-vs-bv — models sampled from the SMT solver on random QF_BV
+//     predicates must satisfy the predicates under concrete internal/bv
+//     evaluation, in cached and uncached modes and across worker counts.
+//
+// The subject description (Options.Source) is checked against the
+// embedded reference description of the same name, so a deliberately (or
+// accidentally) altered ADL semantic line surfaces as a minimized,
+// replayable counterexample. With the default sources both sides parse
+// identical text and the oracle cross-checks the two independent
+// execution pipelines.
+//
+// Everything is driven by one master seed: a run with the same seed and
+// options reproduces the same checks, and every divergence records the
+// sub-seed of the failing check.
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/arch"
+)
+
+// Layer names used in Result.Checks, Result.Skipped and Divergence.Layer.
+const (
+	LayerRoundTrip = "roundtrip"
+	LayerConcSym   = "concsym"
+	LayerExplore   = "explore" // concsym via full exploration (Workers, end states)
+	LayerSolver    = "solver"
+)
+
+// Options configures a differential run.
+type Options struct {
+	Seed     int64         // master seed (0 is a valid seed)
+	Rounds   int           // fixed round count; 0 with Duration 0 defaults to 16
+	Duration time.Duration // wall-clock budget; rounds run until it expires
+
+	// Arches selects the architectures under test (default: every
+	// embedded architecture).
+	Arches []string
+
+	// Source loads the subject ADL description by name; the generated
+	// assembler, decoder and symbolic engine are built from it. Default:
+	// the embedded description (arch.Source).
+	Source func(name string) (string, error)
+
+	// RefSource loads the reference description the concrete emulator is
+	// built from. Default: the embedded description.
+	RefSource func(name string) (string, error)
+
+	// CorpusDir, when set, receives one replayable counterexample file
+	// per divergence.
+	CorpusDir string
+
+	// Workers lists the engine worker counts the exploration and solver
+	// layers run at (default {1, 2}).
+	Workers []int
+
+	MaxSteps  int64     // per-run instruction budget (default 512)
+	MaxDiverg int       // stop after this many divergences (default 16)
+	Log       io.Writer // verbose progress; nil = quiet
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds == 0 && o.Duration == 0 {
+		o.Rounds = 16
+	}
+	if len(o.Arches) == 0 {
+		o.Arches = arch.Names()
+	}
+	if o.Source == nil {
+		o.Source = arch.Source
+	}
+	if o.RefSource == nil {
+		o.RefSource = arch.Source
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2}
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 512
+	}
+	if o.MaxDiverg == 0 {
+		o.MaxDiverg = 16
+	}
+	return o
+}
+
+// Divergence is one confirmed disagreement between layers.
+type Divergence struct {
+	Layer   string
+	Arch    string // "" for the solver layer
+	Seed    int64  // sub-seed of the failing check (under the master seed)
+	Detail  string // what disagreed, field by field
+	Program string // minimized assembly program or term text
+	Input   []byte // concrete input triggering the disagreement
+	File    string // corpus file path, "" when no corpus dir is set
+}
+
+func (d Divergence) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s", d.Layer)
+	if d.Arch != "" {
+		fmt.Fprintf(&sb, "/%s", d.Arch)
+	}
+	fmt.Fprintf(&sb, " seed=%d] %s", d.Seed, d.Detail)
+	if len(d.Input) > 0 {
+		fmt.Fprintf(&sb, "\n  input: %x", d.Input)
+	}
+	if d.Program != "" {
+		fmt.Fprintf(&sb, "\n  program:\n%s", indent(d.Program, "    "))
+	}
+	if d.File != "" {
+		fmt.Fprintf(&sb, "\n  corpus: %s", d.File)
+	}
+	return sb.String()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Result summarises a differential run.
+type Result struct {
+	Seed        int64
+	Rounds      int              // rounds completed
+	Checks      map[string]int64 // comparisons performed, per layer
+	Skipped     map[string]int64 // comparisons skipped (see docs/difftest.md)
+	Divergences []Divergence
+	Elapsed     time.Duration
+}
+
+// Summary renders the per-layer counters in a stable order.
+func (r *Result) Summary() string {
+	var layers []string
+	for l := range r.Checks {
+		layers = append(layers, l)
+	}
+	for l := range r.Skipped {
+		if _, ok := r.Checks[l]; !ok {
+			layers = append(layers, l)
+		}
+	}
+	sort.Strings(layers)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed %d: %d rounds in %v\n", r.Seed, r.Rounds, r.Elapsed.Round(time.Millisecond))
+	for _, l := range layers {
+		fmt.Fprintf(&sb, "  %-10s %8d checks", l, r.Checks[l])
+		if n := r.Skipped[l]; n > 0 {
+			fmt.Fprintf(&sb, " (%d skipped)", n)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "  divergences: %d\n", len(r.Divergences))
+	return sb.String()
+}
+
+// run carries the mutable state of one differential run.
+type run struct {
+	opts Options
+	res  *Result
+	gens []*archGen
+}
+
+// Run executes the configured differential test and reports the outcome.
+// A non-nil error means the run could not be set up (e.g. an architecture
+// fails to load); divergences are reported in the Result, not as errors.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{
+		Seed:    opts.Seed,
+		Checks:  map[string]int64{},
+		Skipped: map[string]int64{},
+	}
+	r := &run{opts: opts, res: res}
+	for _, name := range opts.Arches {
+		g, err := newArchGen(name, opts.Source, opts.RefSource)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %w", err)
+		}
+		r.gens = append(r.gens, g)
+	}
+
+	master := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	var deadline time.Time
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+	for round := 0; ; round++ {
+		if opts.Duration > 0 && !time.Now().Before(deadline) {
+			break
+		}
+		if opts.Duration == 0 && round >= opts.Rounds {
+			break
+		}
+		if len(res.Divergences) >= opts.MaxDiverg {
+			break
+		}
+		r.round(master, round)
+		res.Rounds++
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "difftest: round %d done, %d divergences\n", round, len(res.Divergences))
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// round runs one unit of each oracle layer for each architecture. Every
+// check draws its own sub-seed from the master stream, so the stream
+// position — and with it the whole run — is a pure function of the
+// master seed.
+func (r *run) round(master *rand.Rand, round int) {
+	for _, g := range r.gens {
+		// Layer 1: one random encoding round-trip per instruction.
+		for _, ins := range g.subj.Insns {
+			r.roundTrip(g, ins, master.Int63())
+		}
+		// Layer 2a: one generated program through concrete replay.
+		r.replayCompare(g, master.Int63())
+		// Layer 2b: every few rounds, a branching program through full
+		// exploration at each worker count, matched path by path.
+		if round%4 == 0 {
+			r.exploreCompare(g, master.Int63())
+		}
+	}
+	// Layer 3: solver metamorphic checks (architecture-independent).
+	r.solverRound(master.Int63())
+}
+
+// diverged records a divergence, writing the corpus file if configured.
+func (r *run) diverged(d Divergence) {
+	if r.opts.CorpusDir != "" {
+		if err := os.MkdirAll(r.opts.CorpusDir, 0o755); err == nil {
+			name := fmt.Sprintf("%s-%s-%016x.txt", d.Layer, orSolver(d.Arch), uint64(d.Seed))
+			path := filepath.Join(r.opts.CorpusDir, name)
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "; difftest counterexample\n; layer: %s\n; arch: %s\n; master seed: %d\n; sub-seed: %d\n; input: %x\n; %s\n",
+				d.Layer, orSolver(d.Arch), r.opts.Seed, d.Seed, d.Input, strings.ReplaceAll(d.Detail, "\n", "\n; "))
+			if d.Program != "" {
+				sb.WriteString(d.Program)
+				if !strings.HasSuffix(d.Program, "\n") {
+					sb.WriteByte('\n')
+				}
+			}
+			if os.WriteFile(path, []byte(sb.String()), 0o644) == nil {
+				d.File = path
+			}
+		}
+	}
+	r.res.Divergences = append(r.res.Divergences, d)
+	if r.opts.Log != nil {
+		fmt.Fprintf(r.opts.Log, "difftest: DIVERGENCE %v\n", d)
+	}
+}
+
+func orSolver(arch string) string {
+	if arch == "" {
+		return "solver"
+	}
+	return arch
+}

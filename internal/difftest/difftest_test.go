@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/arch"
+)
+
+// TestSmoke runs a small fixed-seed differential round over every
+// embedded architecture: all four oracle layers must execute and agree.
+func TestSmoke(t *testing.T) {
+	res, err := Run(Options{Seed: 1, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("unexpected divergences:\n%v", res.Divergences[0])
+	}
+	for _, l := range []string{LayerRoundTrip, LayerConcSym, LayerExplore, LayerSolver} {
+		if res.Checks[l] == 0 {
+			t.Errorf("layer %s ran no checks", l)
+		}
+	}
+}
+
+// TestBrokenSemanticsDetected is the oracle's own acceptance test:
+// deliberately altering one semantic line of the subject description
+// (add computes ra + rb + 1) while the reference emulator keeps the
+// embedded text must surface as a minimized, replayable counterexample
+// mentioning the broken instruction.
+func TestBrokenSemanticsDetected(t *testing.T) {
+	const goodLine = `"add %rd, %ra, %rb" { rd = ra + rb; }`
+	const badLine = `"add %rd, %ra, %rb" { rd = ra + rb + 1:32; }`
+	broken := func(name string) (string, error) {
+		src, err := arch.Source(name)
+		if err != nil {
+			return "", err
+		}
+		out := strings.Replace(src, goodLine, badLine, 1)
+		if out == src {
+			return "", fmt.Errorf("add semantic line not found in %s", name)
+		}
+		return out, nil
+	}
+
+	dir := t.TempDir()
+	res, err := Run(Options{
+		Seed:      7,
+		Rounds:    40,
+		Arches:    []string{"tiny32"},
+		Source:    broken,
+		CorpusDir: dir,
+		MaxDiverg: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatal("broken add semantics went undetected")
+	}
+	sawAdd := false
+	for _, d := range res.Divergences {
+		if d.Layer == LayerRoundTrip || d.Layer == LayerSolver {
+			t.Errorf("semantic break misattributed to layer %s: %v", d.Layer, d)
+		}
+		if strings.Contains(d.Program, "add ") {
+			sawAdd = true
+		}
+		if d.File == "" {
+			t.Errorf("divergence has no corpus file: %v", d)
+		} else if _, err := os.Stat(d.File); err != nil {
+			t.Errorf("corpus file missing: %v", err)
+		}
+	}
+	if !sawAdd {
+		t.Errorf("no counterexample mentions the broken add instruction:\n%v", res.Divergences[0])
+	}
+}

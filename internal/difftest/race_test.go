@@ -1,0 +1,24 @@
+package difftest
+
+import "testing"
+
+// TestOracleUnderRace drives the exploration layer through the engine's
+// parallel scheduler and the solver layer through per-goroutine solvers
+// with a shared query cache, at several worker counts. It is part of the
+// tier-1 `go test -race` set: the point is catching data races in the
+// transfer/cache machinery, not extra coverage.
+func TestOracleUnderRace(t *testing.T) {
+	res, err := Run(Options{Seed: 3, Rounds: 4, Workers: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("unexpected divergences:\n%v", res.Divergences[0])
+	}
+	if res.Checks[LayerExplore] == 0 {
+		t.Error("exploration layer ran no checks")
+	}
+	if res.Checks[LayerSolver] == 0 {
+		t.Error("solver layer ran no checks")
+	}
+}

@@ -1,0 +1,101 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adl"
+	"repro/internal/bv"
+	"repro/internal/decoder"
+)
+
+// roundTrip drives one instruction through the encode → decode →
+// disassemble → assemble → decode cycle and demands a fixed point:
+//
+//	synthesized word  --decode-->  same instruction, same operand values
+//	                  --disasm-->  text
+//	text --assemble--> the original bytes --decode/disasm--> same text
+//
+// The synthesized encoding also cross-decodes under the reference
+// decoder, which pins the subject's mask/match tables against the
+// embedded description.
+func (r *run) roundTrip(g *archGen, ins *adl.Insn, subSeed int64) {
+	r.res.Checks[LayerRoundTrip]++
+	rg := rand.New(rand.NewSource(subSeed))
+	fail := func(format string, args ...interface{}) {
+		r.diverged(Divergence{
+			Layer:  LayerRoundTrip,
+			Arch:   g.name,
+			Seed:   subSeed,
+			Detail: fmt.Sprintf("%s: ", ins.Name) + fmt.Sprintf(format, args...),
+		})
+	}
+
+	word, vals, err := synthWord(rg, ins)
+	if err != nil {
+		fail("cannot synthesize encoding: %v", err)
+		return
+	}
+	enc := encodingBytes(g.subj, word, ins.Format.Bytes())
+
+	dec, err := g.dec.Decode(enc)
+	if err != nil {
+		fail("generated encoding %x does not decode: %v", enc, err)
+		return
+	}
+	if dec.Insn != ins {
+		fail("encoding %x decodes as %s (encoding overlap)", enc, dec.Insn.Name)
+		return
+	}
+	if dec.Len != ins.Format.Bytes() || dec.Word != word {
+		fail("encoding %x decodes to word %#x len %d, want %#x len %d",
+			enc, dec.Word, dec.Len, word, ins.Format.Bytes())
+		return
+	}
+	for name, want := range vals {
+		if got := dec.Ops[name]; got != want {
+			fail("encoding %x: operand %s decodes to %#x, want %#x", enc, name, got, want)
+			return
+		}
+	}
+
+	// Cross-decode under the reference description: same instruction
+	// name, length and operand values.
+	if rdec, rerr := g.rdec.Decode(enc); rerr != nil {
+		fail("encoding %x decodes for the subject but not the reference: %v", enc, rerr)
+		return
+	} else if rdec.Insn.Name != ins.Name || rdec.Len != dec.Len {
+		fail("encoding %x: subject decodes %s/%d, reference %s/%d",
+			enc, ins.Name, dec.Len, rdec.Insn.Name, rdec.Len)
+		return
+	}
+
+	// Disassemble at a random address and demand the assembler
+	// reproduces the bytes, then that the result re-disassembles to the
+	// same text (fixed point).
+	addr := rg.Uint64() & bv.Mask(g.subj.Bits)
+	text := decoder.Disasm(dec, addr)
+	src := fmt.Sprintf(".org %#x\n%s\n", addr, text)
+	p, err := g.as.Assemble("roundtrip.s", src)
+	if err != nil {
+		fail("disassembly %q at %#x does not assemble: %v", text, addr, err)
+		return
+	}
+	if len(p.Segments) != 1 || p.Segments[0].Addr != addr || !bytes.Equal(p.Segments[0].Data, enc) {
+		got := []byte(nil)
+		if len(p.Segments) == 1 {
+			got = p.Segments[0].Data
+		}
+		fail("disassembly %q at %#x assembles to %x, want %x", text, addr, got, enc)
+		return
+	}
+	redec, err := g.dec.Decode(p.Segments[0].Data)
+	if err != nil {
+		fail("reassembled bytes %x do not decode: %v", p.Segments[0].Data, err)
+		return
+	}
+	if retext := decoder.Disasm(redec, addr); retext != text {
+		fail("disassembly is not a fixed point: %q vs %q", text, retext)
+	}
+}

@@ -91,17 +91,12 @@ func b2i(v bool) int32 {
 	return 0
 }
 
-// TestExpressionFuzzAgainstGo compiles random expressions for the 32-bit
-// targets and compares the machine result with Go's int32 arithmetic.
-func TestExpressionFuzzAgainstGo(t *testing.T) {
-	r := rand.New(rand.NewSource(77))
-	iters := 40
-	if testing.Short() {
-		iters = 8
-	}
-	for iter := 0; iter < iters; iter++ {
-		e := genRefExpr(r, 4)
-		src := fmt.Sprintf(`
+// checkRefExpr compiles one reference expression for the 32-bit targets
+// and compares the machine result with Go's int32 arithmetic. a and b
+// are the two input bytes the program reads.
+func checkRefExpr(t *testing.T, e refExpr, a, b int32) {
+	t.Helper()
+	src := fmt.Sprintf(`
 void main() {
 	int a, b, v;
 	a = input();
@@ -114,31 +109,57 @@ void main() {
 	exit();
 }
 `, e.src)
-		a := int32(r.Intn(256))
-		b := int32(r.Intn(256))
-		want := uint32(e.eval(a, b))
-		wantBytes := []byte{byte(want), byte(want >> 8), byte(want >> 16), byte(want >> 24)}
+	want := uint32(e.eval(a, b))
+	wantBytes := []byte{byte(want), byte(want >> 8), byte(want >> 16), byte(want >> 24)}
 
-		for _, target := range []string{"tiny32", "rv32i"} {
-			asmText, err := minic.CompileSource("fuzz.c", src, target)
-			if err != nil {
-				t.Fatalf("iter %d %s: %v\nexpr: %s", iter, target, err, e.src)
-			}
-			pr, err := asm.New(arch.MustLoad(target)).Assemble("fuzz.s", asmText)
-			if err != nil {
-				t.Fatalf("iter %d %s: %v", iter, target, err)
-			}
-			m := conc.NewMachine(arch.MustLoad(target))
-			m.LoadProgram(pr)
-			m.Input = []byte{byte(a), byte(b)}
-			stop := m.Run(1_000_000)
-			if stop.Kind != conc.StopExit {
-				t.Fatalf("iter %d %s: %v\nexpr: %s", iter, target, stop, e.src)
-			}
-			if string(m.Output) != string(wantBytes) {
-				t.Fatalf("iter %d %s: a=%d b=%d expr %s\n got % x\nwant % x",
-					iter, target, a, b, e.src, m.Output, wantBytes)
-			}
+	for _, target := range []string{"tiny32", "rv32i"} {
+		asmText, err := minic.CompileSource("fuzz.c", src, target)
+		if err != nil {
+			t.Fatalf("%s: %v\nexpr: %s", target, err, e.src)
+		}
+		pr, err := asm.New(arch.MustLoad(target)).Assemble("fuzz.s", asmText)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		m := conc.NewMachine(arch.MustLoad(target))
+		m.LoadProgram(pr)
+		m.Input = []byte{byte(a), byte(b)}
+		stop := m.Run(1_000_000)
+		if stop.Kind != conc.StopExit {
+			t.Fatalf("%s: %v\nexpr: %s", target, stop, e.src)
+		}
+		if string(m.Output) != string(wantBytes) {
+			t.Fatalf("%s: a=%d b=%d expr %s\n got % x\nwant % x",
+				target, a, b, e.src, m.Output, wantBytes)
 		}
 	}
+}
+
+// TestExpressionFuzzAgainstGo compiles random expressions for the 32-bit
+// targets and compares the machine result with Go's int32 arithmetic.
+func TestExpressionFuzzAgainstGo(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	for iter := 0; iter < iters; iter++ {
+		e := genRefExpr(r, 4)
+		checkRefExpr(t, e, int32(r.Intn(256)), int32(r.Intn(256)))
+	}
+}
+
+// FuzzExprCompile is the coverage-guided version: the fuzzer steers the
+// generator seed and the two input bytes through the same
+// compile-assemble-execute-compare oracle.
+func FuzzExprCompile(f *testing.F) {
+	f.Add(int64(77), byte(3), byte(200))
+	f.Add(int64(1), byte(0), byte(0))
+	f.Add(int64(2026), byte(255), byte(128))
+	f.Add(int64(-4242), byte(17), byte(17))
+	f.Fuzz(func(t *testing.T, seed int64, a, b byte) {
+		r := rand.New(rand.NewSource(seed))
+		e := genRefExpr(r, 4)
+		checkRefExpr(t, e, int32(a), int32(b))
+	})
 }

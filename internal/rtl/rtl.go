@@ -76,6 +76,16 @@ type symCtx struct {
 	ops    Operands
 	locals []*expr.Expr
 	events []Event
+
+	// stopped is the disjunction of the guards of all control events
+	// raised so far (nil = none). The concrete evaluator stops at the
+	// first trap/halt/error like a hardware exception; the symbolic
+	// evaluator mirrors that by predicating every later state effect and
+	// control event on its negation. Expression evaluation is NOT
+	// suppressed: observation events (EvDiv) must keep the pre-event
+	// guard so checkers see e.g. a division whose fault guard would
+	// otherwise constrain the divisor away.
+	stopped *expr.Expr
 }
 
 // and conjoins two optional guards (nil = true).
@@ -90,6 +100,30 @@ func (c *symCtx) and(g, h *expr.Expr) *expr.Expr {
 	}
 }
 
+// live is the guard under which a state effect or control event really
+// happens: the structural guard minus every path that already raised an
+// event (the instruction has stopped there).
+func (c *symCtx) live(guard *expr.Expr) *expr.Expr {
+	if c.stopped == nil {
+		return guard
+	}
+	return c.and(guard, c.ev.B.BoolNot(c.stopped))
+}
+
+// noteStop records that a control event was raised under g (nil = always),
+// suppressing the effects of everything after it on those paths.
+func (c *symCtx) noteStop(g *expr.Expr) {
+	if g == nil {
+		c.stopped = c.ev.B.Bool(true)
+		return
+	}
+	if c.stopped == nil {
+		c.stopped = g
+		return
+	}
+	c.stopped = c.ev.B.BoolOr(c.stopped, g)
+}
+
 func (c *symCtx) stmts(ss []adl.Stmt, guard *expr.Expr) {
 	for _, s := range ss {
 		c.stmt(s, guard)
@@ -101,26 +135,27 @@ func (c *symCtx) stmt(s adl.Stmt, guard *expr.Expr) {
 	switch s := s.(type) {
 	case *adl.AssignStmt:
 		v := c.expr(s.RHS, guard)
+		eff := c.live(guard)
 		switch lv := s.LHS.(type) {
 		case *adl.RegLV:
-			c.st.WriteReg(lv.Reg, v, guard)
+			c.st.WriteReg(lv.Reg, v, eff)
 		case *adl.RegOpLV:
-			c.st.WriteReg(c.opReg(lv.Op), v, guard)
+			c.st.WriteReg(c.opReg(lv.Op), v, eff)
 		case *adl.SubLV:
 			old := c.st.ReadReg(lv.Reg)
 			merged := insertBits(b, old, v, lv.Hi, lv.Lo)
-			c.st.WriteReg(lv.Reg, merged, guard)
+			c.st.WriteReg(lv.Reg, merged, eff)
 		case *adl.LocalLV:
 			old := c.locals[lv.Idx]
-			if guard != nil && old != nil {
-				v = b.ITE(guard, v, old)
+			if eff != nil && old != nil {
+				v = b.ITE(eff, v, old)
 			}
 			c.locals[lv.Idx] = v
 		}
 	case *adl.StoreStmt:
 		addr := c.expr(s.Addr, guard)
 		val := c.expr(s.Val, guard)
-		c.st.Store(addr, s.Cells, val, guard)
+		c.st.Store(addr, s.Cells, val, c.live(guard))
 	case *adl.IfStmt:
 		cond := c.expr(s.Cond, guard)
 		switch cond.Kind() {
@@ -137,11 +172,18 @@ func (c *symCtx) stmt(s adl.Stmt, guard *expr.Expr) {
 	case *adl.LocalStmt:
 		c.locals[s.Idx] = c.expr(s.Init, guard)
 	case *adl.TrapStmt:
-		c.events = append(c.events, Event{Kind: EvTrap, Guard: guard, Code: c.expr(s.Code, guard)})
+		code := c.expr(s.Code, guard)
+		eff := c.live(guard)
+		c.events = append(c.events, Event{Kind: EvTrap, Guard: eff, Code: code})
+		c.noteStop(eff)
 	case *adl.HaltStmt:
-		c.events = append(c.events, Event{Kind: EvHalt, Guard: guard})
+		eff := c.live(guard)
+		c.events = append(c.events, Event{Kind: EvHalt, Guard: eff})
+		c.noteStop(eff)
 	case *adl.ErrorStmt:
-		c.events = append(c.events, Event{Kind: EvFault, Guard: guard, Msg: s.Msg})
+		eff := c.live(guard)
+		c.events = append(c.events, Event{Kind: EvFault, Guard: eff, Msg: s.Msg})
+		c.noteStop(eff)
 	default:
 		panic(fmt.Sprintf("rtl: unhandled statement %T", s))
 	}

@@ -244,12 +244,10 @@ func TestSymbolicMatchesConcreteOnConstants(t *testing.T) {
 			if sFault && sFaultMsg != res.Fault {
 				t.Fatalf("%s: fault %q vs %q", ins.Name, sFaultMsg, res.Fault)
 			}
-			if res.Stopped() {
-				// The concrete evaluator stops mid-instruction on control
-				// events; state comparison below would compare against
-				// partially executed semantics.
-				continue
-			}
+			// The concrete evaluator stops mid-instruction on control
+			// events; the symbolic evaluator suppresses later effects the
+			// same way, so the comparison below holds on stopped states
+			// too (the post-event writes must NOT have been applied).
 
 			// Compare final register values.
 			for _, reg := range a.Regs {
@@ -321,6 +319,107 @@ func TestGuardedEventsOnSymbolicState(t *testing.T) {
 	pc := ss.ReadReg(a.Reg("pc"))
 	if pc.IsConst() {
 		t.Errorf("pc unexpectedly constant: %v", pc)
+	}
+}
+
+// TestEventStopsLaterEffects is the regression test for the
+// engine-vs-emulator divergence found by the differential oracle
+// (difftest seed 42: tiny64 "divu r2, r12, r9", tiny32 "rems r2, r9, r9"
+// with zero divisors): statements after a raised error()/trap()/halt()
+// must not take effect, mirroring the concrete evaluator's
+// stop-at-first-event semantics — while division observation events in
+// that dead code must still be emitted for the checkers.
+func TestEventStopsLaterEffects(t *testing.T) {
+	src := `
+arch stoptest
+bits 16
+endian big
+
+reg g0 .. g1 : 16
+reg pc : 16 [pc]
+
+space mem : addr 16 cell 8
+
+format F : 16 { op:4, pad:12 }
+
+insn guarded : F(op = 1) "guarded" {
+	if (g1 == 0:16) { error("div by zero"); }
+	g0 = udiv(g0, g1);
+}
+
+insn always : F(op = 2) "always" {
+	trap(7:16);
+	g0 = 51966:16;
+	store(8:16, 2, 48879:16);
+}
+`
+	a, err := adl.Load("stoptest.adl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := expr.NewBuilder()
+	ev := &rtl.SymEval{B: b, A: a}
+	insn := func(name string) *adl.Insn {
+		for _, i := range a.Insns {
+			if i.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("no insn %s", name)
+		return nil
+	}
+
+	// Constant zero divisor: the fault guard folds to true, the udiv
+	// write must vanish, and the EvDiv observation must still appear.
+	ss := newSymState(b, true)
+	ss.regs[a.Reg("g0")] = b.Const(16, 0x1234)
+	ss.regs[a.Reg("g1")] = b.Const(16, 0)
+	events := ev.Exec(ss, insn("guarded"), rtl.Operands{})
+	var sawFault, sawDiv bool
+	for _, e := range events {
+		switch e.Kind {
+		case rtl.EvFault:
+			sawFault = true
+		case rtl.EvDiv:
+			sawDiv = true
+		}
+	}
+	if !sawFault || !sawDiv {
+		t.Fatalf("events fault=%v div=%v, want both", sawFault, sawDiv)
+	}
+	g0 := ss.ReadReg(a.Reg("g0"))
+	if !g0.IsConst() || g0.ConstVal() != 0x1234 {
+		t.Errorf("g0 after stopped udiv = %v, want untouched 0x1234", g0)
+	}
+
+	// Symbolic divisor: g0 must merge to ite(¬(g1==0), udiv, old) — i.e.
+	// evaluate to the old value exactly when the fault fires.
+	ss = newSymState(b, true)
+	s := b.Var(16, "s")
+	ss.regs[a.Reg("g0")] = b.Const(16, 0x1234)
+	ss.regs[a.Reg("g1")] = s
+	ev.Exec(ss, insn("guarded"), rtl.Operands{})
+	g0 = ss.ReadReg(a.Reg("g0"))
+	if v := expr.Eval(g0, expr.Env{"s": 0}); v != 0x1234 {
+		t.Errorf("g0 with s=0 evaluates to %#x, want untouched 0x1234", v)
+	}
+	if v := expr.Eval(g0, expr.Env{"s": 4}); v != 0x1234/4 {
+		t.Errorf("g0 with s=4 evaluates to %#x, want %#x", v, 0x1234/4)
+	}
+
+	// Unconditional trap: both the register write and the store after it
+	// must be suppressed.
+	ss = newSymState(b, true)
+	ss.regs[a.Reg("g0")] = b.Const(16, 0x55)
+	ev.Exec(ss, insn("always"), rtl.Operands{})
+	g0 = ss.ReadReg(a.Reg("g0"))
+	if !g0.IsConst() || g0.ConstVal() != 0x55 {
+		t.Errorf("g0 after stopped write = %v, want untouched 0x55", g0)
+	}
+	for addr, v := range ss.mem {
+		if !v.IsConst() || v.ConstVal() != 0 {
+			t.Errorf("mem[%#x] = %v, want untouched", addr, v)
+		}
 	}
 }
 
