@@ -1,10 +1,11 @@
 # Tier-1 verification (see ROADMAP.md): build, tests, vet, the race
-# detector over the packages with concurrent machinery, and short
-# fixed-budget smokes of the fuzz targets and the differential oracle.
+# detector over the packages with concurrent machinery, short
+# fixed-budget smokes of the fuzz targets and the differential oracle,
+# and the end-to-end telemetry smoke (docs/observability.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke
 
 build:
 	go build ./...
@@ -16,7 +17,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs
 
 bench:
 	go test -bench=. -benchmem
@@ -34,3 +35,10 @@ difftest-smoke:
 
 difftest:
 	go run ./cmd/difftest -duration 120s -seed 42 -v -corpus difftest-corpus
+
+# End-to-end telemetry smoke (docs/observability.md): a real exploration
+# runs with -obs-addr semantics — live /metrics, expvar and a 1s CPU
+# profile are fetched over HTTP and validated, and the Chrome trace is
+# checked for the per-path lifecycle events.
+obs-smoke:
+	go test -run 'TestObsSmoke' -count=1 ./internal/obs

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	difftest [-duration 30s | -rounds N] [-seed N] [-arch a,b] \
-//	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] [-v]
+//	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] \
+//	         [-obs-addr :8089] [-trace-out trace.json] [-v]
 //
 // The run is a pure function of the seed; every divergence is reported
 // with the sub-seed, a minimized program and the triggering input, and
 // (with -corpus) a replayable counterexample file. Exit status 1 means
 // at least one divergence was found.
+//
+// -obs-addr serves live Prometheus metrics, expvar and pprof for the
+// duration of the soak; -trace-out writes the Chrome trace_event
+// timeline of the first divergent round (see docs/observability.md).
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"repro/arch"
 	"repro/internal/difftest"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated engine worker counts (default 1,2)")
 	steps := flag.Int64("steps", 0, "per-program instruction budget (default 512)")
 	corpus := flag.String("corpus", "", "directory for counterexample files")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics, expvar and pprof on this address")
+	traceOut := flag.String("trace-out", "", "write the Chrome trace of the first divergent round to this file")
 	verbose := flag.Bool("v", false, "log per-round progress")
 
 	// -adl name=file overrides the subject description for one
@@ -54,6 +62,17 @@ func main() {
 		Duration:  *duration,
 		MaxSteps:  *steps,
 		CorpusDir: *corpus,
+		TraceOut:  *traceOut,
+	}
+	if *obsAddr != "" {
+		opts.Obs = obs.New()
+		srv, err := obs.Serve(*obsAddr, opts.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr())
 	}
 	if *arches != "" {
 		opts.Arches = strings.Split(*arches, ",")

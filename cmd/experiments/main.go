@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel]
+//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages]
+//	            [-obs-addr :8089]
 package main
 
 import (
@@ -16,12 +17,24 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel)")
-	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel (0 = all CPUs)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs (0 = all CPUs)")
+	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, obs.New())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr())
+	}
 
 	var workerCounts []int
 	for _, f := range strings.Split(*workers, ",") {
@@ -59,6 +72,10 @@ func main() {
 		harness.PrintFig4(os.Stdout, harness.RunFig4([]uint{8, 16, 24, 32, 48, 64}))
 	case "parallel":
 		harness.RunParallelScaling(workerCounts).Print(os.Stdout)
+	case "obs":
+		harness.RunObsOverhead(workerCounts).Print(os.Stdout)
+	case "obs-stages":
+		harness.RunObsStages().Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

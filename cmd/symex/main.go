@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail] <image.rimg>
+//	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail]
+//	      [-obs-addr :8089] [-trace-out trace.json] <image.rimg>
+//
+// The per-path summary goes to stdout; worker and cache statistics go to
+// stderr so stdout stays pipeable. -obs-addr serves live Prometheus
+// metrics, expvar and pprof for the duration of the run; -trace-out
+// writes the exploration timeline as Chrome trace_event JSON, loadable
+// by Perfetto (see docs/observability.md).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -31,6 +39,8 @@ func main() {
 	seed := flag.String("seed", "", "seed input for -concolic")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = all CPUs)")
 	noCache := flag.Bool("no-query-cache", false, "disable the shared solver-query cache")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics, expvar and pprof on this address")
+	traceOut := flag.String("trace-out", "", "write the exploration trace as Chrome trace_event JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
@@ -71,6 +81,36 @@ func main() {
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
 	}
+
+	var o *obs.Obs
+	if *obsAddr != "" || *traceOut != "" {
+		if *traceOut != "" {
+			o = obs.NewTracing()
+		} else {
+			o = obs.New()
+		}
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr())
+	}
+	dumpTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		if err := o.Trace.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "trace-out: %d events -> %s (open with ui.perfetto.dev)\n",
+			o.Trace.Len(), *traceOut)
+	}
+
 	e := core.NewEngine(a, p, core.Options{
 		InputBytes:   *inputs,
 		MaxSteps:     *steps,
@@ -78,6 +118,7 @@ func main() {
 		Strategy:     strat,
 		Workers:      *workers,
 		NoQueryCache: *noCache,
+		Obs:          o,
 	})
 	for _, c := range checker.All() {
 		e.AddChecker(c)
@@ -89,6 +130,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dumpTrace()
 		fmt.Printf("%s: %d concrete runs, %d solver-derived inputs, %d instructions covered\n",
 			p.Arch, len(rep.Paths), rep.Solved, rep.Coverage)
 		for i, pth := range rep.Paths {
@@ -110,6 +152,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	dumpTrace()
 
 	fmt.Printf("%s: %d paths, %d instructions, %d forks (%d infeasible), %v\n",
 		p.Arch, len(r.Paths), r.Stats.Instructions, r.Stats.Forks,
@@ -117,8 +160,10 @@ func main() {
 	fmt.Printf("solver: %d queries (%d sat / %d unsat), %v solving\n",
 		r.Stats.Solver.Queries, r.Stats.Solver.SatResults,
 		r.Stats.Solver.UnsatCount, r.Stats.Solver.SolveTime.Round(1000))
+	// Cache and worker statistics are diagnostics, not results: they go
+	// to stderr so stdout stays pipeable.
 	if h, m := r.Stats.Solver.CacheHits, r.Stats.Solver.CacheMisses; h+m > 0 {
-		fmt.Printf("query cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		fmt.Fprintf(os.Stderr, "query cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			h, m, 100*float64(h)/float64(h+m))
 	}
 	for _, ws := range r.Stats.WorkerStats {
@@ -126,7 +171,7 @@ func main() {
 		if r.Stats.WallTime > 0 {
 			util = 100 * float64(ws.Busy) / float64(r.Stats.WallTime)
 		}
-		fmt.Printf("worker %d: %d instructions, %d paths, %d steals, %.0f%% busy\n",
+		fmt.Fprintf(os.Stderr, "worker %d: %d instructions, %d paths, %d steals, %.0f%% busy\n",
 			ws.ID, ws.Steps, ws.Paths, ws.Steals, util)
 	}
 

@@ -8,10 +8,12 @@ package conc
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/adl"
 	"repro/internal/bv"
 	"repro/internal/decoder"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/rtl"
 )
@@ -92,8 +94,30 @@ type Machine struct {
 	Steps     int64 // cumulative executed instructions
 	pcWritten bool
 
+	// Metrics, when non-nil, feeds the registry-backed emulator
+	// telemetry (internal/obs); nil disables it.
+	Metrics *Metrics
+
 	sysArg *adl.Reg
 	sysRet *adl.Reg
+}
+
+// Metrics is the concrete emulator's registry instrument set.
+type Metrics struct {
+	Steps      *obs.Counter   // conc_steps_total
+	RunSeconds *obs.Histogram // conc_run_seconds
+}
+
+// NewMetrics resolves the emulator metric set against a registry;
+// returns nil (telemetry off) for a nil registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Steps:      r.Counter("conc_steps_total", "Instructions executed by the concrete emulator"),
+		RunSeconds: r.Histogram("conc_run_seconds", "Concrete emulator Run latency", obs.TimeBuckets),
+	}
 }
 
 // NewMachine builds a machine with empty memory and zeroed registers.
@@ -261,6 +285,15 @@ func (m *Machine) trap(code uint64) (halt bool, err error) {
 
 // Run executes until a stop condition or the step budget is exhausted.
 func (m *Machine) Run(maxSteps int64) Stop {
+	var t0 time.Time
+	start := m.Steps
+	if m.Metrics != nil {
+		t0 = time.Now()
+		defer func() {
+			m.Metrics.Steps.Add(m.Steps - start)
+			m.Metrics.RunSeconds.ObserveSince(t0)
+		}()
+	}
 	for i := int64(0); i < maxSteps; i++ {
 		if s := m.Step(); s != nil {
 			return *s

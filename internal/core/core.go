@@ -19,6 +19,7 @@ import (
 	"repro/internal/adl"
 	"repro/internal/decoder"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/smt"
 )
@@ -109,6 +110,15 @@ type Options struct {
 	// TimeBudget bounds the wall-clock time of a Run (0 = unlimited).
 	// Checked between instructions; remaining live states are killed.
 	TimeBudget time.Duration
+
+	// Obs attaches the telemetry subsystem (internal/obs): registry-
+	// backed counters, gauges and latency histograms fed from the hot
+	// paths, and — when Obs.Trace is set — per-path lifecycle tracing.
+	// Nil (the default) disables all instrumentation; the residual cost
+	// is one pointer test per site. The end-of-run Stats struct remains
+	// the deterministic snapshot; the registry is the live view of the
+	// same counters (docs/observability.md).
+	Obs *obs.Obs
 
 	// StackBase and StackSize describe the stack region; the engine
 	// initializes the architecture's sp register to StackBase. Defaults:
@@ -282,6 +292,67 @@ type Engine struct {
 	workerID int
 	steals   int64         // states adopted from other workers' builders
 	busy     time.Duration // time spent executing states
+
+	// Telemetry (Options.Obs): m holds the resolved registry instruments
+	// (all nil and no-op when telemetry is off), tr the exploration
+	// tracer (nil when tracing is off). Workers share both.
+	m  engineMetrics
+	tr *obs.Tracer
+}
+
+// StepSampleRate is the sampling factor of the engine_step_seconds
+// histogram: one in this many instructions is timed. On hosts without a
+// fast clock path, two time.Now() calls per instruction alone cost
+// several percent of interpreter throughput; sampling keeps the latency
+// distribution representative while keeping the always-on overhead
+// within budget. Total step time estimates multiply the histogram sum
+// by this factor.
+const StepSampleRate = 8
+
+// engineMetrics is the engine's resolved registry instrument set. The
+// zero value (telemetry off) makes every record call a nil-receiver
+// no-op; the `on` flag additionally guards the time.Now() calls the
+// latency histograms need.
+type engineMetrics struct {
+	on            bool
+	stepTick      uint64         // sampling counter for stepSeconds (per engine/worker)
+	instructions  *obs.Counter   // engine_instructions_total
+	forks         *obs.Counter   // engine_forks_total
+	infeasible    *obs.Counter   // engine_infeasible_total
+	pathsDone     *obs.Counter   // engine_paths_completed_total
+	statesKilled  *obs.Counter   // engine_states_killed_total
+	decodeCalls   *obs.Counter   // engine_decode_calls_total
+	merges        *obs.Counter   // engine_merges_total
+	frontierDepth *obs.Gauge     // engine_frontier_depth
+	liveMax       *obs.Gauge     // engine_live_states_max
+	stepSeconds   *obs.Histogram // engine_step_seconds
+	decodeSeconds *obs.Histogram // engine_decode_seconds
+	branchSeconds *obs.Histogram // engine_branch_check_seconds
+}
+
+// newEngineMetrics resolves the engine instrument set against o's
+// registry (get-or-create, so every engine sharing a registry feeds the
+// same series). Returns the zero set when telemetry is off.
+func newEngineMetrics(o *obs.Obs) engineMetrics {
+	r := o.Registry()
+	if r == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		on:            true,
+		instructions:  r.Counter("engine_instructions_total", "Instructions executed symbolically"),
+		forks:         r.Counter("engine_forks_total", "State forks at feasible branches"),
+		infeasible:    r.Counter("engine_infeasible_total", "Branch sides pruned as unsatisfiable"),
+		pathsDone:     r.Counter("engine_paths_completed_total", "Paths that reached a terminal status"),
+		statesKilled:  r.Counter("engine_states_killed_total", "Live states dropped by a budget"),
+		decodeCalls:   r.Counter("engine_decode_calls_total", "Decoder invocations (translation-cache misses)"),
+		merges:        r.Counter("engine_merges_total", "Opportunistic state merges (MergeStates)"),
+		frontierDepth: r.Gauge("engine_frontier_depth", "Live states queued for exploration"),
+		liveMax:       r.Gauge("engine_live_states_max", "High-water mark of the live state set"),
+		stepSeconds:   r.Histogram("engine_step_seconds", "Per-instruction symbolic step latency (sampled 1 in 8)", obs.TimeBuckets),
+		decodeSeconds: r.Histogram("engine_decode_seconds", "Decoder invocation latency (translation-cache misses only)", obs.TimeBuckets),
+		branchSeconds: r.Histogram("engine_branch_check_seconds", "Branch-feasibility decision latency (solver time)", obs.TimeBuckets),
+	}
 }
 
 // Region is a half-open address range with a human-readable role.
@@ -326,6 +397,9 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 		e.cache = smt.NewQueryCache()
 		e.Solver.Cache = e.cache
 	}
+	e.m = newEngineMetrics(opts.Obs)
+	e.tr = opts.Obs.Tracer()
+	e.Solver.Obs = smt.NewSolverObs(opts.Obs.Registry())
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts
 	// Default layout: each program segment plus the stack.
 	for _, s := range p.Segments {

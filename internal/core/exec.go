@@ -25,14 +25,30 @@ func (e *Engine) Run() (*Report, error) {
 	live := []*State{e.initialState()}
 
 	for len(live) > 0 {
-		if e.report.Stats.PathsDone >= e.Opts.MaxPaths ||
-			e.Opts.StopOnBug && len(e.report.Bugs) > 0 ||
-			e.Opts.TimeBudget > 0 && time.Since(t0) > e.Opts.TimeBudget {
+		var killReason string
+		switch {
+		case e.report.Stats.PathsDone >= e.Opts.MaxPaths:
+			killReason = "max-paths"
+		case e.Opts.StopOnBug && len(e.report.Bugs) > 0:
+			killReason = "stop-on-bug"
+		case e.Opts.TimeBudget > 0 && time.Since(t0) > e.Opts.TimeBudget:
+			killReason = "time-budget"
+		}
+		if killReason != "" {
 			e.report.Stats.StatesKilled += len(live)
+			e.m.statesKilled.Add(int64(len(live)))
+			if e.tr != nil {
+				e.tr.Event("kill", e.workerID, -1, 0,
+					fmt.Sprintf("%s (%d live states)", killReason, len(live)))
+			}
 			break
 		}
 		if len(live) > e.report.Stats.MaxLiveSet {
 			e.report.Stats.MaxLiveSet = len(live)
+		}
+		if e.m.on {
+			e.m.frontierDepth.Set(int64(len(live)))
+			e.m.liveMax.Max(int64(len(live)))
 		}
 		var st *State
 		st, live = e.pick(live)
@@ -48,11 +64,18 @@ func (e *Engine) Run() (*Report, error) {
 				live = append(live, c)
 			} else {
 				e.report.Stats.StatesKilled++
+				e.m.statesKilled.Inc()
+				if e.tr != nil {
+					e.tr.Event("kill", e.workerID, c.ID, c.PC, "max-states")
+				}
 			}
 		}
 		if e.Opts.MergeStates {
 			live = e.mergeLive(live)
 		}
+	}
+	if e.m.on {
+		e.m.frontierDepth.Set(0)
 	}
 	e.report.Stats.WallTime = time.Since(t0)
 	e.report.Stats.Solver = e.Solver.Stats
@@ -74,6 +97,9 @@ func (e *Engine) initialState() *State {
 	}
 	if e.Arch.SP != nil {
 		st.SetReg(e.Arch.SP, e.B.Const(e.Arch.SP.Width, bv.Trunc(e.Opts.StackBase, e.Arch.SP.Width)))
+	}
+	if e.tr != nil {
+		e.tr.Event("spawn", e.workerID, st.ID, st.PC, "entry")
 	}
 	return st
 }
@@ -101,6 +127,14 @@ func (e *Engine) pick(live []*State) (*State, []*State) {
 
 func (e *Engine) finish(st *State) {
 	e.report.Stats.PathsDone++
+	e.m.pathsDone.Inc()
+	if e.tr != nil {
+		detail := st.Status.String()
+		if st.Fault != "" {
+			detail += ": " + st.Fault
+		}
+		e.tr.Event("end", e.workerID, st.ID, st.PC, detail)
+	}
 	if st.Depth > e.report.Stats.MaxDepth {
 		e.report.Stats.MaxDepth = st.Depth
 	}
@@ -169,7 +203,17 @@ func (e *Engine) decode(st *State) (decoder.Decoded, error) {
 		return decoder.Decoded{}, fmt.Errorf("symbolic instruction bytes at %#x", st.PC)
 	}
 	e.report.Stats.DecodeCalls++
+	e.m.decodeCalls.Inc()
+	// Only the actual decoder call is timed: translation-cache hits (the
+	// common case) must not pay for two clock reads per instruction.
+	var t0 time.Time
+	if e.m.on {
+		t0 = time.Now()
+	}
 	d, err := e.Dec.Decode(buf)
+	if e.m.on {
+		e.m.decodeSeconds.ObserveSince(t0)
+	}
 	if err != nil {
 		return decoder.Decoded{}, err
 	}
@@ -182,6 +226,17 @@ func (e *Engine) decode(st *State) (decoder.Decoded, error) {
 // step executes one instruction of st and returns the successor states
 // (one or more on forks; completed states have Done set).
 func (e *Engine) step(st *State) ([]*State, error) {
+	var t0 time.Time
+	if e.m.on {
+		// Sampled: the two clock reads dominate the instrument cost on
+		// hosts without a vDSO clock, so only every StepSampleRate-th
+		// instruction is timed (the counter is per worker, not shared).
+		e.m.stepTick++
+		if e.m.stepTick%StepSampleRate == 0 {
+			t0 = time.Now()
+			defer e.m.stepSeconds.ObserveSince(t0)
+		}
+	}
 	dec, err := e.decode(st)
 	if err != nil {
 		st.Fault = err.Error()
@@ -189,6 +244,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 	}
 	e.recordVisit(st.PC)
 	e.report.Stats.Instructions++
+	e.m.instructions.Inc()
 	st.Steps++
 
 	insAddr := st.PC
@@ -297,6 +353,11 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 		return nil, st, nil
 	}
 	e.report.Stats.Forks++
+	e.m.forks.Inc()
+	var t0 time.Time
+	if e.m.on || e.tr != nil {
+		t0 = time.Now()
+	}
 	sat, err := e.feasible(append(st.PathCond, guard))
 	if err != nil {
 		return nil, nil, err
@@ -305,8 +366,12 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 		taken = st.clone(e.nextID)
 		e.nextID++
 		taken.appendCond(guard)
+		if e.tr != nil {
+			e.tr.Event("fork", e.workerID, taken.ID, st.PC, fmt.Sprintf("guard taken, parent=%d", st.ID))
+		}
 	} else {
 		e.report.Stats.Infeasible++
+		e.m.infeasible.Inc()
 	}
 	neg := e.B.BoolNot(guard)
 	sat, err = e.feasible(append(st.PathCond, neg))
@@ -318,6 +383,14 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 		fallthru = st
 	} else {
 		e.report.Stats.Infeasible++
+		e.m.infeasible.Inc()
+	}
+	if e.m.on {
+		e.m.branchSeconds.ObserveSince(t0)
+	}
+	if e.tr != nil {
+		e.tr.Span("branch", e.workerID, st.ID, st.PC, t0,
+			fmt.Sprintf("guard: taken=%v fallthru=%v", taken != nil, fallthru != nil))
 	}
 	return taken, fallthru, nil
 }
@@ -422,17 +495,30 @@ func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
 	var out []*State
 	if len(ts) > 1 {
 		e.report.Stats.Forks += int64(len(ts) - 1)
+		e.m.forks.Add(int64(len(ts) - 1))
 	}
 	baseSig := st.sig
 	for i, t := range ts {
 		cond := append(append([]*expr.Expr(nil), st.PathCond...), t.conds...)
 		if len(ts) > 1 || len(t.conds) > 0 {
+			var t0 time.Time
+			if e.m.on || e.tr != nil {
+				t0 = time.Now()
+			}
 			ok, err := e.feasible(cond)
 			if err != nil {
 				return nil, err
 			}
+			if e.m.on {
+				e.m.branchSeconds.ObserveSince(t0)
+			}
+			if e.tr != nil {
+				e.tr.Span("branch", e.workerID, st.ID, st.PC,
+					t0, fmt.Sprintf("target %#x: feasible=%v", t.addr, ok))
+			}
 			if !ok {
 				e.report.Stats.Infeasible++
+				e.m.infeasible.Inc()
 				continue
 			}
 		}
@@ -445,6 +531,10 @@ func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
 		} else {
 			child = st.clone(e.nextID)
 			e.nextID++
+			if e.tr != nil {
+				e.tr.Event("fork", e.workerID, child.ID, st.PC,
+					fmt.Sprintf("branch to %#x, parent=%d", t.addr, st.ID))
+			}
 		}
 		child.PathCond = cond
 		sig := baseSig
@@ -471,7 +561,18 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 	var out []*State
 	excl := append([]*expr.Expr(nil), st.PathCond...)
 	for i := 0; i < e.Opts.MaxJumpTargets; i++ {
+		var t0 time.Time
+		if e.m.on || e.tr != nil {
+			t0 = time.Now()
+		}
 		r, err := e.Solver.Check(excl...)
+		if e.m.on {
+			e.m.branchSeconds.ObserveSince(t0)
+		}
+		if e.tr != nil {
+			e.tr.Span("jump-enum", e.workerID, st.ID, st.PC, t0,
+				fmt.Sprintf("model %d: %v", i, r))
+		}
 		if err == smt.ErrBudget || r != smt.Sat {
 			break
 		}
@@ -487,6 +588,11 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 		out = append(out, child)
 		excl = append(excl, e.B.BoolNot(eq))
 		e.report.Stats.Forks++
+		e.m.forks.Inc()
+		if e.tr != nil {
+			e.tr.Event("fork", e.workerID, child.ID, st.PC,
+				fmt.Sprintf("jump target %#x, parent=%d", addr, st.ID))
+		}
 	}
 	if len(out) == 0 {
 		st.Fault = "unresolvable symbolic jump target"

@@ -29,6 +29,10 @@ func (e *Engine) mergeLive(live []*State) []*State {
 			if merged := e.merge(out[idx], st); merged != nil {
 				out[idx] = merged
 				e.report.Stats.Merges++
+				e.m.merges.Inc()
+				if e.tr != nil {
+					e.tr.Event("merge", e.workerID, merged.ID, merged.PC, "")
+				}
 				continue
 			}
 		}

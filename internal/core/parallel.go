@@ -20,6 +20,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/smt"
 )
 
@@ -126,15 +128,25 @@ type frontier struct {
 	maxLen   int
 	maxLive  int // MaxStates budget; pushes beyond it are killed
 	killed   int64
+
+	// Telemetry (nil-safe): queue depth gauge, kill counter and tracer.
+	depth     *obs.Gauge
+	depthMax  *obs.Gauge
+	killedCtr *obs.Counter
+	tr        *obs.Tracer
 }
 
-func newFrontier(workers int, o Options, vt *visitTable) *frontier {
+func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *obs.Tracer) *frontier {
 	f := &frontier{
-		workers:  workers,
-		strategy: o.Strategy,
-		rng:      rand.New(rand.NewSource(o.Seed + 1)),
-		vt:       vt,
-		maxLive:  o.MaxStates,
+		workers:   workers,
+		strategy:  o.Strategy,
+		rng:       rand.New(rand.NewSource(o.Seed + 1)),
+		vt:        vt,
+		maxLive:   o.MaxStates,
+		depth:     m.frontierDepth,
+		depthMax:  m.liveMax,
+		killedCtr: m.statesKilled,
+		tr:        tr,
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -147,6 +159,14 @@ func (f *frontier) push(sts ...*State) {
 	for _, st := range sts {
 		if f.closed || len(f.items) >= f.maxLive {
 			f.killed++
+			f.killedCtr.Inc()
+			if f.tr != nil {
+				reason := "max-states"
+				if f.closed {
+					reason = "run-stopped"
+				}
+				f.tr.Event("kill", -1, st.ID, st.PC, reason)
+			}
 			continue
 		}
 		f.items = append(f.items, st)
@@ -155,6 +175,8 @@ func (f *frontier) push(sts ...*State) {
 	if len(f.items) > f.maxLen {
 		f.maxLen = len(f.items)
 	}
+	f.depth.Set(int64(len(f.items)))
+	f.depthMax.Max(int64(f.maxLen))
 	f.mu.Unlock()
 }
 
@@ -222,6 +244,7 @@ func (f *frontier) take(home *expr.Builder) *State {
 	}
 	st := f.items[idx]
 	f.items = append(f.items[:idx], f.items[idx+1:]...)
+	f.depth.Set(int64(len(f.items)))
 	return st
 }
 
@@ -231,7 +254,13 @@ func (f *frontier) close() {
 	if !f.closed {
 		f.closed = true
 		f.killed += int64(len(f.items))
+		f.killedCtr.Add(int64(len(f.items)))
+		if f.tr != nil && len(f.items) > 0 {
+			f.tr.Event("kill", -1, -1, 0,
+				fmt.Sprintf("run-stopped (%d queued states)", len(f.items)))
+		}
 		f.items = nil
+		f.depth.Set(0)
 		f.cond.Broadcast()
 	}
 	f.mu.Unlock()
@@ -295,9 +324,12 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		shVisits:   vt,
 		par:        pr,
 		workerID:   i,
+		m:          e.m,
+		tr:         e.tr,
 	}
 	w.Solver.MaxConflicts = e.Opts.MaxSolverConflicts
 	w.Solver.Cache = e.cache
+	w.Solver.Obs = e.Solver.Obs
 	return w
 }
 
@@ -336,12 +368,17 @@ func (e *Engine) work(pr *parRun) {
 			return
 		}
 		t0 := time.Now()
+		burst := st.ID
 		e.adopt(st)
 		cur := st
 		for cur != nil {
 			if pr.stopNow() {
 				pr.front.close()
 				e.report.Stats.StatesKilled++
+				e.m.statesKilled.Inc()
+				if e.tr != nil {
+					e.tr.Event("kill", e.workerID, cur.ID, cur.PC, "global-budget")
+				}
 				break
 			}
 			children, err := e.step(cur)
@@ -363,6 +400,9 @@ func (e *Engine) work(pr *parRun) {
 			}
 		}
 		e.busy += time.Since(t0)
+		if e.tr != nil {
+			e.tr.Span("exec", e.workerID, burst, st.PC, t0, "")
+		}
 	}
 }
 
@@ -376,7 +416,7 @@ func (e *Engine) runParallel() (*Report, error) {
 	nw := e.Opts.Workers
 	vt := newVisitTable()
 	pr := &parRun{opts: e.Opts}
-	pr.front = newFrontier(nw, e.Opts, vt)
+	pr.front = newFrontier(nw, e.Opts, vt, e.m, e.tr)
 	if e.Opts.TimeBudget > 0 {
 		pr.deadline = t0.Add(e.Opts.TimeBudget)
 	}

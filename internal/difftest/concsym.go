@@ -8,6 +8,7 @@ import (
 	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -116,8 +117,9 @@ func (g *archGen) compareEnd(e engineEnd, m *conc.Machine, stop conc.Stop) strin
 
 // runConc executes the program on the reference concrete machine with
 // the engine's stack convention.
-func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSteps int64) (*conc.Machine, conc.Stop) {
+func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSteps int64, met *conc.Metrics) (*conc.Machine, conc.Stop) {
 	m := conc.NewMachine(g.ref)
+	m.Metrics = met
 	m.LoadProgram(p)
 	m.Input = append([]byte(nil), input...)
 	if g.ref.SP != nil {
@@ -131,8 +133,8 @@ func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSt
 // concrete machine. It returns the mismatch description ("" on
 // agreement) and whether the comparison was skipped (the engine refuses
 // to execute input-dependent instruction bytes — see docs/difftest.md).
-func (g *archGen) replayOne(p *prog.Program, input []byte, maxSteps int64) (string, bool) {
-	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps})
+func (g *archGen) replayOne(p *prog.Program, input []byte, maxSteps int64, o *obs.Obs, met *conc.Metrics) (string, bool) {
+	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps, Obs: o})
 	rep, err := eng.ReplayConcrete(input)
 	if err != nil {
 		return "engine replay: " + err.Error(), false
@@ -140,7 +142,7 @@ func (g *archGen) replayOne(p *prog.Program, input []byte, maxSteps int64) (stri
 	if rep.Status == core.StatusDecode && strings.Contains(rep.Fault, "symbolic instruction bytes") {
 		return "", true
 	}
-	m, stop := g.runConc(p, input, eng.Opts.StackBase, maxSteps)
+	m, stop := g.runConc(p, input, eng.Opts.StackBase, maxSteps, met)
 	e := engineEnd{
 		status: rep.Status, fault: rep.Fault, endPC: rep.EndPC, steps: rep.Steps,
 		output: rep.Output, regs: rep.Regs, mem: rep.Mem,
@@ -171,7 +173,7 @@ func (r *run) replayCompare(g *archGen, subSeed int64) {
 			return "", nil
 		}
 		for _, in := range inputs {
-			if d, skip := g.replayOne(p, in, r.opts.MaxSteps); d != "" && !skip {
+			if d, skip := g.replayOne(p, in, r.opts.MaxSteps, r.engineObs(), r.concMet); d != "" && !skip {
 				return d, in
 			}
 		}
@@ -190,7 +192,7 @@ func (r *run) replayCompare(g *archGen, subSeed int64) {
 	p, _ := g.as.Assemble("gen.s", src)
 	for _, in := range inputs {
 		r.res.Checks[LayerConcSym]++
-		d, skip := g.replayOne(p, in, r.opts.MaxSteps)
+		d, skip := g.replayOne(p, in, r.opts.MaxSteps, r.engineObs(), r.concMet)
 		if skip {
 			r.res.Skipped[LayerConcSym]++
 			continue
@@ -274,6 +276,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 			Workers:         w,
 			CaptureEndState: true,
 			Seed:            subSeed,
+			Obs:             r.engineObs(),
 		})
 		rep, err := eng.Run()
 		if err != nil {
@@ -336,7 +339,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 				status: match.Status, fault: match.Fault, endPC: match.EndPC, steps: match.Steps,
 				output: out, regs: match.End.EvalRegs(env), mem: match.End.EvalMem(env),
 			}
-			m, stop := g.runConc(p, in, eng.Opts.StackBase, r.opts.MaxSteps)
+			m, stop := g.runConc(p, in, eng.Opts.StackBase, r.opts.MaxSteps, r.concMet)
 			if d := g.compareEnd(e, m, stop); d != "" {
 				r.diverged(Divergence{
 					Layer: LayerExplore, Arch: g.name, Seed: subSeed,

@@ -35,6 +35,9 @@ import (
 	"time"
 
 	"repro/arch"
+	"repro/internal/conc"
+	"repro/internal/obs"
+	"repro/internal/smt"
 )
 
 // Layer names used in Result.Checks, Result.Skipped and Divergence.Layer.
@@ -75,6 +78,19 @@ type Options struct {
 	MaxSteps  int64     // per-run instruction budget (default 512)
 	MaxDiverg int       // stop after this many divergences (default 16)
 	Log       io.Writer // verbose progress; nil = quiet
+
+	// Obs attaches the telemetry subsystem: the oracle feeds per-layer
+	// check/skip counters, a round counter and a divergence counter into
+	// the registry, and passes the registry down into every engine,
+	// solver and concrete machine it constructs — so a long soak exposes
+	// live engine/solver metrics through `difftest -obs-addr`.
+	Obs *obs.Obs
+
+	// TraceOut, when set, arms per-round exploration tracing: each round
+	// runs under a fresh tracer until the first divergent round, whose
+	// Chrome trace_event timeline is written to this file (next to the
+	// minimized corpus counterexample, when -corpus is also set).
+	TraceOut string
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +196,53 @@ type run struct {
 	opts Options
 	res  *Result
 	gens []*archGen
+
+	// Telemetry: the registry (nil when Obs is off), the solver metric
+	// set shared by every solver the oracle builds, counter snapshots
+	// for per-round delta syncing, and the per-round tracer armed by
+	// Options.TraceOut.
+	reg        *obs.Registry
+	sobs       *smt.SolverObs
+	concMet    *conc.Metrics
+	rounds     *obs.Counter
+	divergCtr  *obs.Counter
+	prevChecks map[string]int64
+	prevSkip   map[string]int64
+	prevDiverg int
+	tracer     *obs.Tracer
+	traceDone  bool
+}
+
+// engineObs is the telemetry handle handed to every engine the oracle
+// constructs: the shared registry plus, while armed, the round tracer.
+func (r *run) engineObs() *obs.Obs {
+	if r.reg == nil && r.tracer == nil {
+		return nil
+	}
+	return &obs.Obs{Reg: r.reg, Trace: r.tracer}
+}
+
+// syncMetrics folds the per-layer check/skip counters and the divergence
+// count into the registry as deltas, so registry series stay monotonic
+// while Result keeps its plain map semantics.
+func (r *run) syncMetrics() {
+	if r.reg == nil {
+		return
+	}
+	for layer, n := range r.res.Checks {
+		c := r.reg.Counter(fmt.Sprintf("difftest_checks_total{layer=%q}", layer),
+			"Oracle comparisons performed, per layer")
+		c.Add(n - r.prevChecks[layer])
+		r.prevChecks[layer] = n
+	}
+	for layer, n := range r.res.Skipped {
+		c := r.reg.Counter(fmt.Sprintf("difftest_skipped_total{layer=%q}", layer),
+			"Oracle comparisons skipped, per layer")
+		c.Add(n - r.prevSkip[layer])
+		r.prevSkip[layer] = n
+	}
+	r.divergCtr.Add(int64(len(r.res.Divergences) - r.prevDiverg))
+	r.prevDiverg = len(r.res.Divergences)
 }
 
 // Run executes the configured differential test and reports the outcome.
@@ -193,6 +256,19 @@ func Run(opts Options) (*Result, error) {
 		Skipped: map[string]int64{},
 	}
 	r := &run{opts: opts, res: res}
+	if reg := opts.Obs.Registry(); reg != nil {
+		r.reg = reg
+		r.sobs = smt.NewSolverObs(reg)
+		r.concMet = conc.NewMetrics(reg)
+		r.rounds = reg.Counter("difftest_rounds_total", "Oracle rounds completed")
+		r.divergCtr = reg.Counter("difftest_divergences_total", "Confirmed divergences recorded by the oracle")
+		r.prevChecks = map[string]int64{}
+		r.prevSkip = map[string]int64{}
+	}
+	r.tracer = opts.Obs.Tracer()
+	if opts.TraceOut != "" && r.tracer == nil {
+		r.tracer = obs.NewTracer()
+	}
 	for _, name := range opts.Arches {
 		g, err := newArchGen(name, opts.Source, opts.RefSource)
 		if err != nil {
@@ -217,8 +293,26 @@ func Run(opts Options) (*Result, error) {
 		if len(res.Divergences) >= opts.MaxDiverg {
 			break
 		}
+		if opts.TraceOut != "" && !r.traceDone {
+			r.tracer.Reset() // each round gets a fresh timeline until one diverges
+		}
 		r.round(master, round)
 		res.Rounds++
+		r.rounds.Inc()
+		r.syncMetrics()
+		if opts.TraceOut != "" && !r.traceDone && len(res.Divergences) > 0 {
+			r.traceDone = true
+			if err := r.tracer.WriteChromeFile(opts.TraceOut); err != nil {
+				if opts.Log != nil {
+					fmt.Fprintf(opts.Log, "difftest: trace-out: %v\n", err)
+				}
+			} else if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "difftest: wrote trace of first divergent round to %s\n", opts.TraceOut)
+			}
+			if opts.Obs.Tracer() == nil {
+				r.tracer = nil // tracer was ours; stop paying for it
+			}
+		}
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "difftest: round %d done, %d divergences\n", round, len(res.Divergences))
 		}

@@ -1,12 +1,15 @@
 package difftest
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/arch"
+	"repro/internal/obs"
 )
 
 // TestSmoke runs a small fixed-seed differential round over every
@@ -77,5 +80,82 @@ func TestBrokenSemanticsDetected(t *testing.T) {
 	}
 	if !sawAdd {
 		t.Errorf("no counterexample mentions the broken add instruction:\n%v", res.Divergences[0])
+	}
+}
+
+// TestObsAndTraceOut runs the oracle with the telemetry registry
+// attached and per-round tracing armed against deliberately broken
+// semantics: the registry must aggregate the per-layer counters and the
+// engine/solver series the sub-engines feed, and the first divergent
+// round must land on disk as a Chrome trace.
+func TestObsAndTraceOut(t *testing.T) {
+	broken := func(name string) (string, error) {
+		src, err := arch.Source(name)
+		if err != nil {
+			return "", err
+		}
+		out := strings.Replace(src,
+			`"add %rd, %ra, %rb" { rd = ra + rb; }`,
+			`"add %rd, %ra, %rb" { rd = ra + rb + 1:32; }`, 1)
+		if out == src {
+			return "", fmt.Errorf("add semantic line not found in %s", name)
+		}
+		return out, nil
+	}
+
+	o := obs.New()
+	traceOut := filepath.Join(t.TempDir(), "round.json")
+	res, err := Run(Options{
+		Seed:      7,
+		Rounds:    40,
+		Arches:    []string{"tiny32"},
+		Source:    broken,
+		Obs:       o,
+		TraceOut:  traceOut,
+		MaxDiverg: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatal("broken add semantics went undetected")
+	}
+
+	// The registry aggregates the oracle's own counters and the series
+	// fed by every engine, solver and concrete machine it constructed.
+	snap := o.Reg.Snapshot()
+	count := func(name string) int64 {
+		v, _ := snap[name].(int64)
+		return v
+	}
+	if got := count("difftest_rounds_total"); got != int64(res.Rounds) {
+		t.Errorf("difftest_rounds_total = %d, want %d", got, res.Rounds)
+	}
+	if got := count("difftest_divergences_total"); got != int64(len(res.Divergences)) {
+		t.Errorf("difftest_divergences_total = %d, want %d", got, len(res.Divergences))
+	}
+	if got := count(`difftest_checks_total{layer="concsym"}`); got != res.Checks[LayerConcSym] {
+		t.Errorf("difftest_checks_total{concsym} = %d, want %d", got, res.Checks[LayerConcSym])
+	}
+	for _, name := range []string{"engine_instructions_total", "smt_checks_total", "conc_steps_total"} {
+		if count(name) <= 0 {
+			t.Errorf("%s = %v, want > 0 (sub-engine telemetry not wired)", name, snap[name])
+		}
+	}
+
+	// The trace of the first divergent round must be valid Chrome
+	// trace_event JSON.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace-out not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace-out not valid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace-out has no events")
 	}
 }

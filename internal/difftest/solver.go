@@ -171,6 +171,7 @@ func (r *run) solverRound(subSeed int64) {
 	}
 
 	cached := smt.New(b)
+	cached.Obs = r.sobs
 	cached.Cache = smt.NewQueryCache()
 	cached.MaxConflicts = solverConflicts
 	res, err := cached.Check(conds...)
@@ -216,6 +217,7 @@ func (r *run) solverRound(subSeed int64) {
 
 	// Cached and uncached verdicts agree.
 	uncached := smt.New(b)
+	uncached.Obs = r.sobs
 	uncached.MaxConflicts = solverConflicts
 	if res2, err2 := uncached.Check(conds...); err2 == nil && res2 != smt.Unknown && res2 != res {
 		fail("cached solver says %v, uncached says %v", res, res2)
@@ -245,6 +247,7 @@ func (r *run) solverRound(subSeed int64) {
 					wconds[k] = expr.Transfer(wb, c, memo)
 				}
 				s := smt.New(wb)
+				s.Obs = r.sobs
 				s.Cache = shared
 				s.MaxConflicts = solverConflicts
 				results[i], errs[i] = s.Check(wconds...)

@@ -1,0 +1,164 @@
+// Telemetry experiments: the cost of leaving the internal/obs
+// instrumentation switched on in the hot path, and the per-stage time
+// breakdown the registry histograms expose (docs/observability.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// ObsOverheadRow is one workload measured with telemetry off and on.
+type ObsOverheadRow struct {
+	Workload string
+	Workers  int
+	Paths    int
+	WallOff  time.Duration // best rep with Options.Obs == nil
+	WallOn   time.Duration // best rep with Options.Obs == obs.New() (metrics, no tracer)
+	Overhead float64       // from the summed interleaved reps, not the bests
+}
+
+// ObsOverhead is the metrics-on vs metrics-off experiment.
+type ObsOverhead struct {
+	Rows []ObsOverheadRow
+}
+
+// RunObsOverhead reruns the parallel-scaling workloads with telemetry
+// disabled and with the metrics registry attached, keeping the fastest
+// of several repetitions per configuration. The registry is expected to
+// cost low single-digit percent (the acceptance bar is <=3% on the
+// fork-heavy workloads; see EXPERIMENTS.md).
+func RunObsOverhead(workerCounts []int) ObsOverhead {
+	const reps = 9
+	var t ObsOverhead
+	for _, wl := range parallelWorkloads() {
+		for _, nw := range workerCounts {
+			a, p := mustBuild(wl.arch, wl.src)
+			run := func(o *obs.Obs) (time.Duration, int) {
+				e := core.NewEngine(a, p, core.Options{
+					InputBytes: 10,
+					MaxPaths:   1 << 11,
+					Workers:    nw,
+					Obs:        o,
+				})
+				r, err := e.Run()
+				if err != nil {
+					panic(fmt.Sprintf("harness: obs overhead: %v", err))
+				}
+				return r.Stats.WallTime, len(r.Paths)
+			}
+			// Interleave the off/on repetitions so frequency scaling and
+			// scheduler noise hit both sides equally, and compare the
+			// summed times: with alternating runs a slow phase of the
+			// host biases both sums alike, where min-of-N can be thrown
+			// off by one lucky run. One unmeasured warmup run absorbs
+			// cold caches.
+			run(nil)
+			var sumOff, sumOn, wallOff, wallOn time.Duration
+			paths := 0
+			for rep := 0; rep < reps; rep++ {
+				off, n := run(nil)
+				on, _ := run(obs.New())
+				sumOff += off
+				sumOn += on
+				if wallOff == 0 || off < wallOff {
+					wallOff = off
+				}
+				if wallOn == 0 || on < wallOn {
+					wallOn = on
+				}
+				paths = n
+			}
+			row := ObsOverheadRow{
+				Workload: wl.name, Workers: nw, Paths: paths,
+				WallOff: wallOff, WallOn: wallOn,
+			}
+			if sumOff > 0 {
+				row.Overhead = float64(sumOn-sumOff) / float64(sumOff)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// Print writes the experiment in the repo's table format.
+func (t ObsOverhead) Print(w io.Writer) {
+	fmt.Fprintf(w, "Telemetry overhead: metrics registry on vs off (fork-heavy exploration)\n")
+	fmt.Fprintf(w, "%-16s %8s %6s %12s %12s %9s\n",
+		"workload", "workers", "paths", "wall (off)", "wall (on)", "overhead")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-16s %8d %6d %12v %12v %+8.1f%%\n",
+			r.Workload, r.Workers, r.Paths,
+			r.WallOff.Round(time.Millisecond), r.WallOn.Round(time.Millisecond),
+			100*r.Overhead)
+	}
+}
+
+// ObsStages is the per-stage time breakdown of one concolic run, read
+// back from the registry's latency histograms.
+type ObsStages struct {
+	Workload string
+	Runs     int           // concrete executions performed
+	Wall     time.Duration // end-to-end wall time
+	Step     time.Duration // engine_step_seconds sum x core.StepSampleRate (estimate)
+	Decode   time.Duration // engine_decode_seconds
+	Solve    time.Duration // smt_solve_seconds (SAT search)
+	Blast    time.Duration // smt_blast_seconds (bit-blasting)
+	Steps    int64         // instructions stepped
+	Checks   int64         // solver Check calls
+}
+
+// RunObsStages runs generational concolic testing on a branch-ladder
+// workload with the registry attached and reports where the time went:
+// the solve/blast histograms cover the solver, the step/decode
+// histograms cover execution. Everything is read back through the same
+// instruments /metrics would serve.
+func RunObsStages() ObsStages {
+	const k = 8
+	a, p := mustBuild("tiny32", BranchLadder("tiny32", k))
+	o := obs.New()
+	e := core.NewEngine(a, p, core.Options{InputBytes: k, MaxPaths: 1 << (k + 1), Obs: o})
+	t0 := time.Now()
+	cr, err := e.Concolic(nil, 1<<(k+1))
+	if err != nil {
+		panic(fmt.Sprintf("harness: obs stages: %v", err))
+	}
+	reg := o.Reg
+	hist := func(name string) *obs.Histogram {
+		return reg.Histogram(name, "", obs.TimeBuckets)
+	}
+	return ObsStages{
+		Workload: fmt.Sprintf("ladder%d/tiny32 (concolic)", k),
+		Runs:     len(cr.Paths),
+		Wall:     time.Since(t0),
+		Step:     hist("engine_step_seconds").SumDuration() * core.StepSampleRate,
+		Decode:   hist("engine_decode_seconds").SumDuration(),
+		Solve:    hist("smt_solve_seconds").SumDuration(),
+		Blast:    hist("smt_blast_seconds").SumDuration(),
+		Steps:    reg.Counter("engine_instructions_total", "").Value(),
+		Checks:   reg.Counter("smt_checks_total", "").Value(),
+	}
+}
+
+// Print writes the breakdown in the repo's table format.
+func (s ObsStages) Print(w io.Writer) {
+	fmt.Fprintf(w, "Per-stage time breakdown: %s, %d runs, %d instructions, %d solver checks\n",
+		s.Workload, s.Runs, s.Steps, s.Checks)
+	pct := func(d time.Duration) float64 {
+		if s.Wall <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(s.Wall)
+	}
+	fmt.Fprintf(w, "%-22s %12s %9s\n", "stage", "time", "of wall")
+	fmt.Fprintf(w, "%-22s %12v %8.0f%%\n", "solver: SAT search", s.Solve.Round(time.Microsecond), pct(s.Solve))
+	fmt.Fprintf(w, "%-22s %12v %8.0f%%\n", "solver: bit-blast", s.Blast.Round(time.Microsecond), pct(s.Blast))
+	fmt.Fprintf(w, "%-22s %12v %8.0f%%\n", "engine: decode", s.Decode.Round(time.Microsecond), pct(s.Decode))
+	fmt.Fprintf(w, "%-22s %12v %8.0f%%\n", "engine: step (est.)", s.Step.Round(time.Microsecond), pct(s.Step))
+	fmt.Fprintf(w, "%-22s %12v\n", "wall", s.Wall.Round(time.Microsecond))
+}

@@ -1,0 +1,102 @@
+// Live introspection: an HTTP endpoint a long-running soak or
+// exploration can expose (-obs-addr) to be observed and profiled in
+// flight. The handler serves:
+//
+//	/metrics             Prometheus text exposition of the registry
+//	/debug/vars          expvar (Go runtime vars + the registry snapshot)
+//	/debug/pprof/...     net/http/pprof (CPU, heap, goroutine, trace, ...)
+//
+// The server binds its own mux, so attaching it never touches
+// http.DefaultServeMux or conflicts with an embedding application.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar package only supports process-global publication and
+// panics on duplicate names, so the registry snapshot is published once
+// and reads whatever registry was most recently attached to a handler.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	if r != nil {
+		expvarReg.Store(r)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() interface{} {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the introspection mux for o's registry.
+func Handler(o *Obs) http.Handler {
+	reg := o.Registry()
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "obs introspection endpoint\n\n"+
+			"  /metrics           Prometheus text metrics\n"+
+			"  /debug/vars        expvar JSON\n"+
+			"  /debug/pprof/      pprof index (profile, heap, goroutine, trace)\n")
+		if tr := o.Tracer(); tr != nil {
+			fmt.Fprintf(w, "\ntracer: %d events buffered, %d dropped\n", tr.Len(), tr.Dropped())
+		}
+	})
+	return mux
+}
+
+// Server is a live introspection listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (":8089", or ":0" for
+// an ephemeral port) and returns immediately; the server runs until
+// Close. The error covers only the initial bind.
+func Serve(addr string, o *Obs) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(o)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

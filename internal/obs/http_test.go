@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	res := rw.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+// TestHandlerEndpoints drives the introspection mux in-process: the
+// Prometheus content type and payload, the expvar snapshot, the pprof
+// index and the human index page.
+func TestHandlerEndpoints(t *testing.T) {
+	o := NewTracing()
+	o.Reg.Counter("engine_instructions_total", "Instructions").Add(42)
+	o.Trace.Event("spawn", 0, 0, 0x100, "entry")
+
+	h := Handler(o)
+
+	res, body := get(t, h, "/metrics")
+	if ct := res.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics content type: %q", ct)
+	}
+	if !strings.Contains(body, "engine_instructions_total 42") {
+		t.Errorf("metrics body missing series:\n%s", body)
+	}
+
+	_, body = get(t, h, "/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if _, ok := vars["obs_metrics"]; !ok {
+		t.Error("expvar missing obs_metrics")
+	}
+
+	res, body = get(t, h, "/debug/pprof/")
+	if res.StatusCode != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", res.StatusCode)
+	}
+
+	_, body = get(t, h, "/")
+	if !strings.Contains(body, "/metrics") || !strings.Contains(body, "tracer: 1 events buffered") {
+		t.Errorf("index page:\n%s", body)
+	}
+
+	res, _ = get(t, h, "/nope")
+	if res.StatusCode != 404 {
+		t.Errorf("unknown path: status %d, want 404", res.StatusCode)
+	}
+}
+
+// TestServe binds an ephemeral port and round-trips /metrics over a real
+// TCP connection.
+func TestServe(t *testing.T) {
+	o := New()
+	o.Reg.Counter("smoke_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "smoke_total 1") {
+		t.Errorf("served metrics missing series:\n%s", body)
+	}
+}

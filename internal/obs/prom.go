@@ -1,0 +1,104 @@
+// Prometheus text exposition (format version 0.0.4). The encoder is
+// hand-rolled so the repository takes no dependency on the Prometheus
+// client library: the engine registers a few dozen series, and the text
+// format for counters, gauges and classic histograms is small and
+// stable.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseName strips a literal label set from a series name:
+// `x_total{layer="a"}` -> `x_total`. Series sharing a base name form one
+// metric family and are emitted under one HELP/TYPE header.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the literal label set of a series name including the
+// braces (`{layer="a"}`), or "" when the name is unlabeled.
+func labels(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}
+
+// withLabel appends one more label to a series name's label set:
+// (`x{layer="a"}`, `le`, `0.5`) -> `x{layer="a",le="0.5"}`.
+func withLabel(name, key, val string) string {
+	base, lbl := baseName(name), labels(name)
+	if lbl == "" {
+		return fmt.Sprintf("%s{%s=%q}", base, key, val)
+	}
+	return base + strings.TrimSuffix(lbl, "}") + "," + key + "=" + strconv.Quote(val) + "}"
+}
+
+// sortMetrics orders series by base name first (keeping families
+// contiguous), then by the full labeled name.
+func sortMetrics(ms []*metric) {
+	sort.Slice(ms, func(i, j int) bool {
+		bi, bj := baseName(ms[i].name), baseName(ms[j].name)
+		if bi != bj {
+			return bi < bj
+		}
+		return ms[i].name < ms[j].name
+	})
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format. Families (series sharing a base name) are emitted
+// contiguously under a single HELP/TYPE header; histograms are expanded
+// into cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	lastBase := ""
+	for _, m := range r.snapshot() {
+		base := baseName(m.name)
+		if base != lastBase {
+			typ := "counter"
+			switch {
+			case m.g != nil:
+				typ = "gauge"
+			case m.h != nil:
+				typ = "histogram"
+			}
+			if m.help != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", base, m.help)
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", base, typ)
+			lastBase = base
+		}
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.g.Value())
+		case m.h != nil:
+			bounds, counts := m.h.Buckets()
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(&sb, "%s %d\n", withLabel(base+"_bucket"+labels(m.name), "le", formatFloat(b)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(&sb, "%s %d\n", withLabel(base+"_bucket"+labels(m.name), "le", "+Inf"), cum)
+			fmt.Fprintf(&sb, "%s %s\n", base+"_sum"+labels(m.name), formatFloat(m.h.Sum()))
+			fmt.Fprintf(&sb, "%s %d\n", base+"_count"+labels(m.name), m.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

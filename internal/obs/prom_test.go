@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: families
+// sorted and contiguous under one HELP/TYPE header, labeled series
+// grouped, histograms expanded into cumulative buckets with the `le`
+// label spliced into any existing label set.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_forks_total", "Forks taken").Add(3)
+	r.Gauge("engine_frontier_depth", "Live states queued").Set(7)
+	r.Counter(`difftest_checks_total{layer="roundtrip"}`, "Checks per layer").Add(10)
+	r.Counter(`difftest_checks_total{layer="solver"}`, "Checks per layer").Add(4)
+	h := r.Histogram("smt_check_seconds", "Solver Check latency", []float64{0.1, 1})
+	h.Observe(0.05) // bucket le=0.1
+	h.Observe(0.5)  // bucket le=1
+	h.Observe(0.5)
+	h.Observe(3) // +Inf overflow
+	hl := r.Histogram(`rt_seconds{phase="warm"}`, "Labeled histogram", []float64{1})
+	hl.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP difftest_checks_total Checks per layer
+# TYPE difftest_checks_total counter
+difftest_checks_total{layer="roundtrip"} 10
+difftest_checks_total{layer="solver"} 4
+# HELP engine_forks_total Forks taken
+# TYPE engine_forks_total counter
+engine_forks_total 3
+# HELP engine_frontier_depth Live states queued
+# TYPE engine_frontier_depth gauge
+engine_frontier_depth 7
+# HELP rt_seconds Labeled histogram
+# TYPE rt_seconds histogram
+rt_seconds_bucket{phase="warm",le="1"} 1
+rt_seconds_bucket{phase="warm",le="+Inf"} 1
+rt_seconds_sum{phase="warm"} 0.5
+rt_seconds_count{phase="warm"} 1
+# HELP smt_check_seconds Solver Check latency
+# TYPE smt_check_seconds histogram
+smt_check_seconds_bucket{le="0.1"} 1
+smt_check_seconds_bucket{le="1"} 3
+smt_check_seconds_bucket{le="+Inf"} 4
+smt_check_seconds_sum 4.05
+smt_check_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("Prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshot checks the expvar-facing view.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Gauge("g", "").Set(-1)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.25)
+	snap := r.Snapshot()
+	if snap["c_total"] != int64(2) || snap["g"] != int64(-1) {
+		t.Errorf("scalar snapshot wrong: %v", snap)
+	}
+	hs, ok := snap["h_seconds"].(map[string]interface{})
+	if !ok || hs["count"] != int64(1) || hs["sum"] != 0.25 {
+		t.Errorf("histogram snapshot wrong: %v", snap["h_seconds"])
+	}
+}

@@ -1,0 +1,140 @@
+// End-to-end telemetry smoke test (the `make obs-smoke` target): a real
+// parallel exploration runs with the registry and tracer attached while
+// the introspection endpoint is live, then the test fetches /metrics,
+// /debug/vars and a 1-second CPU profile over real HTTP and validates
+// all three, plus the Chrome trace the run produced.
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fetches a 1s CPU profile")
+	}
+	a := arch.MustLoad("tiny32")
+	p, err := asm.New(a).Assemble("ladder.s", harness.BranchLadder("tiny32", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.NewTracing()
+	srv, err := obs.Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	fetch := func(path string) string {
+		res, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if res.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, res.StatusCode)
+		}
+		return string(body)
+	}
+
+	// The profile endpoint samples while the exploration runs, so fetch
+	// it concurrently with the work.
+	profCh := make(chan string, 1)
+	go func() { profCh <- fetch("/debug/pprof/profile?seconds=1") }()
+
+	e := core.NewEngine(a, p, core.Options{
+		InputBytes: 6,
+		MaxPaths:   1 << 7,
+		Workers:    2,
+		Obs:        o,
+	})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) == 0 {
+		t.Fatal("exploration produced no paths")
+	}
+
+	// /metrics: the run's counters must be live in the Prometheus text.
+	metrics := fetch("/metrics")
+	for _, series := range []string{
+		"engine_instructions_total",
+		"engine_forks_total",
+		"engine_paths_completed_total",
+		"smt_checks_total",
+		"smt_check_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("/metrics missing %s:\n%.400s", series, metrics)
+		}
+	}
+
+	// /debug/vars: expvar JSON with the registry snapshot inside.
+	var vars struct {
+		ObsMetrics map[string]interface{} `json:"obs_metrics"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if v, ok := vars.ObsMetrics["engine_instructions_total"].(float64); !ok || v <= 0 {
+		t.Errorf("expvar obs_metrics.engine_instructions_total = %v, want > 0", vars.ObsMetrics["engine_instructions_total"])
+	}
+
+	// The 1s CPU profile must be a non-trivial pprof protobuf (gzip
+	// magic, since pprof serves compressed profiles).
+	prof := <-profCh
+	if len(prof) < 64 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Errorf("CPU profile: %d bytes, not gzip-framed pprof", len(prof))
+	}
+
+	// The trace the run produced must render as Perfetto-loadable
+	// Chrome trace_event JSON with the per-path lifecycle in it.
+	if o.Trace.Len() == 0 {
+		t.Fatal("tracer buffered no events")
+	}
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := o.Trace.WriteChromeFile(out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("Chrome trace not JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		kinds[ev.Name] = true
+	}
+	for _, want := range []string{"spawn", "fork", "branch", "end", "thread_name"} {
+		if !kinds[want] {
+			t.Errorf("Chrome trace missing %q events (have %v)", want, kinds)
+		}
+	}
+}

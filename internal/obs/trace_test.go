@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixedEvents is a small deterministic event stream covering spans,
+// instants, the engine pseudo-worker (-1) and multiple real workers.
+func fixedEvents() []Event {
+	return []Event{
+		{TS: 0, Worker: 0, Path: 0, PC: 0x100, Kind: "spawn", Detail: "entry"},
+		{TS: 10, Dur: 40, Worker: 0, Path: 0, PC: 0x104, Kind: "branch", Detail: "guard: taken=true fallthru=true"},
+		{TS: 25, Worker: 1, Path: 1, PC: 0x104, Kind: "fork", Detail: "guard taken, parent=0"},
+		{TS: 90, Worker: -1, Path: -1, Kind: "kill", Detail: "max-paths (2 live states)"},
+		{TS: 95, Worker: 1, Path: 1, PC: 0x120, Kind: "end", Detail: "exit"},
+	}
+}
+
+// TestWriteJSONLGolden pins the JSONL encoding line by line.
+func TestWriteJSONLGolden(t *testing.T) {
+	tr := NewTracer()
+	for _, ev := range fixedEvents() {
+		tr.Append(ev)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ts":0,"w":0,"path":0,"pc":256,"kind":"spawn","detail":"entry"}
+{"ts":10,"dur":40,"w":0,"path":0,"pc":260,"kind":"branch","detail":"guard: taken=true fallthru=true"}
+{"ts":25,"w":1,"path":1,"pc":260,"kind":"fork","detail":"guard taken, parent=0"}
+{"ts":90,"w":-1,"path":-1,"pc":0,"kind":"kill","detail":"max-paths (2 live states)"}
+{"ts":95,"w":1,"path":1,"pc":288,"kind":"end","detail":"exit"}
+`
+	if got := sb.String(); got != want {
+		t.Errorf("JSONL mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteChromeGolden pins the Chrome trace_event encoding: leading
+// thread_name metadata sorted by tid (worker -1 named "engine"), "X"
+// complete events for spans, thread-scoped "i" instants.
+func TestWriteChromeGolden(t *testing.T) {
+	tr := NewTracer()
+	for _, ev := range fixedEvents() {
+		tr.Append(ev)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"engine"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"worker 0"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"worker 1"}},` +
+		`{"name":"spawn","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"detail":"entry","path":0,"pc":"0x100"}},` +
+		`{"name":"branch","ph":"X","ts":10,"dur":40,"pid":1,"tid":1,"args":{"detail":"guard: taken=true fallthru=true","path":0,"pc":"0x104"}},` +
+		`{"name":"fork","ph":"i","ts":25,"pid":1,"tid":2,"s":"t","args":{"detail":"guard taken, parent=0","path":1,"pc":"0x104"}},` +
+		`{"name":"kill","ph":"i","ts":90,"pid":1,"tid":0,"s":"t","args":{"detail":"max-paths (2 live states)","path":-1}},` +
+		`{"name":"end","ph":"i","ts":95,"pid":1,"tid":2,"s":"t","args":{"detail":"exit","path":1,"pc":"0x120"}}]}` + "\n"
+	if got := sb.String(); got != want {
+		t.Errorf("Chrome trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// And it must be valid JSON with the traceEvents array Perfetto
+	// expects.
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 8 {
+		t.Errorf("got %d traceEvents, want 8", len(doc.TraceEvents))
+	}
+}
+
+// TestTracerCap: the buffer must drop past the cap and count the drops
+// instead of growing without bound.
+func TestTracerCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCap(4)
+	for i := 0; i < 10; i++ {
+		tr.Event("exec", 0, i, 0, "")
+	}
+	if tr.Len() != 4 {
+		t.Errorf("len: got %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped: got %d, want 6", tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("reset must clear the buffer and the drop count")
+	}
+}

@@ -82,6 +82,12 @@ type Solver struct {
 	// across all exploration workers and concolic replays.
 	Cache *QueryCache
 
+	// Obs, when non-nil, feeds the registry-backed solver metrics
+	// (internal/obs) in addition to the per-solver Stats below. The
+	// instruments are atomic, so one SolverObs is shared by every worker
+	// solver of a run.
+	Obs *SolverObs
+
 	Stats Stats
 }
 
@@ -139,16 +145,29 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 		if e, ok := s.Cache.lookup(key); ok {
 			s.Stats.Queries++
 			s.Stats.CacheHits++
+			if s.Obs != nil {
+				s.Obs.Checks.Inc()
+				s.Obs.CacheHits.Inc()
+			}
 			switch e.r {
 			case Sat:
 				s.Stats.SatResults++
 				s.model = e.model
+				if s.Obs != nil {
+					s.Obs.SatResults.Inc()
+				}
 			case Unsat:
 				s.Stats.UnsatCount++
+				if s.Obs != nil {
+					s.Obs.UnsatResults.Inc()
+				}
 			}
 			return e.r, nil
 		}
 		s.Stats.CacheMisses++
+		if s.Obs != nil {
+			s.Obs.CacheMisses.Inc()
+		}
 	}
 
 	t0 := time.Now()
@@ -156,13 +175,21 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 	for _, a := range assumptions {
 		as = append(as, s.blastBool(a))
 	}
-	s.Stats.BlastTime += time.Since(t0)
+	blast := time.Since(t0)
+	s.Stats.BlastTime += blast
 
 	s.Stats.Queries++
 	s.sat.MaxConflicts = s.MaxConflicts
 	t1 := time.Now()
 	r, err := s.sat.Solve(as...)
-	s.Stats.SolveTime += time.Since(t1)
+	solve := time.Since(t1)
+	s.Stats.SolveTime += solve
+	if s.Obs != nil {
+		s.Obs.Checks.Inc()
+		s.Obs.BlastSeconds.ObserveDuration(blast)
+		s.Obs.SolveSeconds.ObserveDuration(solve)
+		s.Obs.CheckSeconds.ObserveSince(t0)
+	}
 	if err != nil {
 		return Unknown, ErrBudget
 	}
@@ -170,8 +197,14 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 	case Sat:
 		s.Stats.SatResults++
 		s.extractModel()
+		if s.Obs != nil {
+			s.Obs.SatResults.Inc()
+		}
 	case Unsat:
 		s.Stats.UnsatCount++
+		if s.Obs != nil {
+			s.Obs.UnsatResults.Inc()
+		}
 	}
 	if s.Cache != nil && r != Unknown {
 		e := cacheEntry{r: r}
