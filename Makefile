@@ -1,11 +1,12 @@
 # Tier-1 verification (see ROADMAP.md): build, tests, vet, the race
 # detector over the packages with concurrent machinery, short
 # fixed-budget smokes of the fuzz targets and the differential oracle,
-# and the end-to-end telemetry smoke (docs/observability.md).
+# the end-to-end telemetry smoke (docs/observability.md), and the
+# semantic-coverage gate (docs/coverage.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke
 
 build:
 	go build ./...
@@ -17,7 +18,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover
 
 bench:
 	go test -bench=. -benchmem
@@ -42,3 +43,10 @@ difftest:
 # checked for the per-path lifecycle events.
 obs-smoke:
 	go test -run 'TestObsSmoke' -count=1 ./internal/obs
+
+# Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
+# differential run over every embedded ADL must keep instruction
+# coverage in decode, translate and the best execution layer above the
+# floor, and the JSON report must roundtrip.
+cover-smoke:
+	go test -run 'TestCoverSmoke' -count=1 ./internal/cover

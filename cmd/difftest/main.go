@@ -6,16 +6,30 @@
 //
 //	difftest [-duration 30s | -rounds N] [-seed N] [-arch a,b] \
 //	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] \
+//	         [-cover] [-cover-out cover.json] [-cover-guided=false] \
+//	         [-cover-target 0.9] [-cover-min 0.9] \
 //	         [-obs-addr :8089] [-trace-out trace.json] [-v]
 //
 // The run is a pure function of the seed; every divergence is reported
 // with the sub-seed, a minimized program and the triggering input, and
 // (with -corpus) a replayable counterexample file. Exit status 1 means
-// at least one divergence was found.
+// at least one divergence was found; exit status 4 means the run was
+// clean but -cover-min was not reached.
 //
-// -obs-addr serves live Prometheus metrics, expvar and pprof for the
-// duration of the soak; -trace-out writes the Chrome trace_event
-// timeline of the first divergent round (see docs/observability.md).
+// The -cover family measures semantic coverage (docs/coverage.md):
+// -cover prints the per-ISA matrix to stderr, -cover-out writes the
+// JSON report, -cover-target turns the soak coverage-budgeted (run
+// until every architecture's floor reaches the target instead of a
+// fixed round count), and coverage-guided generation (on by default
+// when collecting) biases instruction selection toward uncovered
+// cells. All of this works fully offline — no -obs-addr needed — and
+// every human-readable summary goes to stderr so stdout stays
+// pipeable.
+//
+// -obs-addr serves live Prometheus metrics, /coverage, expvar and
+// pprof for the duration of the soak; -trace-out writes the Chrome
+// trace_event timeline of the first divergent round (see
+// docs/observability.md).
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"strings"
 
 	"repro/arch"
+	"repro/internal/cover"
 	"repro/internal/difftest"
 	"repro/internal/obs"
 )
@@ -38,8 +53,13 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated engine worker counts (default 1,2)")
 	steps := flag.Int64("steps", 0, "per-program instruction budget (default 512)")
 	corpus := flag.String("corpus", "", "directory for counterexample files")
-	obsAddr := flag.String("obs-addr", "", "serve live /metrics, expvar and pprof on this address")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics, /coverage, expvar and pprof on this address")
 	traceOut := flag.String("trace-out", "", "write the Chrome trace of the first divergent round to this file")
+	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
+	coverOut := flag.String("cover-out", "", "write the coverage report as JSON to this file (implies -cover)")
+	coverGuided := flag.Bool("cover-guided", true, "bias generation toward uncovered instructions (with -cover)")
+	coverTarget := flag.Float64("cover-target", 0, "run until every architecture's coverage floor reaches this fraction (implies -cover)")
+	coverMin := flag.Float64("cover-min", 0, "exit 4 when any architecture's final coverage floor is below this fraction (implies -cover)")
 	verbose := flag.Bool("v", false, "log per-round progress")
 
 	// -adl name=file overrides the subject description for one
@@ -64,8 +84,19 @@ func main() {
 		CorpusDir: *corpus,
 		TraceOut:  *traceOut,
 	}
+	// Coverage collection is on when any -cover* flag asks for it, and
+	// also whenever the live endpoint is up, so -obs-addr users get
+	// /coverage with no extra flags.
+	var coll *cover.Collector
+	if *coverOn || *coverOut != "" || *coverTarget > 0 || *coverMin > 0 || *obsAddr != "" {
+		coll = cover.New()
+		opts.Cover = coll
+		opts.CoverGuided = *coverGuided
+		opts.CoverTarget = *coverTarget
+	}
 	if *obsAddr != "" {
 		opts.Obs = obs.New()
+		opts.Obs.Cover = coll
 		srv, err := obs.Serve(*obsAddr, opts.Obs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -105,11 +136,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Coverage output is fully offline: the JSON report goes to
+	// -cover-out and the human-readable matrix to stderr, keeping
+	// stdout (summary + divergences) pipeable.
+	if coll != nil {
+		if *coverOut != "" {
+			data, err := coll.JSON()
+			if err == nil {
+				err = os.WriteFile(*coverOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cover-out: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "cover-out: wrote coverage report to %s\n", *coverOut)
+		}
+		coll.WriteText(os.Stderr)
+	}
 	fmt.Print(res.Summary())
 	for _, d := range res.Divergences {
 		fmt.Printf("\n%v\n", d)
 	}
 	if len(res.Divergences) > 0 {
 		os.Exit(1)
+	}
+	if *coverMin > 0 && coll != nil {
+		low := false
+		for _, ir := range coll.Report().ISAs {
+			if f := ir.Floor(); f < *coverMin {
+				fmt.Fprintf(os.Stderr, "difftest: %s coverage floor %.1f%% is below -cover-min %.1f%%\n",
+					ir.ISA, 100*f, 100**coverMin)
+				low = true
+			}
+		}
+		if low {
+			os.Exit(4)
+		}
 	}
 }

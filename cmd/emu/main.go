@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	emu [-input <string>] [-steps N] [-trace] <image.rimg>
+//	emu [-input <string>] [-steps N] [-trace] [-cover] [-cover-out f] <image.rimg>
+//
+// -cover and -cover-out measure semantic coverage of the loaded ADL on
+// the concrete layer (docs/coverage.md): the JSON report goes to the
+// named file, the human-readable matrix to stderr.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"repro/arch"
 	"repro/internal/conc"
+	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/prog"
 )
@@ -22,6 +27,8 @@ func main() {
 	input := flag.String("input", "", "bytes fed to the read trap")
 	steps := flag.Int64("steps", 1_000_000, "instruction budget")
 	trace := flag.Bool("trace", false, "print each executed instruction")
+	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
+	coverOut := flag.String("cover-out", "", "write the coverage report as JSON to this file (implies -cover)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emu [-input s] [-steps n] [-trace] <image.rimg>")
@@ -43,6 +50,11 @@ func main() {
 		os.Exit(1)
 	}
 	m := conc.NewMachine(a)
+	var coll *cover.Collector
+	if *coverOn || *coverOut != "" {
+		coll = cover.New()
+		m.SetCover(coll.Bind(a))
+	}
 	m.LoadProgram(p)
 	m.Input = []byte(*input)
 
@@ -69,6 +81,23 @@ func main() {
 		}
 	} else {
 		stop = m.Run(*steps)
+	}
+
+	// Coverage output stays off stdout: JSON to -cover-out, the matrix
+	// to stderr.
+	if coll != nil {
+		if *coverOut != "" {
+			data, err := coll.JSON()
+			if err == nil {
+				err = os.WriteFile(*coverOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cover-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cover-out: wrote coverage report to %s\n", *coverOut)
+		}
+		coll.WriteText(os.Stderr)
 	}
 
 	fmt.Printf("stopped: %v after %d instructions\n", stop, m.Steps)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages]
+//	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
+//	                   coverage|cover-overhead]
 //	            [-obs-addr :8089]
 package main
 
@@ -21,8 +22,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages)")
-	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs (0 = all CPUs)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	flag.Parse()
 
@@ -76,6 +77,10 @@ func main() {
 		harness.RunObsOverhead(workerCounts).Print(os.Stdout)
 	case "obs-stages":
 		harness.RunObsStages().Print(os.Stdout)
+	case "coverage":
+		harness.RunCoverageMatrix().Print(os.Stdout)
+	case "cover-overhead":
+		harness.RunCoverOverhead(workerCounts).Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -5,13 +5,17 @@
 // Usage:
 //
 //	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail]
-//	      [-obs-addr :8089] [-trace-out trace.json] <image.rimg>
+//	      [-cover] [-cover-out cover.json] [-obs-addr :8089] [-trace-out trace.json]
+//	      <image.rimg>
 //
 // The per-path summary goes to stdout; worker and cache statistics go to
 // stderr so stdout stays pipeable. -obs-addr serves live Prometheus
-// metrics, expvar and pprof for the duration of the run; -trace-out
-// writes the exploration timeline as Chrome trace_event JSON, loadable
-// by Perfetto (see docs/observability.md).
+// metrics, /coverage, expvar and pprof for the duration of the run;
+// -trace-out writes the exploration timeline as Chrome trace_event
+// JSON, loadable by Perfetto (see docs/observability.md). -cover and
+// -cover-out measure semantic coverage of the loaded ADL
+// (docs/coverage.md) fully offline: the JSON report goes to the named
+// file and the human-readable matrix to stderr.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"repro/arch"
 	"repro/internal/checker"
 	"repro/internal/core"
+	"repro/internal/cover"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/prog"
@@ -39,8 +44,10 @@ func main() {
 	seed := flag.String("seed", "", "seed input for -concolic")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = all CPUs)")
 	noCache := flag.Bool("no-query-cache", false, "disable the shared solver-query cache")
-	obsAddr := flag.String("obs-addr", "", "serve live /metrics, expvar and pprof on this address")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics, /coverage, expvar and pprof on this address")
 	traceOut := flag.String("trace-out", "", "write the exploration trace as Chrome trace_event JSON to this file")
+	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
+	coverOut := flag.String("cover-out", "", "write the coverage report as JSON to this file (implies -cover)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
@@ -82,12 +89,22 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 
+	// Coverage collection is on when a -cover* flag asks for it, and
+	// also whenever the live endpoint is up, so -obs-addr users get
+	// /coverage with no extra flags.
+	var coll *cover.Collector
+	if *coverOn || *coverOut != "" || *obsAddr != "" {
+		coll = cover.New()
+	}
 	var o *obs.Obs
 	if *obsAddr != "" || *traceOut != "" {
 		if *traceOut != "" {
 			o = obs.NewTracing()
 		} else {
 			o = obs.New()
+		}
+		if coll != nil {
+			o.Cover = coll
 		}
 	}
 	if *obsAddr != "" {
@@ -110,6 +127,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-out: %d events -> %s (open with ui.perfetto.dev)\n",
 			o.Trace.Len(), *traceOut)
 	}
+	// Coverage output is fully offline: JSON to -cover-out, the
+	// human-readable matrix to stderr, stdout untouched.
+	dumpCover := func() {
+		if coll == nil {
+			return
+		}
+		if *coverOut != "" {
+			data, err := coll.JSON()
+			if err == nil {
+				err = os.WriteFile(*coverOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cover-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cover-out: wrote coverage report to %s\n", *coverOut)
+		}
+		if *coverOn || *coverOut != "" {
+			coll.WriteText(os.Stderr)
+		}
+	}
 
 	e := core.NewEngine(a, p, core.Options{
 		InputBytes:   *inputs,
@@ -119,6 +157,7 @@ func main() {
 		Workers:      *workers,
 		NoQueryCache: *noCache,
 		Obs:          o,
+		Cover:        coll,
 	})
 	for _, c := range checker.All() {
 		e.AddChecker(c)
@@ -131,6 +170,7 @@ func main() {
 			os.Exit(1)
 		}
 		dumpTrace()
+		dumpCover()
 		fmt.Printf("%s: %d concrete runs, %d solver-derived inputs, %d instructions covered\n",
 			p.Arch, len(rep.Paths), rep.Solved, rep.Coverage)
 		for i, pth := range rep.Paths {
@@ -153,6 +193,7 @@ func main() {
 		os.Exit(1)
 	}
 	dumpTrace()
+	dumpCover()
 
 	fmt.Printf("%s: %d paths, %d instructions, %d forks (%d infeasible), %v\n",
 		p.Arch, len(r.Paths), r.Stats.Instructions, r.Stats.Forks,

@@ -16,16 +16,22 @@ import (
 
 	"repro/internal/adl"
 	"repro/internal/bv"
+	"repro/internal/cover"
 	"repro/internal/prog"
 )
 
 // Assembler assembles source text for one architecture.
 type Assembler struct {
 	arch *adl.Arch
+	cov  *cover.ArchCov
 }
 
 // New returns an assembler for the architecture.
 func New(a *adl.Arch) *Assembler { return &Assembler{arch: a} }
+
+// SetCover attaches a coverage binding; every successfully encoded
+// instruction is then recorded in the asm layer. Nil detaches.
+func (a *Assembler) SetCover(v *cover.ArchCov) { a.cov = v }
 
 // Error is a source-located assembler error.
 type Error struct {
@@ -525,6 +531,7 @@ func (a *asmRun) encode(it item) ([]byte, error) {
 		}
 		word = w
 	}
+	a.as.cov.Hit(cover.LAsm, it.ins)
 	return a.bytesOf(word, uint(it.ins.Format.Bytes())), nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/adl"
 	"repro/internal/bv"
+	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/obs"
 	"repro/internal/prog"
@@ -98,6 +99,12 @@ type Machine struct {
 	// telemetry (internal/obs); nil disables it.
 	Metrics *Metrics
 
+	// Cov, when non-nil, records conc-layer semantic coverage:
+	// instructions executed, branch outcomes (from the pc-written flag),
+	// and control events. Set through SetCover so the decoder's
+	// decode-layer hook is attached in the same motion. Nil disables.
+	Cov *cover.ArchCov
+
 	sysArg *adl.Reg
 	sysRet *adl.Reg
 }
@@ -130,6 +137,13 @@ func NewMachine(a *adl.Arch) *Machine {
 		sysArg: a.Reg("sysarg"),
 		sysRet: a.Reg("sysret"),
 	}
+}
+
+// SetCover attaches a semantic-coverage binding to the machine and its
+// decoder. Nil detaches both.
+func (m *Machine) SetCover(v *cover.ArchCov) {
+	m.Cov = v
+	m.Dec.Cov = v
 }
 
 // LoadProgram copies the image into memory and sets pc to the entry point.
@@ -226,12 +240,21 @@ func (m *Machine) Step() (done *Stop) {
 	m.pcWritten = false
 	res := rtl.ConcExec(m, dec.Insn, dec.Ops)
 	m.Steps++
+	if m.Cov != nil {
+		m.Cov.Hit(cover.LConc, dec.Insn)
+		// For a branch-classified instruction the taken way is exactly
+		// "the semantics wrote pc" (the not-taken way falls through).
+		m.Cov.Branch(cover.LConc, dec.Insn, m.pcWritten)
+	}
 	switch {
 	case res.Fault != "":
+		m.Cov.Event(cover.LConc, cover.EvFault)
 		return &Stop{Kind: StopFault, PC: pc, Fault: res.Fault}
 	case res.Halted:
+		m.Cov.Event(cover.LConc, cover.EvHalt)
 		return &Stop{Kind: StopHalt, PC: pc}
 	case res.Trapped:
+		m.Cov.Event(cover.LConc, cover.EvTrap)
 		halt, err := m.trap(res.TrapCode)
 		if err != nil {
 			return &Stop{Kind: StopFault, PC: pc, Fault: err.Error()}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/adl"
+	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -119,6 +120,16 @@ type Options struct {
 	// the deterministic snapshot; the registry is the live view of the
 	// same counters (docs/observability.md).
 	Obs *obs.Obs
+
+	// Cover attaches the semantic-coverage collector (internal/cover).
+	// The engine binds the architecture once at construction and then
+	// records, per instruction, the sym layer (instructions stepped,
+	// branch outcomes reached, control events raised), the solver layer
+	// (branch polarities proved feasible), the decode layer (through the
+	// shared decoder) and the translate layer (through the RTL
+	// evaluator). Nil (the default) disables recording; the residual
+	// cost is one pointer test per site, same bargain as Obs.
+	Cover *cover.Collector
 
 	// StackBase and StackSize describe the stack region; the engine
 	// initializes the architecture's sp register to StackBase. Defaults:
@@ -298,6 +309,11 @@ type Engine struct {
 	// tracer (nil when tracing is off). Workers share both.
 	m  engineMetrics
 	tr *obs.Tracer
+
+	// cov is the architecture's semantic-coverage binding
+	// (Options.Cover); nil when coverage is off. Workers share it — the
+	// hit store is lock-free, so no per-worker merge is needed.
+	cov *cover.ArchCov
 }
 
 // StepSampleRate is the sampling factor of the engine_step_seconds
@@ -399,6 +415,8 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 	}
 	e.m = newEngineMetrics(opts.Obs)
 	e.tr = opts.Obs.Tracer()
+	e.cov = opts.Cover.Bind(a)
+	e.Dec.Cov = e.cov
 	e.Solver.Obs = smt.NewSolverObs(opts.Obs.Registry())
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts
 	// Default layout: each program segment plus the stack.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bv"
+	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/expr"
 	"repro/internal/rtl"
@@ -245,6 +246,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 	e.recordVisit(st.PC)
 	e.report.Stats.Instructions++
 	e.m.instructions.Inc()
+	e.cov.Hit(cover.LSym, dec.Insn)
 	st.Steps++
 
 	insAddr := st.PC
@@ -257,7 +259,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 	st.SetReg(pcReg, e.B.Const(pcReg.Width, cont))
 
 	ec := &execCtx{e: e, st: st, insAddr: insAddr, disasm: disasm}
-	ev := &rtl.SymEval{B: e.B, A: e.Arch}
+	ev := &rtl.SymEval{B: e.B, A: e.Arch, Cov: e.cov}
 	events := ev.Exec(ec, dec.Insn, dec.Ops)
 	if ec.err != nil {
 		return nil, ec.err
@@ -279,7 +281,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 			out = append(out, c.done(StatusSteps))
 			continue
 		}
-		next, err := e.resolvePC(c, insAddr, disasm)
+		next, err := e.resolvePC(c, dec, insAddr, disasm)
 		if err != nil {
 			return nil, err
 		}
@@ -300,6 +302,7 @@ func (e *Engine) handleEvents(st *State, events []rtl.Event, pc uint64, disasm s
 		if ev.Kind != rtl.EvDiv {
 			continue
 		}
+		e.cov.Event(cover.LSym, cover.EvDiv)
 		ctx := &CheckCtx{Engine: e, State: st, PC: pc, Insn: disasm, Guard: ev.Guard}
 		for _, c := range e.checkers {
 			c.Div(ctx, ev.Code)
@@ -324,11 +327,14 @@ func (e *Engine) handleEvents(st *State, events []rtl.Event, pc uint64, disasm s
 			}
 			switch ev.Kind {
 			case rtl.EvFault:
+				e.cov.Event(cover.LSym, cover.EvFault)
 				taken.Fault = ev.Msg
 				done = append(done, taken.done(StatusFault))
 			case rtl.EvHalt:
+				e.cov.Event(cover.LSym, cover.EvHalt)
 				done = append(done, taken.done(StatusHalt))
 			case rtl.EvTrap:
+				e.cov.Event(cover.LSym, cover.EvTrap)
 				after := e.trap(taken, ev.Code, pc)
 				if after.Done {
 					done = append(done, after)
@@ -448,10 +454,10 @@ func (e *Engine) trap(st *State, code *expr.Expr, pc uint64) *State {
 // resolvePC turns the (possibly symbolic) post-instruction pc into
 // concrete successor states. The pc register already holds the
 // fall-through continuation when the semantics did not branch.
-func (e *Engine) resolvePC(st *State, insAddr uint64, disasm string) ([]*State, error) {
+func (e *Engine) resolvePC(st *State, dec decoder.Decoded, insAddr uint64, disasm string) ([]*State, error) {
 	pcv := st.Reg(e.Arch.PC)
 	if targets, ok := e.splitTargets(pcv, nil); ok {
-		return e.forkTargets(st, targets)
+		return e.forkTargets(st, targets, dec, insAddr)
 	}
 	// General symbolic target: tell the checkers, then enumerate models.
 	ctx := &CheckCtx{Engine: e, State: st, PC: insAddr, Insn: disasm}
@@ -490,17 +496,24 @@ func (e *Engine) splitTargets(pcv *expr.Expr, conds []*expr.Expr) ([]target, boo
 	}
 }
 
-// forkTargets creates one successor per feasible target.
-func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
+// forkTargets creates one successor per feasible target. dec and
+// insAddr identify the branching instruction for coverage: a target is
+// the taken outcome when it differs from the fall-through continuation,
+// and a polarity counts for the solver layer only when a feasibility
+// check actually discharged it.
+func (e *Engine) forkTargets(st *State, ts []target, dec decoder.Decoded, insAddr uint64) ([]*State, error) {
 	var out []*State
 	if len(ts) > 1 {
 		e.report.Stats.Forks += int64(len(ts) - 1)
 		e.m.forks.Add(int64(len(ts) - 1))
 	}
+	cont := bv.Trunc(insAddr+uint64(dec.Len), e.Arch.Bits)
 	baseSig := st.sig
 	for i, t := range ts {
 		cond := append(append([]*expr.Expr(nil), st.PathCond...), t.conds...)
-		if len(ts) > 1 || len(t.conds) > 0 {
+		taken := bv.Trunc(t.addr, e.Arch.Bits) != cont
+		checked := len(ts) > 1 || len(t.conds) > 0
+		if checked {
 			var t0 time.Time
 			if e.m.on || e.tr != nil {
 				t0 = time.Now()
@@ -521,7 +534,9 @@ func (e *Engine) forkTargets(st *State, ts []target) ([]*State, error) {
 				e.m.infeasible.Inc()
 				continue
 			}
+			e.cov.Branch(cover.LSolver, dec.Insn, taken)
 		}
+		e.cov.Branch(cover.LSym, dec.Insn, taken)
 		var child *State
 		if i == len(ts)-1 {
 			child = st // reuse the parent for the last side

@@ -326,6 +326,7 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		workerID:   i,
 		m:          e.m,
 		tr:         e.tr,
+		cov:        e.cov,
 	}
 	w.Solver.MaxConflicts = e.Opts.MaxSolverConflicts
 	w.Solver.Cache = e.cache

@@ -1,0 +1,480 @@
+// Package cover is the semantic-coverage subsystem: it derives a
+// per-ISA coverage universe from a loaded architecture description
+// (instructions, encoding formats, RTL operator kinds, branch outcomes,
+// control events) and counts, per pipeline layer, which universe cells
+// the generated stacks have actually exercised.
+//
+// The design mirrors internal/obs: recording is lock-free (one atomic
+// add per hit against dense per-ISA arrays), every hit method is
+// nil-receiver safe so instrumented code calls it unconditionally, and
+// independently constructed components — the per-worker sub-engines of
+// a parallel run, the subject and reference stacks of a difftest soak —
+// all resolve to one shared per-ISA map, merged trivially at collect
+// time because they were never separate.
+//
+// Layers (docs/coverage.md):
+//
+//	decode     the decoder matched the instruction's encoding
+//	asm        the assembler encoded the instruction
+//	translate  the symbolic evaluator translated the RTL semantics
+//	sym        the symbolic engine executed the instruction
+//	conc       the concrete emulator executed the instruction
+//	solver     the solver proved a branch polarity feasible
+//
+// Format and operator coverage are derived at report time from the
+// instruction hit maps (a format is covered in a layer when any
+// instruction of that format is; likewise for operators), so the hot
+// path stays a single indexed atomic increment.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adl"
+)
+
+// Layer identifies one pipeline stage of the generated stack.
+type Layer int
+
+// Pipeline layers, in report order.
+const (
+	LDecode Layer = iota
+	LAsm
+	LTranslate
+	LSym
+	LConc
+	LSolver
+	NumLayers
+)
+
+var layerNames = [NumLayers]string{"decode", "asm", "translate", "sym", "conc", "solver"}
+
+func (l Layer) String() string {
+	if l >= 0 && l < NumLayers {
+		return layerNames[l]
+	}
+	return fmt.Sprintf("layer(%d)", int(l))
+}
+
+// EventKind classifies the control events of the coverage universe. The
+// kinds mirror internal/rtl's events; the mapping is by meaning, not by
+// value, so the two enumerations stay independent.
+type EventKind int
+
+// Event kinds.
+const (
+	EvTrap  EventKind = iota // trap() — environment call
+	EvHalt                   // halt()
+	EvFault                  // error() — explicit architectural fault
+	EvDiv                    // a division was evaluated (symbolic layer only)
+	numEvents
+)
+
+var eventNames = [numEvents]string{"trap", "halt", "fault", "div"}
+
+func (k EventKind) String() string {
+	if k >= 0 && k < numEvents {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// InsnInfo is one instruction's slice of the universe.
+type InsnInfo struct {
+	Name   string
+	Format int   // index into Universe.Formats
+	Ops    []int // indices into Universe.Ops, sorted
+	Branch bool  // conditional pc write: taken/not-taken outcomes tracked
+}
+
+// Universe is the coverage target set derived from one architecture
+// description: everything the description declares that an execution
+// could exercise.
+type Universe struct {
+	ISA      string
+	Insns    []InsnInfo // declaration order
+	Formats  []string
+	Ops      []string    // RTL operator kinds appearing in any semantics
+	Events   []EventKind // control-event kinds present in any semantics
+	Branches int         // number of branch-classified instructions
+}
+
+// NewUniverse derives the coverage universe from an architecture model
+// by walking every instruction's checked semantics.
+func NewUniverse(a *adl.Arch) *Universe {
+	u := &Universe{ISA: a.Name}
+	fmtIdx := make(map[string]int)
+	for _, f := range a.Formats {
+		fmtIdx[f.Name] = len(u.Formats)
+		u.Formats = append(u.Formats, f.Name)
+	}
+	opIdx := make(map[string]int)
+	eventSeen := [numEvents]bool{}
+	for _, ins := range a.Insns {
+		tr := scanSem(a, ins.Sem)
+		info := InsnInfo{Name: ins.Name, Format: fmtIdx[ins.Format.Name], Branch: tr.branch}
+		ops := make([]string, 0, len(tr.ops))
+		for op := range tr.ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			i, ok := opIdx[op]
+			if !ok {
+				i = len(u.Ops)
+				opIdx[op] = i
+				u.Ops = append(u.Ops, op)
+			}
+			info.Ops = append(info.Ops, i)
+		}
+		for k := EventKind(0); k < numEvents; k++ {
+			if tr.events[k] {
+				eventSeen[k] = true
+			}
+		}
+		if info.Branch {
+			u.Branches++
+		}
+		u.Insns = append(u.Insns, info)
+	}
+	sort.Strings(u.Ops)
+	// Re-map the per-insn op indices onto the sorted universe list.
+	for i := range u.Ops {
+		opIdx[u.Ops[i]] = i
+	}
+	for i := range u.Insns {
+		info := &u.Insns[i]
+		tr := scanSem(a, a.Insns[i].Sem)
+		info.Ops = info.Ops[:0]
+		names := make([]string, 0, len(tr.ops))
+		for op := range tr.ops {
+			names = append(names, op)
+		}
+		sort.Strings(names)
+		for _, op := range names {
+			info.Ops = append(info.Ops, opIdx[op])
+		}
+	}
+	for k := EventKind(0); k < numEvents; k++ {
+		if eventSeen[k] {
+			u.Events = append(u.Events, k)
+		}
+	}
+	return u
+}
+
+// semTraits is what the universe walker extracts from one semantics.
+type semTraits struct {
+	ops    map[string]bool
+	events [numEvents]bool
+	branch bool
+}
+
+var binOpNames = [...]string{
+	adl.BAdd: "add", adl.BSub: "sub", adl.BMul: "mul",
+	adl.BUDiv: "udiv", adl.BURem: "urem", adl.BSDiv: "sdiv", adl.BSRem: "srem",
+	adl.BAnd: "and", adl.BOr: "or", adl.BXor: "xor",
+	adl.BShl: "shl", adl.BLShr: "lshr", adl.BAShr: "ashr",
+}
+
+var cmpOpNames = [...]string{
+	adl.CEq: "eq", adl.CNe: "ne",
+	adl.CULt: "ult", adl.CULe: "ule", adl.CSLt: "slt", adl.CSLe: "sle",
+}
+
+// scanSem walks a checked semantics and records the operator kinds and
+// event kinds it can exercise, and whether the pc is written under a
+// condition (the branch-outcome criterion: such an instruction has a
+// taken and a not-taken way through).
+func scanSem(a *adl.Arch, sem []adl.Stmt) semTraits {
+	t := semTraits{ops: make(map[string]bool)}
+	var walkExpr func(e adl.Expr)
+	walkExpr = func(e adl.Expr) {
+		switch x := e.(type) {
+		case *adl.UnExpr:
+			if x.Op == adl.UNot {
+				t.ops["not"] = true
+			} else {
+				t.ops["neg"] = true
+			}
+			walkExpr(x.X)
+		case *adl.BinExpr:
+			t.ops[binOpNames[x.Op]] = true
+			switch x.Op {
+			case adl.BUDiv, adl.BURem, adl.BSDiv, adl.BSRem:
+				t.events[EvDiv] = true
+			}
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *adl.CmpExpr:
+			t.ops[cmpOpNames[x.Op]] = true
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *adl.BoolExpr:
+			walkExpr(x.X)
+			if x.Y != nil {
+				walkExpr(x.Y)
+			}
+		case *adl.TernExpr:
+			walkExpr(x.Cond)
+			walkExpr(x.T)
+			walkExpr(x.F)
+		case *adl.ExtractExpr:
+			walkExpr(x.X)
+		case *adl.ExtendExpr:
+			walkExpr(x.X)
+		case *adl.CatExpr:
+			walkExpr(x.Hi)
+			walkExpr(x.Lo)
+		case *adl.LoadExpr:
+			t.ops["load"] = true
+			walkExpr(x.Addr)
+		}
+	}
+	pcLV := func(lv adl.LValue) bool {
+		switch l := lv.(type) {
+		case *adl.RegLV:
+			return l.Reg == a.PC
+		case *adl.SubLV:
+			return l.Reg == a.PC
+		}
+		return false
+	}
+	var walkStmts func(ss []adl.Stmt, cond bool)
+	walkStmts = func(ss []adl.Stmt, cond bool) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *adl.AssignStmt:
+				if pcLV(x.LHS) {
+					// A pc write under a condition — or of a ternary —
+					// has both a taken and a not-taken outcome.
+					if cond {
+						t.branch = true
+					} else if _, tern := x.RHS.(*adl.TernExpr); tern {
+						t.branch = true
+					}
+				}
+				walkExpr(x.RHS)
+			case *adl.StoreStmt:
+				t.ops["store"] = true
+				walkExpr(x.Addr)
+				walkExpr(x.Val)
+			case *adl.IfStmt:
+				walkExpr(x.Cond)
+				walkStmts(x.Then, true)
+				walkStmts(x.Else, true)
+			case *adl.LocalStmt:
+				walkExpr(x.Init)
+			case *adl.TrapStmt:
+				t.events[EvTrap] = true
+				walkExpr(x.Code)
+			case *adl.HaltStmt:
+				t.events[EvHalt] = true
+			case *adl.ErrorStmt:
+				t.events[EvFault] = true
+			}
+		}
+	}
+	walkStmts(sem, false)
+	return t
+}
+
+// isaCov is the shared hit store of one ISA. All counters are dense
+// atomics indexed by the universe, so recording needs no locks and the
+// subject and reference stacks of a differential run aggregate
+// naturally (they bind to the same store by ISA identity).
+type isaCov struct {
+	u      *Universe
+	insn   [NumLayers][]atomic.Int64 // by insn index
+	branch [NumLayers][]atomic.Int64 // 2 per insn: [2*i] not-taken, [2*i+1] taken
+	event  [NumLayers][numEvents]atomic.Int64
+}
+
+func newISACov(u *Universe) *isaCov {
+	c := &isaCov{u: u}
+	for l := Layer(0); l < NumLayers; l++ {
+		c.insn[l] = make([]atomic.Int64, len(u.Insns))
+		c.branch[l] = make([]atomic.Int64, 2*len(u.Insns))
+	}
+	return c
+}
+
+// ArchCov binds one *adl.Arch instance to its ISA's shared hit store.
+// Different loads of the same description (the oracle's subject and
+// reference models) get distinct bindings over one store, so their hits
+// merge by construction. All methods are nil-receiver safe: a nil
+// binding is the off switch, costing one predictable branch per site.
+type ArchCov struct {
+	isa *isaCov
+	idx map[*adl.Insn]int
+}
+
+// Hit records that layer l exercised ins.
+func (v *ArchCov) Hit(l Layer, ins *adl.Insn) {
+	if v == nil {
+		return
+	}
+	if i, ok := v.idx[ins]; ok {
+		v.isa.insn[l][i].Add(1)
+	}
+}
+
+// Branch records a branch outcome for ins in layer l. Outcomes are only
+// meaningful for branch-classified instructions (conditional pc writes);
+// others are ignored so callers can report every instruction uniformly.
+func (v *ArchCov) Branch(l Layer, ins *adl.Insn, taken bool) {
+	if v == nil {
+		return
+	}
+	i, ok := v.idx[ins]
+	if !ok || !v.isa.u.Insns[i].Branch {
+		return
+	}
+	p := 0
+	if taken {
+		p = 1
+	}
+	v.isa.branch[l][2*i+p].Add(1)
+}
+
+// Event records a control-event kind in layer l.
+func (v *ArchCov) Event(l Layer, k EventKind) {
+	if v == nil || k < 0 || k >= numEvents {
+		return
+	}
+	v.isa.event[l][k].Add(1)
+}
+
+// Hits reads the hit count of ins in layer l (0 on a nil binding).
+func (v *ArchCov) Hits(l Layer, ins *adl.Insn) int64 {
+	if v == nil {
+		return 0
+	}
+	if i, ok := v.idx[ins]; ok {
+		return v.isa.insn[l][i].Load()
+	}
+	return 0
+}
+
+// BranchHits reads the count of one branch outcome of ins in layer l.
+func (v *ArchCov) BranchHits(l Layer, ins *adl.Insn, taken bool) int64 {
+	if v == nil {
+		return 0
+	}
+	i, ok := v.idx[ins]
+	if !ok || !v.isa.u.Insns[i].Branch {
+		return 0
+	}
+	p := 0
+	if taken {
+		p = 1
+	}
+	return v.isa.branch[l][2*i+p].Load()
+}
+
+// IsBranch reports whether ins tracks branch outcomes.
+func (v *ArchCov) IsBranch(ins *adl.Insn) bool {
+	if v == nil {
+		return false
+	}
+	i, ok := v.idx[ins]
+	return ok && v.isa.u.Insns[i].Branch
+}
+
+// Collector owns the per-ISA hit stores of one run. The zero-cost off
+// switch is a nil *Collector: Bind returns a nil binding whose methods
+// no-op. Mutexes guard registration only; the record path is atomic.
+type Collector struct {
+	mu   sync.Mutex
+	isas []*isaCov
+	keys []string // parallel to isas: ISA name + universe signature
+	bind sync.Map // *adl.Arch -> *ArchCov, memoized bindings
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Bind returns a's binding to its ISA's shared hit store, creating the
+// store on first use. Two architecture instances share a store when
+// their name and instruction list agree (the normal subject/reference
+// case); a deliberately mutated description gets its own store so its
+// counts never contaminate the reference's. Nil-safe: a nil collector
+// (or nil arch) yields a nil, no-op binding.
+func (c *Collector) Bind(a *adl.Arch) *ArchCov {
+	if c == nil || a == nil {
+		return nil
+	}
+	if v, ok := c.bind.Load(a); ok {
+		return v.(*ArchCov)
+	}
+	u := NewUniverse(a)
+	key := universeKey(u)
+	c.mu.Lock()
+	var store *isaCov
+	for i, k := range c.keys {
+		if k == key {
+			store = c.isas[i]
+			break
+		}
+	}
+	if store == nil {
+		store = newISACov(u)
+		c.isas = append(c.isas, store)
+		c.keys = append(c.keys, key)
+	}
+	c.mu.Unlock()
+	v := &ArchCov{isa: store, idx: make(map[*adl.Insn]int, len(a.Insns))}
+	for i, ins := range a.Insns {
+		v.idx[ins] = i
+	}
+	actual, _ := c.bind.LoadOrStore(a, v)
+	return actual.(*ArchCov)
+}
+
+// universeKey identifies a hit store: same ISA name and instruction
+// list means same store.
+func universeKey(u *Universe) string {
+	n := len(u.ISA) + 1
+	for _, in := range u.Insns {
+		n += len(in.Name) + 1
+	}
+	b := make([]byte, 0, n)
+	b = append(b, u.ISA...)
+	for _, in := range u.Insns {
+		b = append(b, 0)
+		b = append(b, in.Name...)
+	}
+	return string(b)
+}
+
+// stores returns the hit stores sorted by ISA name (then key) for
+// deterministic reporting.
+func (c *Collector) stores() []*isaCov {
+	if c == nil {
+		return nil
+	}
+	type entry struct {
+		s *isaCov
+		k string
+	}
+	c.mu.Lock()
+	es := make([]entry, len(c.isas))
+	for i := range c.isas {
+		es[i] = entry{c.isas[i], c.keys[i]}
+	}
+	c.mu.Unlock()
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].s.u.ISA != es[j].s.u.ISA {
+			return es[i].s.u.ISA < es[j].s.u.ISA
+		}
+		return es[i].k < es[j].k
+	})
+	out := make([]*isaCov, len(es))
+	for i, e := range es {
+		out[i] = e.s
+	}
+	return out
+}

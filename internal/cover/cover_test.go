@@ -1,0 +1,246 @@
+package cover_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/cover"
+)
+
+// miniArch is a compact description with one instance of every universe
+// trait: a lone format, a branch-classified instruction, and semantics
+// exercising traps, faults, halts and divisions.
+const miniArch = `
+arch mini
+bits 16
+endian big
+
+reg g0 .. g3 : 16
+reg pc : 16 [pc]
+
+space mem : addr 16 cell 8
+
+format F : 16 { op:5, rd:2 reg(g), rs:2 reg(g), imm:7 simm }
+
+insn alu : F(op = 1) "alu %rd, %rs, %imm" {
+	rd = (rs + sext(imm, 16)) ^ (rs >>u 2:16);
+}
+
+insn divish : F(op = 2) "divish %rd, %rs, %imm" {
+	rd = udiv(rs, rs | 1:16);
+}
+
+insn memop : F(op = 3) "memop %rd, %rs, %imm" {
+	store(zext(imm, 16), 2, rs);
+	rd = load(zext(imm, 16), 2);
+}
+
+insn branchy : F(op = 4) "branchy %rd, %rs, %imm" {
+	if (rs <s 0:16) { pc = pc + sext(imm, 16); }
+}
+
+insn faulty : F(op = 5) "faulty %rd, %rs, %imm" {
+	if (rs == 42:16) { error("boom"); }
+	trap(9:16);
+}
+
+insn stopper : F(op = 6) "stopper %rd, %rs, %imm" {
+	halt();
+}
+`
+
+func loadMini(t *testing.T) *adl.Arch {
+	t.Helper()
+	a, err := adl.Load("mini.adl", miniArch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestUniverseDerivation(t *testing.T) {
+	a := loadMini(t)
+	u := cover.NewUniverse(a)
+
+	if u.ISA != "mini" {
+		t.Errorf("ISA = %q, want mini", u.ISA)
+	}
+	if len(u.Insns) != 6 {
+		t.Fatalf("got %d insns, want 6", len(u.Insns))
+	}
+	if len(u.Formats) != 1 || u.Formats[0] != "F" {
+		t.Errorf("formats = %v, want [F]", u.Formats)
+	}
+	if u.Branches != 1 {
+		t.Errorf("branch insns = %d, want 1 (only branchy)", u.Branches)
+	}
+	branch := map[string]bool{}
+	for _, in := range u.Insns {
+		branch[in.Name] = in.Branch
+	}
+	if !branch["branchy"] {
+		t.Error("branchy not classified as a branch")
+	}
+	for _, name := range []string{"alu", "divish", "memop", "faulty", "stopper"} {
+		if branch[name] {
+			t.Errorf("%s wrongly classified as a branch", name)
+		}
+	}
+
+	// All four event kinds appear in the semantics.
+	if len(u.Events) != 4 {
+		t.Errorf("events = %v, want all four kinds", u.Events)
+	}
+
+	// The op universe is sorted and contains the distinctive operators.
+	for i := 1; i < len(u.Ops); i++ {
+		if u.Ops[i-1] >= u.Ops[i] {
+			t.Fatalf("op universe not sorted: %v", u.Ops)
+		}
+	}
+	want := map[string]bool{"add": true, "udiv": true, "load": true, "store": true, "slt": true, "eq": true}
+	for _, op := range u.Ops {
+		delete(want, op)
+	}
+	if len(want) > 0 {
+		t.Errorf("op universe %v is missing %v", u.Ops, want)
+	}
+
+	// Per-insn op indices must be valid, sorted indices into Ops.
+	for _, in := range u.Insns {
+		for j, op := range in.Ops {
+			if op < 0 || op >= len(u.Ops) {
+				t.Fatalf("%s: op index %d out of range", in.Name, op)
+			}
+			if j > 0 && in.Ops[j-1] >= op {
+				t.Fatalf("%s: op indices not sorted: %v", in.Name, in.Ops)
+			}
+		}
+	}
+}
+
+// TestExactTotalsParallel hammers one shared store from many goroutines
+// and checks the totals are exact: the collector must be lock-free but
+// lossless. Run under -race this also proves the record path is clean.
+func TestExactTotalsParallel(t *testing.T) {
+	a := loadMini(t)
+	coll := cover.New()
+	v := coll.Bind(a)
+
+	const workers = 8
+	const perWorker = 1998 // divisible by the 6-insn round-robin and by 2
+	branchy := a.Insns[3]
+	if branchy.Name != "branchy" {
+		t.Fatalf("insn order changed: %s", branchy.Name)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ins := a.Insns[i%len(a.Insns)]
+				v.Hit(cover.LSym, ins)
+				v.Branch(cover.LSym, branchy, i%2 == 0)
+				v.Event(cover.LSym, cover.EvTrap)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	perInsn := workers * perWorker / len(a.Insns)
+	for _, ins := range a.Insns {
+		if got := v.Hits(cover.LSym, ins); got != int64(perInsn) {
+			t.Errorf("%s: %d hits, want %d", ins.Name, got, perInsn)
+		}
+	}
+	half := int64(workers * perWorker / 2)
+	if got := v.BranchHits(cover.LSym, branchy, true); got != half {
+		t.Errorf("taken outcomes = %d, want %d", got, half)
+	}
+	if got := v.BranchHits(cover.LSym, branchy, false); got != half {
+		t.Errorf("not-taken outcomes = %d, want %d", got, half)
+	}
+
+	rep := coll.Report()
+	ir := rep.ISA("mini")
+	if ir == nil {
+		t.Fatal("no mini entry in report")
+	}
+	sym := ir.Layer("sym")
+	if sym.Insns.Covered != len(a.Insns) {
+		t.Errorf("sym insns covered = %d, want %d", sym.Insns.Covered, len(a.Insns))
+	}
+	if sym.Branches.Covered != 2 {
+		t.Errorf("sym branch outcomes covered = %d, want 2", sym.Branches.Covered)
+	}
+}
+
+// TestSharedStore checks the binding rules: two loads of the same
+// description text share one hit store (subject and reference merge by
+// construction), while a mutated description gets its own.
+func TestSharedStore(t *testing.T) {
+	coll := cover.New()
+	a1 := loadMini(t)
+	a2 := loadMini(t)
+	v1, v2 := coll.Bind(a1), coll.Bind(a2)
+
+	v1.Hit(cover.LDecode, a1.Insns[0])
+	v2.Hit(cover.LDecode, a2.Insns[0])
+	if got := v1.Hits(cover.LDecode, a1.Insns[0]); got != 2 {
+		t.Errorf("hits across two bindings = %d, want 2 (shared store)", got)
+	}
+	if got := len(coll.Report().ISAs); got != 1 {
+		t.Errorf("report has %d ISAs, want 1", got)
+	}
+
+	// Rebinding the same arch is memoized.
+	if coll.Bind(a1) != v1 {
+		t.Error("rebinding the same *Arch returned a different binding")
+	}
+
+	// A description with a different instruction list must not share.
+	mut, err := adl.Load("mini.adl", miniArch+`
+insn extra : F(op = 7) "extra %rd, %rs, %imm" { rd = rs; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll.Bind(mut).Hit(cover.LDecode, mut.Insns[0])
+	rep := coll.Report()
+	if got := len(rep.ISAs); got != 2 {
+		t.Errorf("report has %d ISAs after mutated bind, want 2 separate stores", got)
+	}
+}
+
+// TestNilSafety: a nil collector and a nil binding are the off switch;
+// every method must no-op without touching memory.
+func TestNilSafety(t *testing.T) {
+	a := loadMini(t)
+	var coll *cover.Collector
+	v := coll.Bind(a)
+	if v != nil {
+		t.Fatal("nil collector returned a non-nil binding")
+	}
+	v.Hit(cover.LSym, a.Insns[0])
+	v.Branch(cover.LSym, a.Insns[3], true)
+	v.Event(cover.LSym, cover.EvHalt)
+	if v.Hits(cover.LSym, a.Insns[0]) != 0 || v.BranchHits(cover.LSym, a.Insns[3], true) != 0 {
+		t.Error("nil binding reported nonzero hits")
+	}
+	if v.IsBranch(a.Insns[3]) {
+		t.Error("nil binding classified a branch")
+	}
+	if cover.New().Bind(nil) != nil {
+		t.Error("binding a nil arch returned a non-nil binding")
+	}
+
+	// Hits against a foreign instruction (not in the bound arch) no-op.
+	b := loadMini(t)
+	vb := cover.New().Bind(b)
+	vb.Hit(cover.LSym, a.Insns[0])
+	if got := vb.Hits(cover.LSym, b.Insns[0]); got != 0 {
+		t.Errorf("foreign-insn hit leaked: %d", got)
+	}
+}

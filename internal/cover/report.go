@@ -1,0 +1,361 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is the end-of-run coverage snapshot: one entry per ISA, one
+// row per layer, with the universe cells applicable to that layer.
+// Format and operator coverage are derived from the instruction hit
+// maps: a format (operator) counts as covered in a layer when some
+// instruction using it was hit there. For the translate layer that is
+// exact — the symbolic evaluator walks both arms of every conditional —
+// while for the concrete layer it over-approximates (a hit instruction
+// may not have taken the arm containing the operator); docs/coverage.md
+// discusses the distinction.
+type Report struct {
+	ISAs []ISAReport `json:"isas"`
+}
+
+// ISAReport is one ISA's coverage across all layers.
+type ISAReport struct {
+	ISA         string        `json:"isa"`
+	Insns       int           `json:"insns"`
+	Formats     int           `json:"formats"`
+	Ops         int           `json:"ops"`
+	BranchInsns int           `json:"branch_insns"`
+	EventKinds  int           `json:"event_kinds"`
+	Layers      []LayerReport `json:"layers"`
+}
+
+// LayerReport is one layer's coverage. Cells absent from a layer are
+// nil: the solver layer tracks only branch outcomes, only decode and
+// asm see encoding formats, and so on.
+type LayerReport struct {
+	Layer    string `json:"layer"`
+	Insns    *Cell  `json:"insns,omitempty"`
+	Formats  *Cell  `json:"formats,omitempty"`
+	Ops      *Cell  `json:"ops,omitempty"`
+	Branches *Cell  `json:"branches,omitempty"`
+	Events   *Cell  `json:"events,omitempty"`
+}
+
+// Cell is one coverage fraction with its never-covered members by name.
+type Cell struct {
+	Covered int      `json:"covered"`
+	Total   int      `json:"total"`
+	Missing []string `json:"missing,omitempty"`
+}
+
+// Frac returns the covered fraction (1 for an empty cell).
+func (c *Cell) Frac() float64 {
+	if c == nil || c.Total == 0 {
+		return 1
+	}
+	return float64(c.Covered) / float64(c.Total)
+}
+
+// Layer returns the named layer's row, or nil.
+func (ir *ISAReport) Layer(name string) *LayerReport {
+	for i := range ir.Layers {
+		if ir.Layers[i].Layer == name {
+			return &ir.Layers[i]
+		}
+	}
+	return nil
+}
+
+// InsnFrac returns the instruction-coverage fraction of one layer
+// (0 when the layer has no instruction cell).
+func (ir *ISAReport) InsnFrac(layer string) float64 {
+	l := ir.Layer(layer)
+	if l == nil || l.Insns == nil {
+		return 0
+	}
+	return l.Insns.Frac()
+}
+
+// Floor is the gating coverage figure of an ISA: the minimum of decode
+// coverage, translate coverage, and the better of the two execution
+// layers. This is what cover-smoke and -cover-min compare against a
+// threshold: an ISA is only as validated as its weakest required layer.
+func (ir *ISAReport) Floor() float64 {
+	exec := ir.InsnFrac(LSym.String())
+	if c := ir.InsnFrac(LConc.String()); c > exec {
+		exec = c
+	}
+	f := ir.InsnFrac(LDecode.String())
+	if t := ir.InsnFrac(LTranslate.String()); t < f {
+		f = t
+	}
+	if exec < f {
+		f = exec
+	}
+	return f
+}
+
+// ISA returns the named ISA's entry, or nil.
+func (r *Report) ISA(name string) *ISAReport {
+	for i := range r.ISAs {
+		if r.ISAs[i].ISA == name {
+			return &r.ISAs[i]
+		}
+	}
+	return nil
+}
+
+// Report computes the coverage snapshot of everything recorded so far.
+// Safe to call concurrently with recording: counters are atomics, so
+// the snapshot is a consistent lower bound of a live run.
+func (c *Collector) Report() *Report {
+	r := &Report{}
+	for _, s := range c.stores() {
+		r.ISAs = append(r.ISAs, isaReport(s))
+	}
+	return r
+}
+
+// layerCells says which universe dimensions apply to each layer.
+var layerCells = [NumLayers]struct{ insns, formats, ops, branches, events bool }{
+	LDecode:    {insns: true, formats: true},
+	LAsm:       {insns: true, formats: true},
+	LTranslate: {insns: true, ops: true},
+	LSym:       {insns: true, ops: true, branches: true, events: true},
+	LConc:      {insns: true, ops: true, branches: true, events: true},
+	LSolver:    {branches: true},
+}
+
+func isaReport(s *isaCov) ISAReport {
+	u := s.u
+	ir := ISAReport{
+		ISA: u.ISA, Insns: len(u.Insns), Formats: len(u.Formats),
+		Ops: len(u.Ops), BranchInsns: u.Branches, EventKinds: len(u.Events),
+	}
+	for l := Layer(0); l < NumLayers; l++ {
+		app := layerCells[l]
+		lr := LayerReport{Layer: l.String()}
+		hit := func(i int) bool { return s.insn[l][i].Load() > 0 }
+		if app.insns {
+			cell := &Cell{Total: len(u.Insns)}
+			for i := range u.Insns {
+				if hit(i) {
+					cell.Covered++
+				} else {
+					cell.Missing = append(cell.Missing, u.Insns[i].Name)
+				}
+			}
+			lr.Insns = cell
+		}
+		if app.formats {
+			covered := make([]bool, len(u.Formats))
+			for i := range u.Insns {
+				if hit(i) {
+					covered[u.Insns[i].Format] = true
+				}
+			}
+			lr.Formats = boolCell(u.Formats, covered)
+		}
+		if app.ops {
+			covered := make([]bool, len(u.Ops))
+			for i := range u.Insns {
+				if hit(i) {
+					for _, op := range u.Insns[i].Ops {
+						covered[op] = true
+					}
+				}
+			}
+			lr.Ops = boolCell(u.Ops, covered)
+		}
+		if app.branches {
+			cell := &Cell{Total: 2 * u.Branches}
+			for i := range u.Insns {
+				if !u.Insns[i].Branch {
+					continue
+				}
+				for p, way := range [2]string{"not-taken", "taken"} {
+					if s.branch[l][2*i+p].Load() > 0 {
+						cell.Covered++
+					} else {
+						cell.Missing = append(cell.Missing, u.Insns[i].Name+":"+way)
+					}
+				}
+			}
+			lr.Branches = cell
+		}
+		if app.events {
+			kinds := u.Events
+			if l == LConc {
+				// The concrete emulator cannot observe divisions as
+				// events; its event universe excludes the kind.
+				kinds = nil
+				for _, k := range u.Events {
+					if k != EvDiv {
+						kinds = append(kinds, k)
+					}
+				}
+			}
+			cell := &Cell{Total: len(kinds)}
+			for _, k := range kinds {
+				if s.event[l][k].Load() > 0 {
+					cell.Covered++
+				} else {
+					cell.Missing = append(cell.Missing, k.String())
+				}
+			}
+			lr.Events = cell
+		}
+		ir.Layers = append(ir.Layers, lr)
+	}
+	return ir
+}
+
+func boolCell(names []string, covered []bool) *Cell {
+	cell := &Cell{Total: len(names)}
+	for i, name := range names {
+		if covered[i] {
+			cell.Covered++
+		} else {
+			cell.Missing = append(cell.Missing, name)
+		}
+	}
+	return cell
+}
+
+// JSON returns the indented JSON encoding of the report.
+func (c *Collector) JSON() ([]byte, error) {
+	return json.MarshalIndent(c.Report(), "", "  ")
+}
+
+// Parse decodes and validates a JSON report produced by JSON.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("cover: parse report: %w", err)
+	}
+	known := map[string]bool{}
+	for l := Layer(0); l < NumLayers; l++ {
+		known[l.String()] = true
+	}
+	for _, isa := range r.ISAs {
+		if isa.ISA == "" {
+			return nil, fmt.Errorf("cover: parse report: ISA entry without a name")
+		}
+		for _, lr := range isa.Layers {
+			if !known[lr.Layer] {
+				return nil, fmt.Errorf("cover: parse report: isa %s: unknown layer %q", isa.ISA, lr.Layer)
+			}
+		}
+	}
+	return &r, nil
+}
+
+// WriteText writes the human-readable coverage matrix. Layout: one
+// block per ISA with a layer × dimension table, the floor figure, and
+// every never-covered cell called out by name.
+func (c *Collector) WriteText(w io.Writer) error {
+	r := c.Report()
+	return r.WriteText(w)
+}
+
+// WriteText writes the report's human-readable form.
+func (r *Report) WriteText(w io.Writer) error {
+	if len(r.ISAs) == 0 {
+		_, err := fmt.Fprintf(w, "semantic coverage: nothing recorded\n")
+		return err
+	}
+	for i := range r.ISAs {
+		ir := &r.ISAs[i]
+		if _, err := fmt.Fprintf(w, "isa %s: %d insns, %d formats, %d ops, %d branch insns, %d event kinds\n",
+			ir.ISA, ir.Insns, ir.Formats, ir.Ops, ir.BranchInsns, ir.EventKinds); err != nil {
+			return err
+		}
+		row := func(cols ...string) {
+			line := fmt.Sprintf("  %-10s %-14s %-8s %-8s %-9s %-7s",
+				cols[0], cols[1], cols[2], cols[3], cols[4], cols[5])
+			fmt.Fprintf(w, "%s\n", strings.TrimRight(line, " "))
+		}
+		row("layer", "insns", "formats", "ops", "branches", "events")
+		for _, lr := range ir.Layers {
+			insns := "-"
+			if lr.Insns != nil {
+				insns = fmt.Sprintf("%d/%d %5.1f%%", lr.Insns.Covered, lr.Insns.Total, 100*lr.Insns.Frac())
+			}
+			row(lr.Layer, insns, cellStr(lr.Formats), cellStr(lr.Ops),
+				cellStr(lr.Branches), cellStr(lr.Events))
+		}
+		fmt.Fprintf(w, "  floor %.1f%% (min of decode, translate, best exec layer)\n", 100*ir.Floor())
+		for _, lr := range ir.Layers {
+			gap(w, lr.Layer, "insns", lr.Insns)
+			gap(w, lr.Layer, "branch outcomes", lr.Branches)
+			gap(w, lr.Layer, "events", lr.Events)
+		}
+	}
+	return nil
+}
+
+func cellStr(c *Cell) string {
+	if c == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", c.Covered, c.Total)
+}
+
+func gap(w io.Writer, layer, what string, c *Cell) {
+	if c == nil || len(c.Missing) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  uncovered %s %s: %s\n", layer, what, strings.Join(c.Missing, ", "))
+}
+
+// WritePrometheus writes the coverage snapshot as Prometheus text
+// gauges, in the same hand-rolled format internal/obs serves: families
+// in name order, one HELP/TYPE header per family, literal label sets.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	r := c.Report()
+	type family struct{ name, help string }
+	fams := []family{
+		{"cover_branch_outcomes_covered", "Branch outcomes (taken/not-taken) covered per ISA and layer."},
+		{"cover_branch_outcomes_total", "Branch outcomes in the ISA's coverage universe."},
+		{"cover_floor", "Gating coverage fraction: min of decode, translate, best exec layer."},
+		{"cover_insns_covered", "Instructions covered per ISA and layer."},
+		{"cover_insns_total", "Instructions in the ISA's coverage universe."},
+	}
+	lines := map[string][]string{}
+	add := func(fam, line string) { lines[fam] = append(lines[fam], line) }
+	for i := range r.ISAs {
+		ir := &r.ISAs[i]
+		add("cover_insns_total", fmt.Sprintf("cover_insns_total{isa=%q} %d", ir.ISA, ir.Insns))
+		add("cover_branch_outcomes_total", fmt.Sprintf("cover_branch_outcomes_total{isa=%q} %d", ir.ISA, 2*ir.BranchInsns))
+		add("cover_floor", fmt.Sprintf("cover_floor{isa=%q} %g", ir.ISA, ir.Floor()))
+		for _, lr := range ir.Layers {
+			if lr.Insns != nil {
+				add("cover_insns_covered", fmt.Sprintf("cover_insns_covered{isa=%q,layer=%q} %d",
+					ir.ISA, lr.Layer, lr.Insns.Covered))
+			}
+			if lr.Branches != nil {
+				add("cover_branch_outcomes_covered", fmt.Sprintf("cover_branch_outcomes_covered{isa=%q,layer=%q} %d",
+					ir.ISA, lr.Layer, lr.Branches.Covered))
+			}
+		}
+	}
+	for _, f := range fams {
+		ls := lines[f.name]
+		if len(ls) == 0 {
+			continue
+		}
+		sort.Strings(ls)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name); err != nil {
+			return err
+		}
+		for _, l := range ls {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package cover_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/cover"
+)
+
+// goldenScenario records a fixed hit pattern against the mini
+// architecture: full decode/asm/translate coverage, partial execution
+// coverage, one solver-checked branch polarity.
+func goldenScenario(t *testing.T) (*cover.Collector, *adl.Arch) {
+	t.Helper()
+	a := loadMini(t)
+	coll := cover.New()
+	v := coll.Bind(a)
+	for _, ins := range a.Insns {
+		v.Hit(cover.LDecode, ins)
+		v.Hit(cover.LAsm, ins)
+		v.Hit(cover.LTranslate, ins)
+	}
+	v.Hit(cover.LSym, a.Insns[0])   // alu
+	v.Hit(cover.LSym, a.Insns[3])   // branchy
+	v.Branch(cover.LSym, a.Insns[3], true)
+	v.Branch(cover.LSolver, a.Insns[3], true)
+	v.Event(cover.LSym, cover.EvTrap)
+	v.Hit(cover.LConc, a.Insns[0])
+	v.Event(cover.LConc, cover.EvHalt)
+	return coll, a
+}
+
+const goldenText = `isa mini: 6 insns, 1 formats, 9 ops, 1 branch insns, 4 event kinds
+  layer      insns          formats  ops      branches  events
+  decode     6/6 100.0%     1/1      -        -         -
+  asm        6/6 100.0%     1/1      -        -         -
+  translate  6/6 100.0%     -        9/9      -         -
+  sym        2/6  33.3%     -        4/9      1/2       1/4
+  conc       1/6  16.7%     -        3/9      0/2       1/3
+  solver     -              -        -        1/2       -
+  floor 33.3% (min of decode, translate, best exec layer)
+  uncovered sym insns: divish, memop, faulty, stopper
+  uncovered sym branch outcomes: branchy:not-taken
+  uncovered sym events: halt, fault, div
+  uncovered conc insns: divish, memop, branchy, faulty, stopper
+  uncovered conc branch outcomes: branchy:not-taken, branchy:taken
+  uncovered conc events: trap, fault
+  uncovered solver branch outcomes: branchy:not-taken
+`
+
+const goldenProm = `# HELP cover_branch_outcomes_covered Branch outcomes (taken/not-taken) covered per ISA and layer.
+# TYPE cover_branch_outcomes_covered gauge
+cover_branch_outcomes_covered{isa="mini",layer="conc"} 0
+cover_branch_outcomes_covered{isa="mini",layer="solver"} 1
+cover_branch_outcomes_covered{isa="mini",layer="sym"} 1
+# HELP cover_branch_outcomes_total Branch outcomes in the ISA's coverage universe.
+# TYPE cover_branch_outcomes_total gauge
+cover_branch_outcomes_total{isa="mini"} 2
+# HELP cover_floor Gating coverage fraction: min of decode, translate, best exec layer.
+# TYPE cover_floor gauge
+cover_floor{isa="mini"} 0.3333333333333333
+# HELP cover_insns_covered Instructions covered per ISA and layer.
+# TYPE cover_insns_covered gauge
+cover_insns_covered{isa="mini",layer="asm"} 6
+cover_insns_covered{isa="mini",layer="conc"} 1
+cover_insns_covered{isa="mini",layer="decode"} 6
+cover_insns_covered{isa="mini",layer="sym"} 2
+cover_insns_covered{isa="mini",layer="translate"} 6
+# HELP cover_insns_total Instructions in the ISA's coverage universe.
+# TYPE cover_insns_total gauge
+cover_insns_total{isa="mini"} 6
+`
+
+// TestReportTextGolden pins the exact text format: this is the stderr
+// summary of every -cover driver and the /coverage page, so a format
+// change must be deliberate.
+func TestReportTextGolden(t *testing.T) {
+	coll, _ := goldenScenario(t)
+	var sb strings.Builder
+	if err := coll.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenText {
+		t.Errorf("text report mismatch\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenText)
+	}
+}
+
+// TestReportPrometheusGolden pins the /metrics exposition of the cover
+// gauges: families in name order, sorted series, literal label sets.
+func TestReportPrometheusGolden(t *testing.T) {
+	coll, _ := goldenScenario(t)
+	var sb strings.Builder
+	if err := coll.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenProm {
+		t.Errorf("prometheus exposition mismatch\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenProm)
+	}
+}
+
+// TestReportJSONRoundtrip checks that the JSON encoding parses back
+// into an equivalent report, and that the parsed form answers the same
+// queries the gating code asks.
+func TestReportJSONRoundtrip(t *testing.T) {
+	coll, _ := goldenScenario(t)
+	data, err := coll.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cover.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := r.ISA("mini")
+	if ir == nil {
+		t.Fatal("parsed report lost the mini ISA")
+	}
+	if got := ir.InsnFrac("decode"); got != 1 {
+		t.Errorf("decode frac = %v, want 1", got)
+	}
+	if got := ir.InsnFrac("sym"); math.Abs(got-2.0/6) > 1e-9 {
+		t.Errorf("sym frac = %v, want 1/3", got)
+	}
+	if got := ir.Floor(); math.Abs(got-2.0/6) > 1e-9 {
+		t.Errorf("floor = %v, want 1/3 (sym is the best exec layer)", got)
+	}
+	sym := ir.Layer("sym")
+	if sym == nil || sym.Branches == nil || len(sym.Branches.Missing) != 1 ||
+		sym.Branches.Missing[0] != "branchy:not-taken" {
+		t.Errorf("sym branch gaps lost in roundtrip: %+v", sym)
+	}
+	// The solver layer carries only a branch cell.
+	solver := ir.Layer("solver")
+	if solver == nil || solver.Insns != nil || solver.Branches == nil {
+		t.Errorf("solver layer cells wrong: %+v", solver)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := cover.Parse([]byte(`{"isas": [{"isa": ""}]}`)); err == nil {
+		t.Error("Parse accepted an unnamed ISA")
+	}
+	if _, err := cover.Parse([]byte(`{"isas": [{"isa": "x", "layers": [{"layer": "warp"}]}]}`)); err == nil {
+		t.Error("Parse accepted an unknown layer name")
+	}
+	if _, err := cover.Parse([]byte(`{`)); err == nil {
+		t.Error("Parse accepted truncated JSON")
+	}
+}
+
+// TestEmptyCollector: a collector with no bindings still renders.
+func TestEmptyCollector(t *testing.T) {
+	coll := cover.New()
+	var sb strings.Builder
+	if err := coll.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nothing recorded") {
+		t.Errorf("empty collector text = %q", sb.String())
+	}
+	data, err := coll.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cover.Parse(data); err != nil {
+		t.Errorf("empty report does not roundtrip: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package cover_test
+
+import (
+	"testing"
+
+	"repro/arch"
+	"repro/internal/cover"
+	"repro/internal/difftest"
+)
+
+// coverSmokeFloor is the gate `make cover-smoke` enforces: after the
+// standard smoke budget every embedded ADL must have at least this
+// instruction coverage in decode, translate, and the better of the two
+// execution layers. Remaining gaps are legitimate only when the ISA
+// genuinely hides instructions from the generated stacks, and they are
+// enumerated by name in EXPERIMENTS.md, never silently dropped.
+const coverSmokeFloor = 0.9
+
+// TestCoverSmoke is the cover-smoke gate (wired into `make check`): a
+// brief coverage-guided differential run over every embedded
+// architecture must saturate the coverage floor and produce a report
+// that survives a JSON roundtrip. The budget matches the coverage
+// matrix experiment (`experiments -only coverage`), so the table in
+// EXPERIMENTS.md is exactly what this test asserts about.
+//
+// This test lives in an external test package: internal/difftest
+// imports internal/cover, so the in-package test would be an import
+// cycle.
+func TestCoverSmoke(t *testing.T) {
+	coll := cover.New()
+	res, err := difftest.Run(difftest.Options{
+		Seed:        1,
+		Rounds:      40,
+		Workers:     []int{1},
+		Cover:       coll,
+		CoverGuided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) > 0 {
+		t.Fatalf("smoke run diverged %d times; first: %v", len(res.Divergences), res.Divergences[0])
+	}
+
+	data, err := coll.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cover.Parse(data)
+	if err != nil {
+		t.Fatalf("report does not roundtrip: %v", err)
+	}
+
+	names := arch.Names()
+	if len(rep.ISAs) != len(names) {
+		t.Fatalf("report has %d ISAs, want %d (%v)", len(rep.ISAs), len(names), names)
+	}
+	for _, name := range names {
+		ir := rep.ISA(name)
+		if ir == nil {
+			t.Errorf("%s: missing from the coverage report", name)
+			continue
+		}
+		check := func(layer string, frac float64) {
+			if frac < coverSmokeFloor {
+				l := ir.Layer(layer)
+				missing := []string(nil)
+				if l != nil && l.Insns != nil {
+					missing = l.Insns.Missing
+				}
+				t.Errorf("%s: %s instruction coverage %.1f%% below the %.0f%% floor; uncovered: %v",
+					name, layer, 100*frac, 100*coverSmokeFloor, missing)
+			}
+		}
+		check("decode", ir.InsnFrac("decode"))
+		check("translate", ir.InsnFrac("translate"))
+		exec := ir.InsnFrac("sym")
+		execLayer := "sym"
+		if c := ir.InsnFrac("conc"); c > exec {
+			exec, execLayer = c, "conc"
+		}
+		check(execLayer, exec)
+		if f := ir.Floor(); f < coverSmokeFloor {
+			t.Errorf("%s: coverage floor %.1f%% below %.0f%%", name, 100*f, 100*coverSmokeFloor)
+		}
+	}
+}

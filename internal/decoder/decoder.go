@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/adl"
 	"repro/internal/bv"
+	"repro/internal/cover"
 	"repro/internal/rtl"
 )
 
@@ -26,6 +27,12 @@ type Decoded struct {
 type Decoder struct {
 	arch   *adl.Arch
 	groups []group // one per encoding length, longest first
+
+	// Cov, when set, records decode-layer coverage for every successful
+	// match. match() is the single choke point all consumers go through
+	// (engine, concrete emulator, oracle round-trips, disassembly), so
+	// this one hook covers them all. Nil-safe.
+	Cov *cover.ArchCov
 }
 
 // group holds the instructions of one encoding length with a first-level
@@ -113,6 +120,7 @@ func (d *Decoder) Decode(mem []byte) (Decoded, error) {
 func (d *Decoder) match(candidates []*adl.Insn, w uint64, n int) (Decoded, bool) {
 	for _, ins := range candidates {
 		if w&ins.Mask == ins.Match {
+			d.Cov.Hit(cover.LDecode, ins)
 			ops := make(rtl.Operands, len(ins.Operands))
 			for _, op := range ins.Operands {
 				ops[op.Name] = adl.ExtractOperand(op, w)

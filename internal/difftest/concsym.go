@@ -120,6 +120,7 @@ func (g *archGen) compareEnd(e engineEnd, m *conc.Machine, stop conc.Stop) strin
 func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSteps int64, met *conc.Metrics) (*conc.Machine, conc.Stop) {
 	m := conc.NewMachine(g.ref)
 	m.Metrics = met
+	m.SetCover(g.rcov)
 	m.LoadProgram(p)
 	m.Input = append([]byte(nil), input...)
 	if g.ref.SP != nil {
@@ -134,7 +135,7 @@ func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSt
 // agreement) and whether the comparison was skipped (the engine refuses
 // to execute input-dependent instruction bytes — see docs/difftest.md).
 func (g *archGen) replayOne(p *prog.Program, input []byte, maxSteps int64, o *obs.Obs, met *conc.Metrics) (string, bool) {
-	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps, Obs: o})
+	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps, Obs: o, Cover: g.coll})
 	rep, err := eng.ReplayConcrete(input)
 	if err != nil {
 		return "engine replay: " + err.Error(), false
@@ -277,6 +278,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 			CaptureEndState: true,
 			Seed:            subSeed,
 			Obs:             r.engineObs(),
+			Cover:           g.coll,
 		})
 		rep, err := eng.Run()
 		if err != nil {

@@ -36,6 +36,7 @@ import (
 
 	"repro/arch"
 	"repro/internal/conc"
+	"repro/internal/cover"
 	"repro/internal/obs"
 	"repro/internal/smt"
 )
@@ -46,6 +47,7 @@ const (
 	LayerConcSym   = "concsym"
 	LayerExplore   = "explore" // concsym via full exploration (Workers, end states)
 	LayerSolver    = "solver"
+	LayerProbe     = "probe" // single-instruction probes of never-executed insns
 )
 
 // Options configures a differential run.
@@ -91,11 +93,39 @@ type Options struct {
 	// Chrome trace_event timeline is written to this file (next to the
 	// minimized corpus counterexample, when -corpus is also set).
 	TraceOut string
+
+	// Cover attaches the semantic-coverage collector (internal/cover):
+	// every decoder, assembler, engine and concrete machine the oracle
+	// builds records into it, so a soak accumulates the per-ISA
+	// per-layer coverage matrix as a side effect. Nil disables.
+	Cover *cover.Collector
+
+	// CoverGuided biases the program generator's instruction selection
+	// toward instructions the execution layers have not covered yet, so
+	// the soak closes its own gaps. Needs Cover; ignored without it.
+	CoverGuided bool
+
+	// CoverTarget, when > 0, makes the run coverage-budgeted: rounds
+	// continue until every architecture's coverage floor (min of decode,
+	// translate and the better execution layer, as instruction
+	// fractions) reaches the target, with Rounds/Duration still acting
+	// as a backstop. Needs Cover.
+	CoverTarget float64
+
+	// NoProbes disables the probe layer (single-instruction programs
+	// synthesized for instructions no execution layer has reached).
+	NoProbes bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.Rounds == 0 && o.Duration == 0 {
-		o.Rounds = 16
+		if o.CoverTarget > 0 {
+			// Coverage-budgeted: rounds run until the target is reached;
+			// the cap only backstops an unreachable target.
+			o.Rounds = 1 << 20
+		} else {
+			o.Rounds = 16
+		}
 	}
 	if len(o.Arches) == 0 {
 		o.Arches = arch.Names()
@@ -274,6 +304,19 @@ func Run(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("difftest: %w", err)
 		}
+		if opts.Cover != nil {
+			// Both stacks record into the collector: the subject and
+			// reference bindings resolve to one shared hit store when
+			// the two descriptions are identical (the default), so the
+			// ISA's matrix aggregates across the whole oracle.
+			g.coll = opts.Cover
+			g.cov = opts.Cover.Bind(g.subj)
+			g.rcov = opts.Cover.Bind(g.ref)
+			g.dec.Cov = g.cov
+			g.rdec.Cov = g.rcov
+			g.as.SetCover(g.cov)
+			g.guided = opts.CoverGuided
+		}
 		r.gens = append(r.gens, g)
 	}
 
@@ -291,6 +334,9 @@ func Run(opts Options) (*Result, error) {
 			break
 		}
 		if len(res.Divergences) >= opts.MaxDiverg {
+			break
+		}
+		if opts.CoverTarget > 0 && res.Rounds > 0 && r.coverReached() {
 			break
 		}
 		if opts.TraceOut != "" && !r.traceDone {
@@ -338,6 +384,11 @@ func (r *run) round(master *rand.Rand, round int) {
 		if round%4 == 0 {
 			r.exploreCompare(g, master.Int63())
 		}
+		// Probe layer: single-instruction programs for instructions no
+		// execution layer has reached yet (coverage-directed).
+		if r.opts.Cover != nil && !r.opts.NoProbes {
+			r.probeRound(g, master.Int63())
+		}
 	}
 	// Layer 3: solver metamorphic checks (architecture-independent).
 	r.solverRound(master.Int63())
@@ -374,4 +425,18 @@ func orSolver(arch string) string {
 		return "solver"
 	}
 	return arch
+}
+
+// coverReached reports whether every architecture's coverage floor has
+// reached Options.CoverTarget.
+func (r *run) coverReached() bool {
+	if r.opts.Cover == nil {
+		return false
+	}
+	for _, g := range r.gens {
+		if g.coverFloor() < r.opts.CoverTarget {
+			return false
+		}
+	}
+	return true
 }

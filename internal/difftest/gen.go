@@ -8,6 +8,7 @@ import (
 	"repro/internal/adl"
 	"repro/internal/asm"
 	"repro/internal/bv"
+	"repro/internal/cover"
 	"repro/internal/decoder"
 )
 
@@ -26,6 +27,14 @@ type archGen struct {
 	soup     []*adl.Insn // straight-line body: no pc writes, no traps/halt
 	soupPure []*adl.Insn // soup minus loads, stores and error() faults
 	branches []*adl.Insn // pc writers with exactly one pc-relative operand
+
+	// Semantic coverage (Options.Cover): the collector passed into
+	// every engine, the subject and reference bindings, and whether
+	// generation is coverage-guided. All nil/false when coverage is off.
+	coll   *cover.Collector
+	cov    *cover.ArchCov // subject stack: decode, asm, translate, sym
+	rcov   *cover.ArchCov // reference stack: decode (cross), conc
+	guided bool
 
 	scaf scaffold
 }
@@ -395,7 +404,7 @@ func (g *archGen) genProgram(r *rand.Rand, mode genMode, nBody, k int) (string, 
 	for i := 0; i < nBody; i++ {
 		fmt.Fprintf(&sb, "L%d:\n", i)
 		if len(g.branches) > 0 && branches < maxBranches && r.Intn(4) == 0 {
-			ins := g.branches[r.Intn(len(g.branches))]
+			ins := g.pick(r, g.branches)
 			// Forward target: a later body label or the epilogue.
 			t := i + 1 + r.Intn(nBody-i)
 			label := "Lend"
@@ -405,7 +414,7 @@ func (g *archGen) genProgram(r *rand.Rand, mode genMode, nBody, k int) (string, 
 			sb.WriteString(renderInsn(ins, randomVals(r, ins), label))
 			branches++
 		} else {
-			ins := pool[r.Intn(len(pool))]
+			ins := g.pick(r, pool)
 			sb.WriteString(renderInsn(ins, randomVals(r, ins), ""))
 		}
 		sb.WriteByte('\n')
@@ -416,4 +425,76 @@ func (g *archGen) genProgram(r *rand.Rand, mode genMode, nBody, k int) (string, 
 		sb.WriteByte('\n')
 	}
 	return sb.String(), true
+}
+
+// pick selects an instruction from a pool. Uniform by default; in
+// coverage-guided mode the weight of an instruction grows with the
+// number of execution layers (sym, conc) that have not covered it yet,
+// so generation drifts toward its own blind spots while still sampling
+// covered instructions (weight 1) often enough to keep programs varied.
+func (g *archGen) pick(r *rand.Rand, pool []*adl.Insn) *adl.Insn {
+	if !g.guided || g.cov == nil {
+		return pool[r.Intn(len(pool))]
+	}
+	const boost = 8 // extra weight per uncovered execution layer
+	total := 0
+	for _, ins := range pool {
+		total += g.weight(ins, boost)
+	}
+	n := r.Intn(total)
+	for _, ins := range pool {
+		n -= g.weight(ins, boost)
+		if n < 0 {
+			return ins
+		}
+	}
+	return pool[len(pool)-1]
+}
+
+func (g *archGen) weight(ins *adl.Insn, boost int) int {
+	w := 1
+	if g.cov.Hits(cover.LSym, ins) == 0 {
+		w += boost
+	}
+	// With identical subject/reference descriptions (the default) the
+	// two bindings share one hit store, so the subject binding sees the
+	// conc layer too; under a mutated reference this under-reports conc
+	// coverage, which only makes guidance more eager, never wrong.
+	if g.cov.Hits(cover.LConc, ins) == 0 {
+		w += boost
+	}
+	return w
+}
+
+// coverFloor is this architecture's gating coverage fraction so far:
+// min of decode, translate and the better execution layer, over
+// instruction coverage — the same figure cover.ISAReport.Floor reports.
+func (g *archGen) coverFloor() float64 {
+	if g.cov == nil {
+		return 0
+	}
+	frac := func(v *cover.ArchCov, insns []*adl.Insn, l cover.Layer) float64 {
+		if len(insns) == 0 {
+			return 1
+		}
+		n := 0
+		for _, ins := range insns {
+			if v.Hits(l, ins) > 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(insns))
+	}
+	f := frac(g.cov, g.subj.Insns, cover.LDecode)
+	if t := frac(g.cov, g.subj.Insns, cover.LTranslate); t < f {
+		f = t
+	}
+	exec := frac(g.cov, g.subj.Insns, cover.LSym)
+	if c := frac(g.rcov, g.ref.Insns, cover.LConc); c > exec {
+		exec = c
+	}
+	if exec < f {
+		f = exec
+	}
+	return f
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fakeCover is a minimal CoverSource: obs only relays bytes, so the
+// test does not need a real collector (and must not import one — the
+// dependency arrow points the other way).
+type fakeCover struct{ text, prom string }
+
+func (f fakeCover) WriteText(w io.Writer) error {
+	_, err := io.WriteString(w, f.text)
+	return err
+}
+
+func (f fakeCover) JSON() ([]byte, error) {
+	return json.Marshal(map[string]string{"matrix": f.text})
+}
+
+func (f fakeCover) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, f.prom)
+	return err
+}
+
+type brokenCover struct{ fakeCover }
+
+func (brokenCover) JSON() ([]byte, error) { return nil, errors.New("boom") }
+
+// TestCoverageEndpoint drives the /coverage handler and the coverage
+// additions to /metrics and expvar through an attached CoverSource.
+func TestCoverageEndpoint(t *testing.T) {
+	o := New()
+	o.Cover = fakeCover{
+		text: "isa tiny32: all covered\n",
+		prom: "# HELP cover_floor Gating coverage fraction.\n# TYPE cover_floor gauge\ncover_floor{isa=\"tiny32\"} 1\n",
+	}
+	h := Handler(o)
+
+	res, body := get(t, h, "/coverage")
+	if res.StatusCode != 200 || body != "isa tiny32: all covered\n" {
+		t.Errorf("/coverage: status %d body %q", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/coverage content type: %q", ct)
+	}
+
+	res, body = get(t, h, "/coverage?format=json")
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/coverage?format=json content type: %q", ct)
+	}
+	var parsed map[string]string
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil || parsed["matrix"] == "" {
+		t.Errorf("/coverage?format=json body %q (err %v)", body, err)
+	}
+
+	// The cover gauges ride along on /metrics after the registry series.
+	_, body = get(t, h, "/metrics")
+	if !strings.Contains(body, `cover_floor{isa="tiny32"} 1`) {
+		t.Errorf("/metrics missing cover gauges:\n%s", body)
+	}
+
+	// The expvar page carries the parsed JSON report.
+	_, body = get(t, h, "/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if cov, ok := vars["coverage"]; !ok || !strings.Contains(string(cov), "matrix") {
+		t.Errorf("expvar coverage = %s", vars["coverage"])
+	}
+
+	// The index page advertises the endpoint.
+	_, body = get(t, h, "/")
+	if !strings.Contains(body, "/coverage") {
+		t.Errorf("index page missing /coverage:\n%s", body)
+	}
+}
+
+// TestCoverageEndpointOff: without a CoverSource the handler 404s and
+// /metrics carries only the registry.
+func TestCoverageEndpointOff(t *testing.T) {
+	h := Handler(New())
+	res, _ := get(t, h, "/coverage")
+	if res.StatusCode != 404 {
+		t.Errorf("/coverage with no source: status %d, want 404", res.StatusCode)
+	}
+	_, body := get(t, h, "/metrics")
+	if strings.Contains(body, "cover_") {
+		t.Errorf("/metrics emitted cover series with no source:\n%s", body)
+	}
+}
+
+// TestCoverageEndpointJSONError: a failing source turns into a 500, not
+// a panic or a half-written body.
+func TestCoverageEndpointJSONError(t *testing.T) {
+	o := New()
+	o.Cover = brokenCover{}
+	res, _ := get(t, Handler(o), "/coverage?format=json")
+	if res.StatusCode != 500 {
+		t.Errorf("broken source: status %d, want 500", res.StatusCode)
+	}
+}

@@ -3,7 +3,10 @@
 // flight. The handler serves:
 //
 //	/metrics             Prometheus text exposition of the registry
-//	/debug/vars          expvar (Go runtime vars + the registry snapshot)
+//	                     (plus the cover_* gauges when coverage is on)
+//	/coverage            semantic-coverage matrix, text or ?format=json
+//	/debug/vars          expvar (Go runtime vars + the registry snapshot
+//	                     and the coverage report)
 //	/debug/pprof/...     net/http/pprof (CPU, heap, goroutine, trace, ...)
 //
 // The server binds its own mux, so attaching it never touches
@@ -11,6 +14,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -21,16 +25,21 @@ import (
 )
 
 // The expvar package only supports process-global publication and
-// panics on duplicate names, so the registry snapshot is published once
-// and reads whatever registry was most recently attached to a handler.
+// panics on duplicate names, so the registry snapshot and the coverage
+// report are published once and read whatever registry/coverage source
+// was most recently attached to a handler.
 var (
 	expvarOnce sync.Once
 	expvarReg  atomic.Pointer[Registry]
+	expvarCov  atomic.Pointer[CoverSource]
 )
 
-func publishExpvar(r *Registry) {
+func publishExpvar(r *Registry, cov CoverSource) {
 	if r != nil {
 		expvarReg.Store(r)
+	}
+	if cov != nil {
+		expvarCov.Store(&cov)
 	}
 	expvarOnce.Do(func() {
 		expvar.Publish("obs_metrics", expvar.Func(func() interface{} {
@@ -39,20 +48,56 @@ func publishExpvar(r *Registry) {
 			}
 			return nil
 		}))
+		expvar.Publish("coverage", expvar.Func(func() interface{} {
+			p := expvarCov.Load()
+			if p == nil {
+				return nil
+			}
+			data, err := (*p).JSON()
+			if err != nil {
+				return nil
+			}
+			var v interface{}
+			if json.Unmarshal(data, &v) != nil {
+				return nil
+			}
+			return v
+		}))
 	})
 }
 
 // Handler returns the introspection mux for o's registry.
 func Handler(o *Obs) http.Handler {
 	reg := o.Registry()
-	publishExpvar(reg)
+	cov := o.CoverSource()
+	publishExpvar(reg, cov)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if reg == nil {
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+		if cov != nil {
+			cov.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/coverage", func(w http.ResponseWriter, r *http.Request) {
+		if cov == nil {
+			http.Error(w, "coverage collection is not enabled", http.StatusNotFound)
 			return
 		}
-		reg.WritePrometheus(w)
+		if r.URL.Query().Get("format") == "json" {
+			data, err := cov.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cov.WriteText(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -67,6 +112,7 @@ func Handler(o *Obs) http.Handler {
 		}
 		fmt.Fprintf(w, "obs introspection endpoint\n\n"+
 			"  /metrics           Prometheus text metrics\n"+
+			"  /coverage          semantic-coverage matrix (?format=json)\n"+
 			"  /debug/vars        expvar JSON\n"+
 			"  /debug/pprof/      pprof index (profile, heap, goroutine, trace)\n")
 		if tr := o.Tracer(); tr != nil {

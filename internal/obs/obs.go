@@ -27,18 +27,35 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Obs bundles the two telemetry sinks an analysis can carry: the metrics
-// registry and (optionally) the exploration tracer. A nil *Obs means
-// telemetry is fully disabled; all accessors are nil-safe.
+// CoverSource is the semantic-coverage surface the introspection
+// endpoint can serve (implemented by *cover.Collector). obs depends on
+// this interface rather than on internal/cover so the dependency arrow
+// keeps pointing from the stack into obs, never back out.
+type CoverSource interface {
+	// WriteText writes the human-readable coverage matrix.
+	WriteText(w io.Writer) error
+	// JSON returns the machine-readable report.
+	JSON() ([]byte, error)
+	// WritePrometheus writes the coverage gauges in Prometheus text form.
+	WritePrometheus(w io.Writer) error
+}
+
+// Obs bundles the telemetry sinks an analysis can carry: the metrics
+// registry, (optionally) the exploration tracer, and (optionally) the
+// semantic-coverage collector the endpoint serves under /coverage. A
+// nil *Obs means telemetry is fully disabled; all accessors are
+// nil-safe.
 type Obs struct {
 	Reg   *Registry
 	Trace *Tracer
+	Cover CoverSource
 }
 
 // New returns an Obs with a fresh registry and no tracer (metrics only).
@@ -61,6 +78,15 @@ func (o *Obs) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// CoverSource returns the coverage source, nil when o is nil or
+// coverage is off.
+func (o *Obs) CoverSource() CoverSource {
+	if o == nil {
+		return nil
+	}
+	return o.Cover
 }
 
 // Counter is a monotonically increasing atomic counter.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/adl"
+	"repro/internal/cover"
 	"repro/internal/expr"
 )
 
@@ -59,12 +60,17 @@ type SymState interface {
 type SymEval struct {
 	B *expr.Builder
 	A *adl.Arch
+
+	// Cov, when set, records translate-layer coverage: one hit per
+	// instruction whose RTL semantics this evaluator walks. Nil-safe.
+	Cov *cover.ArchCov
 }
 
 // Exec runs the semantics of ins with the given operand values against
 // st, returning the control events raised. The caller must have set the
 // architecture's pc register to the instruction's own address beforehand.
 func (ev *SymEval) Exec(st SymState, ins *adl.Insn, ops Operands) []Event {
+	ev.Cov.Hit(cover.LTranslate, ins)
 	ctx := &symCtx{ev: ev, st: st, ops: ops, locals: make([]*expr.Expr, adl.NumLocals(ins.Sem))}
 	ctx.stmts(ins.Sem, nil)
 	return ctx.events
