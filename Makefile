@@ -1,12 +1,13 @@
 # Tier-1 verification (see ROADMAP.md): build, tests, vet, the race
 # detector over the packages with concurrent machinery, short
 # fixed-budget smokes of the fuzz targets and the differential oracle,
-# the end-to-end telemetry smoke (docs/observability.md), and the
-# semantic-coverage gate (docs/coverage.md).
+# the end-to-end telemetry smoke (docs/observability.md), the
+# semantic-coverage gate (docs/coverage.md), and the chaos smoke of the
+# fault-isolation layer (docs/robustness.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -18,7 +19,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject
 
 bench:
 	go test -bench=. -benchmem
@@ -43,6 +44,12 @@ difftest:
 # checked for the per-path lifecycle events.
 obs-smoke:
 	go test -run 'TestObsSmoke' -count=1 ./internal/obs
+
+# Chaos smoke (docs/robustness.md): a differential run with the fault
+# injector armed at every site must finish with zero divergences and
+# exact fault accounting, under the race detector.
+chaos-smoke:
+	go test -race -run 'TestChaosSmoke' -count=1 ./internal/difftest
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

@@ -8,6 +8,7 @@
 //	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] \
 //	         [-cover] [-cover-out cover.json] [-cover-guided=false] \
 //	         [-cover-target 0.9] [-cover-min 0.9] \
+//	         [-chaos] [-chaos-period N] \
 //	         [-obs-addr :8089] [-trace-out trace.json] [-v]
 //
 // The run is a pure function of the seed; every divergence is reported
@@ -26,6 +27,14 @@
 // every human-readable summary goes to stderr so stdout stays
 // pipeable.
 //
+// -chaos arms the deterministic fault injector across every layer
+// (docs/robustness.md): panics, solver budget/deadline faults and
+// malformed decodes are injected at roughly one per -chaos-period
+// calls per site, comparisons perturbed by a fault are skipped, and
+// the fault accounting (injected vs surfaced, per site) is printed to
+// stderr. A chaos run must stay divergence-free: a divergence under
+// chaos is a fault-isolation bug, not a semantic one.
+//
 // -obs-addr serves live Prometheus metrics, /coverage, expvar and
 // pprof for the duration of the soak; -trace-out writes the Chrome
 // trace_event timeline of the first divergent round (see
@@ -36,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -60,6 +70,8 @@ func main() {
 	coverGuided := flag.Bool("cover-guided", true, "bias generation toward uncovered instructions (with -cover)")
 	coverTarget := flag.Float64("cover-target", 0, "run until every architecture's coverage floor reaches this fraction (implies -cover)")
 	coverMin := flag.Float64("cover-min", 0, "exit 4 when any architecture's final coverage floor is below this fraction (implies -cover)")
+	chaos := flag.Bool("chaos", false, "arm the fault injector at every site (docs/robustness.md)")
+	chaosPeriod := flag.Int("chaos-period", 0, "approximate calls between injected faults per site (default 2000, implies -chaos)")
 	verbose := flag.Bool("v", false, "log per-round progress")
 
 	// -adl name=file overrides the subject description for one
@@ -77,12 +89,14 @@ func main() {
 	flag.Parse()
 
 	opts := difftest.Options{
-		Seed:      *seed,
-		Rounds:    *rounds,
-		Duration:  *duration,
-		MaxSteps:  *steps,
-		CorpusDir: *corpus,
-		TraceOut:  *traceOut,
+		Seed:        *seed,
+		Rounds:      *rounds,
+		Duration:    *duration,
+		MaxSteps:    *steps,
+		CorpusDir:   *corpus,
+		TraceOut:    *traceOut,
+		Chaos:       *chaos || *chaosPeriod > 0,
+		ChaosPeriod: *chaosPeriod,
 	}
 	// Coverage collection is on when any -cover* flag asks for it, and
 	// also whenever the live endpoint is up, so -obs-addr users get
@@ -152,6 +166,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cover-out: wrote coverage report to %s\n", *coverOut)
 		}
 		coll.WriteText(os.Stderr)
+	}
+	// Chaos fault accounting goes to stderr like the other human
+	// summaries; per-site "fired/surfaced" pairs make missing recoveries
+	// obvious at a glance.
+	if len(res.Injected) > 0 {
+		keys := make([]string, 0, len(res.Injected))
+		for k := range res.Injected {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(os.Stderr, "chaos: injected faults by site/kind:\n")
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "  %-20s %d\n", k, res.Injected[k])
+		}
+		fmt.Fprintf(os.Stderr, "chaos: surfaced panics by site:\n")
+		skeys := make([]string, 0, len(res.Surfaced))
+		for k := range res.Surfaced {
+			skeys = append(skeys, k)
+		}
+		sort.Strings(skeys)
+		for _, k := range skeys {
+			fmt.Fprintf(os.Stderr, "  %-20s %d\n", k, res.Surfaced[k])
+		}
 	}
 	fmt.Print(res.Summary())
 	for _, d := range res.Divergences {

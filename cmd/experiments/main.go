@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
-//	                   coverage|cover-overhead]
+//	                   coverage|cover-overhead|governor]
 //	            [-obs-addr :8089]
 package main
 
@@ -22,8 +22,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead)")
-	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead (0 = all CPUs)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	flag.Parse()
 
@@ -81,6 +81,8 @@ func main() {
 		harness.RunCoverageMatrix().Print(os.Stdout)
 	case "cover-overhead":
 		harness.RunCoverOverhead(workerCounts).Print(os.Stdout)
+	case "governor":
+		harness.RunGovernorOverhead(workerCounts).Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

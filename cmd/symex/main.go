@@ -5,6 +5,7 @@
 // Usage:
 //
 //	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail]
+//	      [-solver-deadline 2s] [-state-budget N]
 //	      [-cover] [-cover-out cover.json] [-obs-addr :8089] [-trace-out trace.json]
 //	      <image.rimg>
 //
@@ -16,6 +17,12 @@
 // -cover-out measure semantic coverage of the loaded ADL
 // (docs/coverage.md) fully offline: the JSON report goes to the named
 // file and the human-readable matrix to stderr.
+//
+// -solver-deadline and -state-budget arm the resource governor
+// (docs/robustness.md): a query past the wall-clock deadline or a state
+// past the term budget degrades gracefully — over-approximated or
+// killed, never a run failure — and the per-cause degradation counts
+// plus any recovered path faults are summarized on stderr.
 package main
 
 import (
@@ -44,6 +51,8 @@ func main() {
 	seed := flag.String("seed", "", "seed input for -concolic")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = all CPUs)")
 	noCache := flag.Bool("no-query-cache", false, "disable the shared solver-query cache")
+	solverDeadline := flag.Duration("solver-deadline", 0, "wall-clock budget per solver query; expiry over-approximates (docs/robustness.md)")
+	stateBudget := flag.Int("state-budget", 0, "per-state symbolic term budget; oversized states are killed gracefully")
 	obsAddr := flag.String("obs-addr", "", "serve live /metrics, /coverage, expvar and pprof on this address")
 	traceOut := flag.String("trace-out", "", "write the exploration trace as Chrome trace_event JSON to this file")
 	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
@@ -150,14 +159,16 @@ func main() {
 	}
 
 	e := core.NewEngine(a, p, core.Options{
-		InputBytes:   *inputs,
-		MaxSteps:     *steps,
-		MaxPaths:     *paths,
-		Strategy:     strat,
-		Workers:      *workers,
-		NoQueryCache: *noCache,
-		Obs:          o,
-		Cover:        coll,
+		InputBytes:     *inputs,
+		MaxSteps:       *steps,
+		MaxPaths:       *paths,
+		Strategy:       strat,
+		Workers:        *workers,
+		NoQueryCache:   *noCache,
+		SolverDeadline: *solverDeadline,
+		MaxStateTerms:  *stateBudget,
+		Obs:            o,
+		Cover:          coll,
 	})
 	for _, c := range checker.All() {
 		e.AddChecker(c)
@@ -171,6 +182,12 @@ func main() {
 		}
 		dumpTrace()
 		dumpCover()
+		if len(rep.Faults) > 0 {
+			fmt.Fprintf(os.Stderr, "faults: %d runs ended by recovered panics:\n", len(rep.Faults))
+			for _, f := range rep.Faults {
+				fmt.Fprintf(os.Stderr, "  %v\n", f)
+			}
+		}
 		fmt.Printf("%s: %d concrete runs, %d solver-derived inputs, %d instructions covered\n",
 			p.Arch, len(rep.Paths), rep.Solved, rep.Coverage)
 		for i, pth := range rep.Paths {
@@ -214,6 +231,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "worker %d: %d instructions, %d paths, %d steals, %.0f%% busy\n",
 			ws.ID, ws.Steps, ws.Paths, ws.Steals, util)
+	}
+	// Governor and fault-isolation diagnostics (docs/robustness.md):
+	// only printed when something actually degraded or panicked.
+	if r.Stats.Degraded.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "governor: %d degradations:", r.Stats.Degraded.Total())
+		for c := core.DegradeCause(0); c < core.NumDegradeCauses; c++ {
+			if n := r.Stats.Degraded[c]; n > 0 {
+				fmt.Fprintf(os.Stderr, " %s=%d", c, n)
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if len(r.Faults) > 0 {
+		fmt.Fprintf(os.Stderr, "faults: %d paths ended by recovered panics:\n", len(r.Faults))
+		for _, f := range r.Faults {
+			fmt.Fprintf(os.Stderr, "  %v\n", f)
+		}
 	}
 
 	byStatus := map[core.Status]int{}

@@ -8,12 +8,14 @@ package conc
 
 import (
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/adl"
 	"repro/internal/bv"
 	"repro/internal/cover"
 	"repro/internal/decoder"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/rtl"
@@ -29,6 +31,7 @@ const (
 	StopFault                  // an error() in the semantics fired
 	StopSteps                  // the step budget ran out
 	StopDecode                 // undecodable instruction bytes
+	StopPanic                  // panic recovered at the per-step fault boundary
 )
 
 func (k StopKind) String() string {
@@ -43,6 +46,8 @@ func (k StopKind) String() string {
 		return "step limit"
 	case StopDecode:
 		return "decode error"
+	case StopPanic:
+		return "panic"
 	}
 	return "unknown"
 }
@@ -51,8 +56,14 @@ func (k StopKind) String() string {
 type Stop struct {
 	Kind  StopKind
 	PC    uint64 // address of the instruction that stopped the run
-	Fault string // fault message for StopFault
+	Fault string // fault message for StopFault; panic value for StopPanic
 	Err   error  // decode error for StopDecode
+
+	// Layer and Stack are set for StopPanic: the fault layer the panic
+	// was attributed to ("conc", "decode", "translate") and the
+	// truncated runtime stack at the recovery point (docs/robustness.md).
+	Layer string
+	Stack string
 }
 
 func (s Stop) String() string {
@@ -61,6 +72,8 @@ func (s Stop) String() string {
 		return fmt.Sprintf("fault at %#x: %s", s.PC, s.Fault)
 	case StopDecode:
 		return fmt.Sprintf("decode error at %#x: %v", s.PC, s.Err)
+	case StopPanic:
+		return fmt.Sprintf("panic at %#x [%s]: %s", s.PC, s.Layer, s.Fault)
 	default:
 		return fmt.Sprintf("%v at %#x", s.Kind, s.PC)
 	}
@@ -99,6 +112,11 @@ type Machine struct {
 	// telemetry (internal/obs); nil disables it.
 	Metrics *Metrics
 
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// harness at the emulator's instrumented sites (the per-step
+	// boundary; wire Dec.Inject too for the decode site). Nil-safe.
+	Inject *faultinject.Injector
+
 	// Cov, when non-nil, records conc-layer semantic coverage:
 	// instructions executed, branch outcomes (from the pc-written flag),
 	// and control events. Set through SetCover so the decoder's
@@ -113,6 +131,7 @@ type Machine struct {
 type Metrics struct {
 	Steps      *obs.Counter   // conc_steps_total
 	RunSeconds *obs.Histogram // conc_run_seconds
+	Faults     *obs.Counter   // fault_paths_total{layer="conc"}
 }
 
 // NewMetrics resolves the emulator metric set against a registry;
@@ -124,6 +143,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
 		Steps:      r.Counter("conc_steps_total", "Instructions executed by the concrete emulator"),
 		RunSeconds: r.Histogram("conc_run_seconds", "Concrete emulator Run latency", obs.TimeBuckets),
+		Faults:     r.Counter(`fault_paths_total{layer="conc"}`, "Paths or runs ended by a recovered panic, by fault layer"),
 	}
 }
 
@@ -229,9 +249,18 @@ func (m *Machine) MemSnapshot() map[uint64]byte {
 }
 
 // Step decodes and executes one instruction; done is non-nil when the run
-// should stop.
+// should stop. It is the emulator's per-step fault boundary: any panic
+// underneath — decoder, concrete evaluator, a hostile description, an
+// injected fault — stops this run gracefully with StopPanic instead of
+// crashing the process (docs/robustness.md).
 func (m *Machine) Step() (done *Stop) {
 	pc := m.PC()
+	defer func() {
+		if r := recover(); r != nil {
+			done = m.recoverStop(pc, r)
+		}
+	}()
+	m.Inject.Fire(faultinject.SiteConcStep)
 	buf := m.fetch(pc)
 	dec, err := m.Dec.Decode(buf)
 	if err != nil {
@@ -267,6 +296,26 @@ func (m *Machine) Step() (done *Stop) {
 		m.WriteReg(m.Arch.PC, pc+uint64(dec.Len))
 	}
 	return nil
+}
+
+// recoverStop converts a panic recovered at the step boundary into a
+// StopPanic outcome, attributing injected faults to their site and
+// typed rtl errors to the translate layer.
+func (m *Machine) recoverStop(pc uint64, r any) *Stop {
+	layer := "conc"
+	if f, ok := faultinject.Observe(r); ok {
+		layer = f.Site.String()
+	} else if _, ok := r.(*rtl.UnsupportedError); ok {
+		layer = "translate"
+	}
+	if m.Metrics != nil {
+		m.Metrics.Faults.Inc()
+	}
+	stack := debug.Stack()
+	if len(stack) > 4096 {
+		stack = stack[:4096]
+	}
+	return &Stop{Kind: StopPanic, PC: pc, Fault: fmt.Sprint(r), Layer: layer, Stack: string(stack)}
 }
 
 func (m *Machine) fetch(pc uint64) []byte {

@@ -1,0 +1,93 @@
+package conc_test
+
+import (
+	"testing"
+
+	"repro/arch"
+	"repro/internal/conc"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestInjectedStepPanicBecomesStop: a panic injected into the concrete
+// step boundary must surface as a StopPanic stop — layer, stack, and
+// metrics accounted — never as a crash.
+func TestInjectedStepPanicBecomesStop(t *testing.T) {
+	p := assemble(t, "tiny32", `
+_start:
+	li   r1, 1
+	addi r1, r1, 2
+	halt
+`)
+	inj := faultinject.New(1, 1).Enable(faultinject.SiteConcStep, faultinject.KindPanic)
+	o := obs.New()
+	m := conc.NewMachine(arch.MustLoad("tiny32"))
+	m.LoadProgram(p)
+	m.Inject = inj
+	m.Metrics = conc.NewMetrics(o.Reg)
+	stop := m.Run(100)
+	if stop.Kind != conc.StopPanic {
+		t.Fatalf("stop = %v, want StopPanic", stop)
+	}
+	if stop.Layer != "conc" {
+		t.Errorf("stop layer = %q, want conc", stop.Layer)
+	}
+	if stop.Stack == "" || stop.Fault == "" {
+		t.Errorf("StopPanic missing stack or fault message: %+v", stop)
+	}
+	if got := inj.Surfaced(faultinject.SiteConcStep); got != 1 {
+		t.Errorf("surfaced = %d, want 1", got)
+	}
+	if got := m.Metrics.Faults.Value(); got != 1 {
+		t.Errorf("fault metric = %d, want 1", got)
+	}
+	// The machine itself remains usable for a fresh run once the
+	// injector is disarmed.
+	m.Inject = nil
+	m.LoadProgram(p)
+	if stop := m.Run(100); stop.Kind != conc.StopHalt {
+		t.Fatalf("after disarm: stop = %v, want halt", stop)
+	}
+}
+
+// TestInjectedDecodeFaultBecomesStopDecode: a KindDecode injection in
+// the decoder surfaces as the graceful StopDecode outcome.
+func TestInjectedDecodeFaultBecomesStopDecode(t *testing.T) {
+	p := assemble(t, "tiny32", `
+_start:
+	li r1, 1
+	halt
+`)
+	m := conc.NewMachine(arch.MustLoad("tiny32"))
+	m.LoadProgram(p)
+	m.Dec.Inject = faultinject.New(1, 1).Enable(faultinject.SiteDecode, faultinject.KindDecode)
+	stop := m.Run(100)
+	if stop.Kind != conc.StopDecode {
+		t.Fatalf("stop = %v, want StopDecode", stop)
+	}
+}
+
+// TestInjectedDecodePanicAttribution: a panic fired inside the decoder
+// is recovered at the machine's step boundary but attributed to the
+// decode layer via the fault payload.
+func TestInjectedDecodePanicAttribution(t *testing.T) {
+	p := assemble(t, "tiny32", `
+_start:
+	li r1, 1
+	halt
+`)
+	inj := faultinject.New(1, 1).Enable(faultinject.SiteDecode, faultinject.KindPanic)
+	m := conc.NewMachine(arch.MustLoad("tiny32"))
+	m.LoadProgram(p)
+	m.Dec.Inject = inj
+	stop := m.Run(100)
+	if stop.Kind != conc.StopPanic {
+		t.Fatalf("stop = %v, want StopPanic", stop)
+	}
+	if stop.Layer != "decode" {
+		t.Errorf("stop layer = %q, want decode", stop.Layer)
+	}
+	if got := inj.Surfaced(faultinject.SiteDecode); got != 1 {
+		t.Errorf("surfaced = %d, want 1", got)
+	}
+}

@@ -33,6 +33,10 @@ type ConcolicReport struct {
 	Coverage int   // distinct instruction addresses executed
 	Solved   int   // inputs derived from solver models
 	Stats    Stats // engine counters accumulated over all replays
+
+	// Faults lists every panic recovered during the search: per-replay
+	// path faults plus flip-solve recoveries (docs/robustness.md).
+	Faults []PathFault
 }
 
 // Concolic runs generational concolic testing from the seed input for at
@@ -84,12 +88,14 @@ func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 			}
 			explored[key.String()] = true
 			q := append(append([]*expr.Expr(nil), conds[:i]...), neg)
-			res, err := e.Solver.Check(q...)
-			if err == smt.ErrBudget || res != smt.Sat {
-				continue
-			}
-			if err != nil {
+			res, err := e.checkProtected(q)
+			if _, err = e.degradeUnknown(err, DegradeFlipBudget, DegradeFlipDeadline); err != nil {
 				return nil, err
+			}
+			if res != smt.Sat {
+				// Unsat, budget, deadline or a recovered panic: this
+				// flip is abandoned; the search continues.
+				continue
 			}
 			in := normalizeInput(e.InputFromModel(e.Solver.Model()), e.Opts.InputBytes)
 			if !tried[string(in)] {
@@ -103,6 +109,7 @@ func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 	rep.Coverage = len(covered)
 	rep.Stats = e.report.Stats
 	rep.Stats.Solver = e.Solver.Stats
+	rep.Faults = append(rep.Faults, e.report.Faults...)
 	rep.Bugs = append(rep.Bugs, e.report.Bugs...)
 	sort.Slice(rep.Bugs, func(i, j int) bool { return rep.Bugs[i].PC < rep.Bugs[j].PC })
 	return rep, nil
@@ -134,7 +141,7 @@ func (e *Engine) runConcolic(input []byte, covered map[uint64]bool) (*ConcolicPa
 			out.NewPCs++
 		}
 		prevLen := len(st.PathCond)
-		children, err := e.step(st)
+		children, err := e.safeStep(st)
 		if err != nil {
 			return nil, nil, err
 		}

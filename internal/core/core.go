@@ -20,6 +20,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/smt"
@@ -131,6 +132,28 @@ type Options struct {
 	// cost is one pointer test per site, same bargain as Obs.
 	Cover *cover.Collector
 
+	// SolverDeadline, when nonzero, bounds every individual solver
+	// query by wall clock (the per-query arm of the resource governor,
+	// docs/robustness.md). On expiry the engine over-approximates —
+	// keeps both branch sides, concretizes the address — instead of
+	// erroring; Stats.Degraded counts every such decision by cause.
+	SolverDeadline time.Duration
+
+	// MaxStateTerms, when nonzero, bounds the symbolic footprint of a
+	// single state (path-condition terms plus memory-overlay cells). A
+	// state growing past the budget is killed with a recorded
+	// degradation; its siblings continue. Ignored during concrete
+	// replays, which must never lose the pinned path.
+	MaxStateTerms int
+
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// harness (internal/faultinject) at the engine's instrumented
+	// sites: decode, translate, symbolic step, solver and memory
+	// concretization. Production runs leave it nil (one pointer test
+	// per site); the difftest chaos mode uses it to prove fault
+	// isolation (docs/robustness.md).
+	Inject *faultinject.Injector
+
 	// StackBase and StackSize describe the stack region; the engine
 	// initializes the architecture's sp register to StackBase. Defaults:
 	// 0x40000 and 0x10000.
@@ -190,6 +213,10 @@ type PathResult struct {
 	// Options.CaptureEndState is set (nil otherwise).
 	End *EndState
 
+	// PathFault, set when Status is StatusPanic, describes the panic
+	// that killed this path (recovered at the per-path boundary).
+	PathFault *PathFault
+
 	// sig is the builder-independent path signature (a hash chain over
 	// the appended path conditions); the parallel merge orders completed
 	// paths by it.
@@ -210,6 +237,8 @@ type Stats struct {
 	Coverage     int   // distinct instruction addresses executed
 	WallTime     time.Duration
 	Solver       smt.Stats
+	PathFaults   int64        // panics recovered at per-path boundaries
+	Degraded     DegradeStats // graceful degradations by cause
 
 	// WorkerStats has one entry per exploration worker when Workers > 1
 	// (nil for serial runs). Per-worker numbers are schedule-dependent.
@@ -231,6 +260,11 @@ type Report struct {
 	Bugs  []Bug
 	Paths []PathResult
 	Stats Stats
+
+	// Faults lists every panic recovered during the run — one entry
+	// per dead path (also on that path's PathResult) plus any
+	// non-path-scoped recoveries (e.g. a worker dying outside a step).
+	Faults []PathFault
 }
 
 // CheckCtx is the context handed to checker hooks.
@@ -314,6 +348,11 @@ type Engine struct {
 	// (Options.Cover); nil when coverage is off. Workers share it — the
 	// hit store is lock-free, so no per-worker merge is needed.
 	cov *cover.ArchCov
+
+	// inject is the armed fault injector (Options.Inject); nil in
+	// production. Workers share it, so fired/surfaced counts are exact
+	// across a parallel run.
+	inject *faultinject.Injector
 }
 
 // StepSampleRate is the sampling factor of the engine_step_seconds
@@ -344,6 +383,13 @@ type engineMetrics struct {
 	stepSeconds   *obs.Histogram // engine_step_seconds
 	decodeSeconds *obs.Histogram // engine_decode_seconds
 	branchSeconds *obs.Histogram // engine_branch_check_seconds
+
+	// Robustness series (docs/robustness.md): fault_paths_total by
+	// fault layer and degraded_total by degradation cause. The zero
+	// arrays are nil counters, so recording stays a no-op when
+	// telemetry is off.
+	faults   [len(faultLayers)]*obs.Counter
+	degraded [NumDegradeCauses]*obs.Counter
 }
 
 // newEngineMetrics resolves the engine instrument set against o's
@@ -354,7 +400,7 @@ func newEngineMetrics(o *obs.Obs) engineMetrics {
 	if r == nil {
 		return engineMetrics{}
 	}
-	return engineMetrics{
+	m := engineMetrics{
 		on:            true,
 		instructions:  r.Counter("engine_instructions_total", "Instructions executed symbolically"),
 		forks:         r.Counter("engine_forks_total", "State forks at feasible branches"),
@@ -369,6 +415,13 @@ func newEngineMetrics(o *obs.Obs) engineMetrics {
 		decodeSeconds: r.Histogram("engine_decode_seconds", "Decoder invocation latency (translation-cache misses only)", obs.TimeBuckets),
 		branchSeconds: r.Histogram("engine_branch_check_seconds", "Branch-feasibility decision latency (solver time)", obs.TimeBuckets),
 	}
+	for i, l := range faultLayers {
+		m.faults[i] = r.Counter(fmt.Sprintf("fault_paths_total{layer=%q}", l), faultPathsHelp)
+	}
+	for c := DegradeCause(0); c < NumDegradeCauses; c++ {
+		m.degraded[c] = r.Counter(fmt.Sprintf("degraded_total{cause=%q}", c), "Graceful degradations (over-approximations) by cause")
+	}
+	return m
 }
 
 // Region is a half-open address range with a human-readable role.
@@ -419,6 +472,10 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 	e.Dec.Cov = e.cov
 	e.Solver.Obs = smt.NewSolverObs(opts.Obs.Registry())
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts
+	e.Solver.QueryDeadline = opts.SolverDeadline
+	e.inject = opts.Inject
+	e.Dec.Inject = opts.Inject
+	e.Solver.Inject = opts.Inject
 	// Default layout: each program segment plus the stack.
 	for _, s := range p.Segments {
 		e.Layout = append(e.Layout, Region{Lo: s.Addr, Hi: s.Addr + uint64(len(s.Data)), Role: "image"})

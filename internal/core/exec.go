@@ -54,7 +54,7 @@ func (e *Engine) Run() (*Report, error) {
 		var st *State
 		st, live = e.pick(live)
 
-		children, err := e.step(st)
+		children, err := e.safeStep(st)
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +149,8 @@ func (e *Engine) finish(st *State) {
 		PathCond: st.PathCond,
 		Output:   st.Output,
 		sig:      st.sig,
+
+		PathFault: st.PathFault,
 	}
 	if e.Opts.CaptureEndState {
 		end := &EndState{
@@ -259,7 +261,7 @@ func (e *Engine) step(st *State) ([]*State, error) {
 	st.SetReg(pcReg, e.B.Const(pcReg.Width, cont))
 
 	ec := &execCtx{e: e, st: st, insAddr: insAddr, disasm: disasm}
-	ev := &rtl.SymEval{B: e.B, A: e.Arch, Cov: e.cov}
+	ev := &rtl.SymEval{B: e.B, A: e.Arch, Cov: e.cov, Inject: e.inject}
 	events := ev.Exec(ec, dec.Insn, dec.Ops)
 	if ec.err != nil {
 		return nil, ec.err
@@ -401,12 +403,15 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	return taken, fallthru, nil
 }
 
-// feasible checks satisfiability, treating solver budget exhaustion as
-// feasible (sound for bug finding: we never prune a path we are unsure
-// about, at the cost of possibly exploring dead ones).
+// feasible checks satisfiability, treating solver budget or deadline
+// exhaustion as feasible (sound for bug finding: we never prune a path
+// we are unsure about, at the cost of possibly exploring dead ones).
+// The decision routes through the shared degradation policy so every
+// over-approximation is counted by cause.
 func (e *Engine) feasible(cond []*expr.Expr) (bool, error) {
 	r, err := e.Solver.Check(cond...)
-	if err == smt.ErrBudget {
+	deg, err := e.degradeUnknown(err, DegradeBranchBudget, DegradeBranchDeadline)
+	if deg {
 		return true, nil
 	}
 	if err != nil {
@@ -588,11 +593,14 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 			e.tr.Span("jump-enum", e.workerID, st.ID, st.PC, t0,
 				fmt.Sprintf("model %d: %v", i, r))
 		}
-		if err == smt.ErrBudget || r != smt.Sat {
-			break
-		}
+		deg, err := e.degradeUnknown(err, DegradeJumpEnumBudget, DegradeJumpEnumDeadline)
 		if err != nil {
 			return nil, err
+		}
+		if deg || r != smt.Sat {
+			// Budget/deadline exhaustion stops the enumeration with the
+			// targets found so far (over-approximation by truncation).
+			break
 		}
 		addr := e.Solver.Value(pcv)
 		eq := e.B.Eq(pcv, e.B.Const(pcv.Width(), addr))

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/rtl"
+)
+
+// TestLayerOf: panic attribution — injected faults name their site,
+// typed rtl errors name the translate layer, anything else falls back
+// to the recover boundary's layer.
+func TestLayerOf(t *testing.T) {
+	inj := faultinject.New(1, 1).Enable(faultinject.SiteMem, faultinject.KindPanic)
+	var fault any
+	func() {
+		defer func() { fault = recover() }()
+		inj.Fire(faultinject.SiteMem)
+	}()
+	if fault == nil {
+		t.Fatalf("period-1 injector did not fire")
+	}
+	if got := layerOf(fault, "sym"); got != "mem" {
+		t.Errorf("layerOf(injected mem fault) = %q, want mem", got)
+	}
+	if got := layerOf(&rtl.UnsupportedError{Construct: "sem.Weird", Evaluator: "sym"}, "sym"); got != "translate" {
+		t.Errorf("layerOf(UnsupportedError) = %q, want translate", got)
+	}
+	if got := layerOf("index out of range", "conc"); got != "conc" {
+		t.Errorf("layerOf(organic panic) = %q, want boundary conc", got)
+	}
+}
+
+// TestFaultLayerIndex: every layer name maps to its slot; unknown
+// names fall back to the sym boundary.
+func TestFaultLayerIndex(t *testing.T) {
+	for i, l := range faultLayers {
+		if faultLayerIndex(l) != i {
+			t.Errorf("faultLayerIndex(%q) = %d, want %d", l, faultLayerIndex(l), i)
+		}
+	}
+	if faultLayerIndex("nonsense") != 2 {
+		t.Errorf("unknown layer must map to sym")
+	}
+}

@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/arch"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/harness"
+)
+
+// faultKey is the schedule-independent fingerprint of one recovered
+// fault (the stack capture varies by goroutine, so it is excluded).
+func faultKey(f core.PathFault) string {
+	return f.String()
+}
+
+func faultKeys(r *core.Report) []string {
+	out := make([]string, len(r.Faults))
+	for i, f := range r.Faults {
+		out[i] = faultKey(f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPanicIsolationParallel: with panics injected into the symbolic
+// step at a fixed rate, a parallel run must complete normally — each
+// panic kills only its own path, siblings still finish, and every
+// fault is reported with layer and stack. Run under -race by the race
+// tier.
+func TestPanicIsolationParallel(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		inj := faultinject.New(9, 60).Enable(faultinject.SiteSymStep, faultinject.KindPanic)
+		p := build(t, "tiny32", harness.BranchLadder("tiny32", 6))
+		e := core.NewEngine(arch.MustLoad("tiny32"), p, core.Options{
+			InputBytes: 6,
+			MaxPaths:   5000,
+			Workers:    workers,
+			Inject:     inj,
+		})
+		r, err := e.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: run failed under injection: %v", workers, err)
+		}
+		if len(r.Faults) == 0 {
+			t.Fatalf("workers=%d: no faults recorded (calls=%d)", workers, inj.Calls(faultinject.SiteSymStep))
+		}
+		if r.Stats.PathFaults != int64(len(r.Faults)) {
+			t.Errorf("workers=%d: Stats.PathFaults=%d, len(Faults)=%d", workers, r.Stats.PathFaults, len(r.Faults))
+		}
+		fired := inj.Fired(faultinject.SiteSymStep, faultinject.KindPanic)
+		if fired != int64(len(r.Faults)) {
+			t.Errorf("workers=%d: fired %d panics, recorded %d faults", workers, fired, len(r.Faults))
+		}
+		if s := inj.Surfaced(faultinject.SiteSymStep); s != fired {
+			t.Errorf("workers=%d: fired %d, surfaced %d", workers, fired, s)
+		}
+		for _, f := range r.Faults {
+			if f.Layer != "sym" {
+				t.Errorf("workers=%d: fault layer %q, want sym", workers, f.Layer)
+			}
+			if f.Msg == "" || f.Stack == "" {
+				t.Errorf("workers=%d: fault missing msg or stack: %+v", workers, f)
+			}
+		}
+		// Sibling paths keep completing: the panic rate (1 in 60 steps)
+		// leaves most of the ladder's 64 halting paths alive.
+		var panicked, survived int
+		for _, p := range r.Paths {
+			switch p.Status {
+			case core.StatusPanic:
+				panicked++
+				if p.PathFault == nil {
+					t.Errorf("workers=%d: StatusPanic path without PathFault", workers)
+				}
+			case core.StatusHalt, core.StatusExit:
+				survived++
+			}
+		}
+		if panicked != len(r.Faults) {
+			t.Errorf("workers=%d: %d StatusPanic paths, %d faults", workers, panicked, len(r.Faults))
+		}
+		if survived == 0 {
+			t.Errorf("workers=%d: no sibling path survived injection", workers)
+		}
+	}
+}
+
+// TestFaultReplayDeterministic: the same seed and options replay the
+// exact same faults (pc, layer, message) and degradations.
+func TestFaultReplayDeterministic(t *testing.T) {
+	run := func() *core.Report {
+		inj := faultinject.New(4, 8).
+			Enable(faultinject.SiteSymStep, faultinject.KindPanic).
+			Enable(faultinject.SiteSolver, faultinject.KindBudget, faultinject.KindDeadline)
+		p := build(t, "tiny32", harness.BranchLadder("tiny32", 5))
+		e := core.NewEngine(arch.MustLoad("tiny32"), p, core.Options{
+			InputBytes: 5,
+			MaxPaths:   5000,
+			Inject:     inj,
+		})
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Stats.PathFaults == 0 {
+		t.Fatalf("injection never fired; tune the period")
+	}
+	if a.Stats.PathFaults != b.Stats.PathFaults {
+		t.Fatalf("PathFaults %d vs %d across identical runs", a.Stats.PathFaults, b.Stats.PathFaults)
+	}
+	if !equalStrings(faultKeys(a), faultKeys(b)) {
+		t.Fatalf("fault sets differ across identical runs:\n%v\nvs\n%v", faultKeys(a), faultKeys(b))
+	}
+	if a.Stats.Degraded != b.Stats.Degraded {
+		t.Fatalf("degradation stats differ: %v vs %v", a.Stats.Degraded, b.Stats.Degraded)
+	}
+	if a.Stats.Degraded.Total() == 0 {
+		t.Fatalf("injected solver budget/deadline faults never degraded")
+	}
+}
+
+// TestSolverDeadlineOverApproximates: an already-expired per-query
+// deadline must not drop paths or fail the run — every branch
+// feasibility check degrades to keeping both sides, so the full
+// branch tree is still explored.
+func TestSolverDeadlineOverApproximates(t *testing.T) {
+	p := build(t, "tiny32", harness.BranchLadder("tiny32", 4))
+	e := core.NewEngine(arch.MustLoad("tiny32"), p, core.Options{
+		InputBytes:     4,
+		MaxPaths:       5000,
+		SolverDeadline: time.Nanosecond,
+	})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatalf("deadline expiry must degrade, not error: %v", err)
+	}
+	if r.Stats.Degraded.Total() == 0 {
+		t.Fatalf("no degradations recorded under 1ns deadline")
+	}
+	if r.Stats.Degraded[core.DegradeBranchDeadline] == 0 {
+		t.Errorf("branch-deadline cause not counted: %v", r.Stats.Degraded)
+	}
+	// Over-approximation keeps both sides of every branch: at least as
+	// many paths as a normal run of the 4-rung ladder (16 halting).
+	if len(r.Paths) < 16 {
+		t.Errorf("only %d paths explored under deadline, want >= 16 (both branch sides kept)", len(r.Paths))
+	}
+	if r.Stats.PathFaults != 0 {
+		t.Errorf("deadline degradation must not record faults, got %d", r.Stats.PathFaults)
+	}
+}
+
+// TestMaxStateTermsKillsGreedyStates: the per-state term budget kills
+// oversized states gracefully (StatusKilled, state-terms cause) while
+// the run completes.
+func TestMaxStateTermsKillsGreedyStates(t *testing.T) {
+	p := build(t, "tiny32", harness.BranchLadder("tiny32", 6))
+	e := core.NewEngine(arch.MustLoad("tiny32"), p, core.Options{
+		InputBytes:    6,
+		MaxPaths:      5000,
+		MaxStateTerms: 3,
+	})
+	r, err := e.Run()
+	if err != nil {
+		t.Fatalf("term budget must degrade, not error: %v", err)
+	}
+	if r.Stats.Degraded[core.DegradeStateBudget] == 0 {
+		t.Fatalf("no state-terms degradations on a 6-rung ladder with budget 3")
+	}
+	var killed int
+	for _, pr := range r.Paths {
+		if pr.Status == core.StatusKilled && strings.Contains(pr.Fault, "term budget") {
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Fatalf("no path reports the term-budget kill")
+	}
+	if int64(killed) != r.Stats.Degraded[core.DegradeStateBudget] {
+		t.Errorf("killed %d paths, counted %d state-terms degradations", killed, r.Stats.Degraded[core.DegradeStateBudget])
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/adl"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/smt"
 )
 
@@ -48,6 +49,7 @@ func (c *execCtx) WriteReg(r *adl.Reg, v *expr.Expr, guard *expr.Expr) {
 
 // Load implements rtl.SymState.
 func (c *execCtx) Load(addr *expr.Expr, cells uint, guard *expr.Expr) *expr.Expr {
+	c.e.inject.Fire(faultinject.SiteMem)
 	c.checkMem(addr, cells, false, guard)
 	a, ok := c.concretize(addr, guard)
 	if !ok {
@@ -59,6 +61,7 @@ func (c *execCtx) Load(addr *expr.Expr, cells uint, guard *expr.Expr) *expr.Expr
 
 // Store implements rtl.SymState.
 func (c *execCtx) Store(addr *expr.Expr, cells uint, val *expr.Expr, guard *expr.Expr) {
+	c.e.inject.Fire(faultinject.SiteMem)
 	c.checkMem(addr, cells, true, guard)
 	a, ok := c.concretize(addr, guard)
 	if !ok {
@@ -118,22 +121,31 @@ func (c *execCtx) concretize(addr *expr.Expr, guard *expr.Expr) (uint64, bool) {
 			return v, true
 		case err == nil && r == smt.Unsat:
 			return 0, false // guard infeasible: the access never happens
-		case err == smt.ErrBudget:
-			// Fall through to the unguarded query below.
+		case err == smt.ErrBudget || err == smt.ErrDeadline:
+			// Degrade: fall through to the unguarded query below.
+			c.e.degradeUnknown(err, DegradeConcBudget, DegradeConcDeadline)
 		default:
 			c.err = err
 			return 0, false
 		}
 	}
 	r, err := c.e.Solver.Check(cond...)
-	if err == smt.ErrBudget {
-		// Cannot concretize within budget: treat the path as dead rather
-		// than guessing an address (and count it).
-		c.infeasible = true
-		return 0, false
-	}
-	if err != nil {
-		c.err = err
+	if deg, derr := c.e.degradeUnknown(err, DegradeConcBudget, DegradeConcDeadline); deg {
+		// Cannot concretize within budget/deadline: over-approximate by
+		// evaluating the address under the all-zero assignment instead
+		// of killing the path. The chosen address is recorded as a path
+		// constraint exactly like a model-derived one, so the path stays
+		// a genuine (if possibly infeasible) over-approximation — bugs
+		// on it are still gated by the recorded condition.
+		v := expr.Eval(addr, expr.Env{})
+		eq := c.e.B.Eq(addr, c.e.B.Const(addr.Width(), v))
+		if guard != nil {
+			eq = c.e.B.Implies(guard, eq)
+		}
+		c.st.appendCond(eq)
+		return v, true
+	} else if derr != nil {
+		c.err = derr
 		return 0, false
 	}
 	if r != smt.Sat {

@@ -327,10 +327,13 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		m:          e.m,
 		tr:         e.tr,
 		cov:        e.cov,
+		inject:     e.inject,
 	}
 	w.Solver.MaxConflicts = e.Opts.MaxSolverConflicts
+	w.Solver.QueryDeadline = e.Opts.SolverDeadline
 	w.Solver.Cache = e.cache
 	w.Solver.Obs = e.Solver.Obs
+	w.Solver.Inject = e.inject
 	return w
 }
 
@@ -359,6 +362,21 @@ func (e *Engine) adopt(st *State) {
 	st.home = e.B
 }
 
+// workerDied removes a dead worker from the frontier's accounting so
+// the quiescence test (everyone waiting, nothing queued) still
+// terminates the run instead of deadlocking on a worker that will never
+// pop again. Called from the worker-goroutine panic backstop.
+func (f *frontier) workerDied() {
+	f.mu.Lock()
+	f.workers--
+	if f.workers <= f.waiting {
+		// Every surviving worker is already waiting: quiescence.
+		f.closed = true
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
 // work is one worker's loop: pop a state, adopt it, and run its chain
 // inline until it completes or forks, pushing extra children to the
 // shared frontier (where siblings become stealable work).
@@ -382,7 +400,7 @@ func (e *Engine) work(pr *parRun) {
 				}
 				break
 			}
-			children, err := e.step(cur)
+			children, err := e.safeStep(cur)
 			if err != nil {
 				pr.fail(err)
 				break
@@ -433,6 +451,20 @@ func (e *Engine) runParallel() (*Report, error) {
 		wg.Add(1)
 		go func(w *Engine) {
 			defer wg.Done()
+			// Backstop: panics escaping the per-path boundary (frontier
+			// bookkeeping, adopt/transfer, merge plumbing) kill only
+			// this worker. The frontier drops it from the quiescence
+			// count and the fault is recorded on the worker's report.
+			defer func() {
+				if r := recover(); r != nil {
+					pr.front.workerDied()
+					w.recordFault(PathFault{
+						Layer: layerOf(r, "sym"),
+						Msg:   fmt.Sprint(r),
+						Stack: stackTrace(),
+					})
+				}
+			}()
 			w.work(pr)
 		}(w)
 	}
@@ -467,6 +499,9 @@ func (e *Engine) mergeWorkerReports(workers []*Engine, vt *visitTable, pr *parRu
 			s.MaxDepth = ws.MaxDepth
 		}
 		s.Solver.Add(w.Solver.Stats)
+		s.PathFaults += ws.PathFaults
+		s.Degraded.Add(ws.Degraded)
+		e.report.Faults = append(e.report.Faults, w.report.Faults...)
 		s.WorkerStats = append(s.WorkerStats, WorkerStat{
 			ID:     w.workerID,
 			Steps:  ws.Instructions,
@@ -528,6 +563,16 @@ func (e *Engine) mergeWorkerReports(workers []*Engine, vt *visitTable, pr *parRu
 		}
 		if a.Check != b.Check {
 			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	sort.Slice(e.report.Faults, func(i, j int) bool {
+		a, b := &e.report.Faults[i], &e.report.Faults[j]
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
 		}
 		return a.Msg < b.Msg
 	})

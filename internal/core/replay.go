@@ -40,7 +40,7 @@ func (e *Engine) ReplayConcrete(input []byte) (*Replay, error) {
 
 	for {
 		prevLen := len(st.PathCond)
-		children, err := e.step(st)
+		children, err := e.safeStep(st)
 		if err != nil {
 			return nil, err
 		}

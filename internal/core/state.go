@@ -46,6 +46,10 @@ type State struct {
 	Done   bool
 	Status Status
 	Fault  string
+
+	// PathFault, set when Status is StatusPanic, records the recovered
+	// panic that killed this path (docs/robustness.md).
+	PathFault *PathFault
 }
 
 // appendCond extends the path condition and folds the condition's
@@ -67,6 +71,7 @@ const (
 	StatusSteps          // per-path step budget exhausted
 	StatusDecode         // undecodable bytes
 	StatusKilled         // dropped by the engine (path budget)
+	StatusPanic          // panic recovered at the per-path fault boundary
 )
 
 func (s Status) String() string {
@@ -85,6 +90,8 @@ func (s Status) String() string {
 		return "decode-error"
 	case StatusKilled:
 		return "killed"
+	case StatusPanic:
+		return "panic"
 	}
 	return "unknown"
 }

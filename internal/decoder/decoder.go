@@ -12,6 +12,7 @@ import (
 	"repro/internal/adl"
 	"repro/internal/bv"
 	"repro/internal/cover"
+	"repro/internal/faultinject"
 	"repro/internal/rtl"
 )
 
@@ -33,6 +34,11 @@ type Decoder struct {
 	// (engine, concrete emulator, oracle round-trips, disassembly), so
 	// this one hook covers them all. Nil-safe.
 	Cov *cover.ArchCov
+
+	// Inject, when set, is the fault-injection hook for the decode site
+	// (docs/robustness.md): it can panic or synthesize a malformed
+	// decode (faultinject.ErrDecode). Nil-safe.
+	Inject *faultinject.Injector
 }
 
 // group holds the instructions of one encoding length with a first-level
@@ -97,6 +103,9 @@ func (e *ErrNoMatch) Error() string {
 // Decode decodes the instruction at the start of mem. Longer encodings
 // are preferred. mem may be longer than the instruction.
 func (d *Decoder) Decode(mem []byte) (Decoded, error) {
+	if k := d.Inject.Fire(faultinject.SiteDecode); k == faultinject.KindDecode {
+		return Decoded{}, faultinject.ErrDecode
+	}
 	for _, g := range d.groups {
 		if len(mem) < g.bytes {
 			continue

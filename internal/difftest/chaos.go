@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
+
+// Chaos mode (docs/robustness.md): the oracle arms one deterministic
+// fault injector across every layer it builds — subject and reference
+// decoders, every engine, every concrete machine — and then proves the
+// robustness layer's contract under -race: injected faults never crash
+// the run, never corrupt sibling checks, and always surface in the
+// accounting (fired == surfaced per site).
+//
+// Comparisons perturbed by an injected fault are dropped, not reported:
+// each check unit snapshots the injector's total fired count on entry
+// (checkpoint) and diverged discards any divergence recorded while the
+// count moved. This is deliberately conservative — in chaos mode a
+// dropped real divergence costs a skip, while a fault-induced false
+// divergence would fail the whole soak.
+
+// faultPathsHelp mirrors the core/conc resolvers of the same series so
+// registry get-or-create sees one help text.
+const faultPathsHelp = "Paths or runs ended by a recovered panic, by fault layer"
+
+// checkpoint marks the start of one check unit: divergences recorded
+// before the injector fires again are trustworthy, later ones are not.
+func (r *run) checkpoint() {
+	if r.inj != nil {
+		r.checkFired0 = r.inj.TotalFired()
+	}
+}
+
+// perturbed reports whether the injector fired since the last
+// checkpoint (always false when chaos is off).
+func (r *run) perturbed() bool {
+	return r.inj != nil && r.inj.TotalFired() != r.checkFired0
+}
+
+// protect is the recover boundary for oracle code that calls fallible
+// layers directly (the round-trip layer drives the decoders without an
+// engine or machine in between). Deferred; it absorbs injected panics —
+// counting the skip and the surfaced fault — and re-raises anything
+// organic, which is a real bug chaos mode must not mask.
+func (r *run) protect(layer string) {
+	rv := recover()
+	if rv == nil {
+		return
+	}
+	f, ok := faultinject.Observe(rv)
+	if !ok {
+		panic(rv)
+	}
+	r.res.Skipped[layer]++
+	if r.reg != nil {
+		r.reg.Counter(fmt.Sprintf("fault_paths_total{layer=%q}", f.Site), faultPathsHelp).Inc()
+	}
+}

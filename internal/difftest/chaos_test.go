@@ -1,0 +1,98 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestChaosSmoke is the chaos soak of docs/robustness.md (run under
+// -race by `make chaos-smoke`): a fixed-budget differential run with
+// the fault injector armed at every site must
+//
+//   - complete with zero divergences (perturbed comparisons are
+//     skipped, never reported, and injected faults never corrupt the
+//     unperturbed ones),
+//   - never crash (every injected panic is caught at a per-path
+//     boundary), and
+//   - account exactly: per site fired panics == surfaced panics, the
+//     fault_paths_total series sums to the fired panic total, and the
+//     degraded_total series sums to the injected solver
+//     budget/deadline faults.
+func TestChaosSmoke(t *testing.T) {
+	o := obs.New()
+	res, err := Run(Options{
+		Seed:        7,
+		Rounds:      25,
+		Chaos:       true,
+		ChaosPeriod: 300,
+		Obs:         o,
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed to set up: %v", err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("divergence under chaos: %v", d)
+	}
+	if res.Injected == nil {
+		t.Fatalf("chaos run reported no fault accounting")
+	}
+
+	var firedPanics int64
+	for k, n := range res.Injected {
+		if strings.HasSuffix(k, "/panic") {
+			firedPanics += n
+		}
+	}
+	if firedPanics == 0 {
+		t.Fatalf("no panics injected in %d rounds (injected: %v) — raise rounds or lower ChaosPeriod", res.Rounds, res.Injected)
+	}
+	// The load-bearing sites must actually have been exercised.
+	for _, site := range []string{"decode", "sym", "conc", "solver"} {
+		if res.Injected[site+"/panic"] == 0 {
+			t.Errorf("site %s injected no panics (injected: %v)", site, res.Injected)
+		}
+	}
+
+	// Exactness 1: every injected panic was recovered at a boundary
+	// that called faultinject.Observe.
+	for _, site := range faultinject.Sites() {
+		fired := res.Injected[site.String()+"/panic"]
+		surfaced := res.Surfaced[site.String()]
+		if fired != surfaced {
+			t.Errorf("site %s: %d panics fired, %d surfaced", site, fired, surfaced)
+		}
+	}
+
+	// Exactness 2: the fault_paths_total metric series sums to the
+	// fired panic total (each recovery increments exactly one layer).
+	var metricFaults int64
+	for _, layer := range []string{"decode", "translate", "sym", "conc", "solver", "mem"} {
+		c := o.Reg.Counter(fmt.Sprintf("fault_paths_total{layer=%q}", layer), "")
+		metricFaults += c.Value()
+	}
+	if metricFaults != firedPanics {
+		t.Errorf("fault_paths_total sums to %d, want %d fired panics", metricFaults, firedPanics)
+	}
+
+	// Exactness 3: every injected solver budget/deadline fault was
+	// absorbed by the shared degradation policy (and nothing else
+	// degrades: the chaos engines run without conflict budgets).
+	var degraded int64
+	for c := core.DegradeCause(0); c < core.NumDegradeCauses; c++ {
+		degraded += o.Reg.Counter(fmt.Sprintf("degraded_total{cause=%q}", c), "").Value()
+	}
+	wantDegraded := res.Injected["solver/budget"] + res.Injected["solver/deadline"]
+	if degraded != wantDegraded {
+		t.Errorf("degraded_total sums to %d, want %d (injected budget+deadline)", degraded, wantDegraded)
+	}
+	if wantDegraded == 0 {
+		t.Errorf("no solver budget/deadline faults injected (injected: %v)", res.Injected)
+	}
+
+	t.Logf("chaos: %d rounds, injected %v, surfaced %v, degraded %d", res.Rounds, res.Injected, res.Surfaced, degraded)
+}

@@ -26,6 +26,8 @@ func statusOf(k conc.StopKind) core.Status {
 		return core.StatusSteps
 	case conc.StopDecode:
 		return core.StatusDecode
+	case conc.StopPanic:
+		return core.StatusPanic
 	}
 	return core.StatusKilled
 }
@@ -120,6 +122,8 @@ func (g *archGen) compareEnd(e engineEnd, m *conc.Machine, stop conc.Stop) strin
 func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSteps int64, met *conc.Metrics) (*conc.Machine, conc.Stop) {
 	m := conc.NewMachine(g.ref)
 	m.Metrics = met
+	m.Inject = g.inj
+	m.Dec.Inject = g.inj
 	m.SetCover(g.rcov)
 	m.LoadProgram(p)
 	m.Input = append([]byte(nil), input...)
@@ -135,7 +139,7 @@ func (g *archGen) runConc(p *prog.Program, input []byte, stackBase uint64, maxSt
 // agreement) and whether the comparison was skipped (the engine refuses
 // to execute input-dependent instruction bytes — see docs/difftest.md).
 func (g *archGen) replayOne(p *prog.Program, input []byte, maxSteps int64, o *obs.Obs, met *conc.Metrics) (string, bool) {
-	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps, Obs: o, Cover: g.coll})
+	eng := core.NewEngine(g.subj, p, core.Options{InputBytes: len(input), MaxSteps: maxSteps, Obs: o, Cover: g.coll, Inject: g.inj})
 	rep, err := eng.ReplayConcrete(input)
 	if err != nil {
 		return "engine replay: " + err.Error(), false
@@ -181,6 +185,7 @@ func (r *run) replayCompare(g *archGen, subSeed int64) {
 		return "", nil
 	}
 
+	r.checkpoint()
 	if _, err := g.as.Assemble("gen.s", src); err != nil {
 		r.res.Checks[LayerConcSym]++
 		r.diverged(Divergence{
@@ -193,6 +198,7 @@ func (r *run) replayCompare(g *archGen, subSeed int64) {
 	p, _ := g.as.Assemble("gen.s", src)
 	for _, in := range inputs {
 		r.res.Checks[LayerConcSym]++
+		r.checkpoint()
 		d, skip := g.replayOne(p, in, r.opts.MaxSteps, r.engineObs(), r.concMet)
 		if skip {
 			r.res.Skipped[LayerConcSym]++
@@ -252,6 +258,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 	if !ok {
 		return
 	}
+	r.checkpoint()
 	p, err := g.as.Assemble("gen.s", src)
 	if err != nil {
 		r.res.Checks[LayerExplore]++
@@ -269,6 +276,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 	}
 
 	for _, w := range r.opts.Workers {
+		r.checkpoint()
 		eng := core.NewEngine(g.subj, p, core.Options{
 			InputBytes:      k,
 			MaxSteps:        r.opts.MaxSteps,
@@ -279,6 +287,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 			Seed:            subSeed,
 			Obs:             r.engineObs(),
 			Cover:           g.coll,
+			Inject:          g.inj,
 		})
 		rep, err := eng.Run()
 		if err != nil {

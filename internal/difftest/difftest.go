@@ -37,6 +37,7 @@ import (
 	"repro/arch"
 	"repro/internal/conc"
 	"repro/internal/cover"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/smt"
 )
@@ -115,6 +116,19 @@ type Options struct {
 	// NoProbes disables the probe layer (single-instruction programs
 	// synthesized for instructions no execution layer has reached).
 	NoProbes bool
+
+	// Chaos arms the deterministic fault-injection harness
+	// (internal/faultinject) across every decoder, engine and concrete
+	// machine the oracle builds: panics, solver budget/deadline expiry
+	// and malformed decodes are injected on a seed-derived schedule,
+	// and the run must survive with exact fault accounting — the
+	// robustness proof of docs/robustness.md. Comparisons perturbed by
+	// an injected fault are skipped, not reported as divergences.
+	Chaos bool
+
+	// ChaosPeriod is the average number of site calls between injected
+	// faults in chaos mode (default 2000; smaller is more hostile).
+	ChaosPeriod int
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +158,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDiverg == 0 {
 		o.MaxDiverg = 16
+	}
+	if o.Chaos && o.ChaosPeriod == 0 {
+		o.ChaosPeriod = 2000
 	}
 	return o
 }
@@ -194,6 +211,13 @@ type Result struct {
 	Skipped     map[string]int64 // comparisons skipped (see docs/difftest.md)
 	Divergences []Divergence
 	Elapsed     time.Duration
+
+	// Chaos-mode fault accounting (nil when chaos is off): Injected
+	// counts fired faults keyed "site/kind", Surfaced counts recovered
+	// injected panics keyed by site. The soak contract is
+	// Injected[site+"/panic"] == Surfaced[site] for every site.
+	Injected map[string]int64
+	Surfaced map[string]int64
 }
 
 // Summary renders the per-layer counters in a stable order.
@@ -218,6 +242,19 @@ func (r *Result) Summary() string {
 		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "  divergences: %d\n", len(r.Divergences))
+	if r.Injected != nil {
+		var total, panics, surfaced int64
+		for k, n := range r.Injected {
+			total += n
+			if strings.HasSuffix(k, "/panic") {
+				panics += n
+			}
+		}
+		for _, n := range r.Surfaced {
+			surfaced += n
+		}
+		fmt.Fprintf(&sb, "  chaos: %d faults injected (%d panics, %d surfaced)\n", total, panics, surfaced)
+	}
 	return sb.String()
 }
 
@@ -241,6 +278,11 @@ type run struct {
 	prevDiverg int
 	tracer     *obs.Tracer
 	traceDone  bool
+
+	// Chaos mode: the armed injector (nil otherwise) and the fired-count
+	// snapshot taken at the last checkpoint() — see chaos.go.
+	inj         *faultinject.Injector
+	checkFired0 int64
 }
 
 // engineObs is the telemetry handle handed to every engine the oracle
@@ -319,6 +361,14 @@ func Run(opts Options) (*Result, error) {
 		}
 		r.gens = append(r.gens, g)
 	}
+	if opts.Chaos {
+		r.inj = faultinject.New(opts.Seed, uint64(opts.ChaosPeriod)).EnableAll()
+		for _, g := range r.gens {
+			g.inj = r.inj
+			g.dec.Inject = r.inj
+			g.rdec.Inject = r.inj
+		}
+	}
 
 	master := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
@@ -364,6 +414,10 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if r.inj != nil {
+		res.Injected = r.inj.FiredCounts()
+		res.Surfaced = r.inj.SurfacedCounts()
+	}
 	return res, nil
 }
 
@@ -395,7 +449,18 @@ func (r *run) round(master *rand.Rand, round int) {
 }
 
 // diverged records a divergence, writing the corpus file if configured.
+// In chaos mode a divergence recorded while the injector fired (since
+// the enclosing check unit's checkpoint) is dropped as a skip: the
+// comparison was perturbed by an injected fault, so the disagreement
+// says nothing about the stacks.
 func (r *run) diverged(d Divergence) {
+	if r.perturbed() {
+		r.res.Skipped[d.Layer]++
+		if r.opts.Log != nil {
+			fmt.Fprintf(r.opts.Log, "difftest: chaos: dropped perturbed divergence [%s/%s]\n", d.Layer, orSolver(d.Arch))
+		}
+		return
+	}
 	if r.opts.CorpusDir != "" {
 		if err := os.MkdirAll(r.opts.CorpusDir, 0o755); err == nil {
 			name := fmt.Sprintf("%s-%s-%016x.txt", d.Layer, orSolver(d.Arch), uint64(d.Seed))

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bv"
 	"repro/internal/cover"
 	"repro/internal/decoder"
+	"repro/internal/faultinject"
 )
 
 // archGen holds everything the oracle derives from one architecture:
@@ -35,6 +36,10 @@ type archGen struct {
 	cov    *cover.ArchCov // subject stack: decode, asm, translate, sym
 	rcov   *cover.ArchCov // reference stack: decode (cross), conc
 	guided bool
+
+	// inj is the chaos-mode fault injector (nil otherwise); every
+	// engine and machine this generator spawns is armed with it.
+	inj *faultinject.Injector
 
 	scaf scaffold
 }

@@ -62,6 +62,7 @@ func (r *run) probeRound(g *archGen, subSeed int64) {
 		input := make([]byte, probeMaxSteps)
 		rg.Read(input)
 		r.res.Checks[LayerProbe]++
+		r.checkpoint()
 		d, skip := g.replayOne(p, input, probeMaxSteps, r.engineObs(), r.concMet)
 		if skip {
 			r.res.Skipped[LayerProbe]++

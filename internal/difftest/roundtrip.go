@@ -22,6 +22,11 @@ import (
 // embedded description.
 func (r *run) roundTrip(g *archGen, ins *adl.Insn, subSeed int64) {
 	r.res.Checks[LayerRoundTrip]++
+	// This layer drives the decoders directly (no engine or machine
+	// boundary in between), so in chaos mode it carries its own recover
+	// boundary and perturbation checkpoint.
+	r.checkpoint()
+	defer r.protect(LayerRoundTrip)
 	rg := rand.New(rand.NewSource(subSeed))
 	fail := func(format string, args ...interface{}) {
 		r.diverged(Divergence{

@@ -154,6 +154,10 @@ func randomEnv(r *rand.Rand, roots ...*expr.Expr) expr.Env {
 //     agree on the verdict.
 func (r *run) solverRound(subSeed int64) {
 	r.res.Checks[LayerSolver]++
+	// The solver layer builds its own solvers and is deliberately not
+	// injector-wired; the checkpoint keeps its divergence decisions
+	// independent of faults fired by earlier units in the round.
+	r.checkpoint()
 	rg := rand.New(rand.NewSource(subSeed))
 	b := expr.NewBuilder()
 	tg := newTermGen(b, rg)

@@ -1,0 +1,191 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilInjectorSafe: every hook on a nil injector is a no-op.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if k := in.Fire(SiteSolver); k != KindNone {
+		t.Fatalf("nil Fire = %v, want KindNone", k)
+	}
+	if in.Enable(SiteSolver, KindPanic) != nil {
+		t.Fatalf("nil Enable returned non-nil")
+	}
+	if in.Calls(SiteSolver) != 0 || in.Fired(SiteSolver, KindPanic) != 0 ||
+		in.Surfaced(SiteSolver) != 0 || in.TotalFired() != 0 {
+		t.Fatalf("nil accessors returned nonzero")
+	}
+	if in.FiredCounts() != nil || in.SurfacedCounts() != nil {
+		t.Fatalf("nil counts maps non-nil")
+	}
+}
+
+// TestDisarmedSiteNeverFires: an armed injector leaves unarmed sites alone.
+func TestDisarmedSiteNeverFires(t *testing.T) {
+	in := New(1, 1).Enable(SiteSolver, KindBudget)
+	for i := 0; i < 1000; i++ {
+		if k := in.Fire(SiteDecode); k != KindNone {
+			t.Fatalf("unarmed site fired %v", k)
+		}
+	}
+	if in.Calls(SiteDecode) != 0 {
+		t.Fatalf("unarmed site counted calls: %d", in.Calls(SiteDecode))
+	}
+}
+
+// drive fires a site n times, recovering injected panics and counting
+// outcomes by kind.
+func drive(in *Injector, site Site, n int) map[Kind]int {
+	got := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f, ok := Observe(r)
+					if !ok {
+						panic(r)
+					}
+					if f.Site != site {
+						panic("fault carries wrong site")
+					}
+					got[KindPanic]++
+				}
+			}()
+			if k := in.Fire(site); k != KindNone {
+				got[k]++
+			}
+		}()
+	}
+	return got
+}
+
+// TestDeterministicSchedule: same seed and period replay the exact same
+// firing sequence; a different seed gives a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	const n = 20000
+	run := func(seed int64) map[Kind]int {
+		in := New(seed, 100).EnableAll()
+		return drive(in, SiteSolver, n)
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatalf("no faults fired in %d calls at period 100", n)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("seed 7 not deterministic: kind %v %d vs %d", k, v, b[k])
+		}
+	}
+	// A different seed should fire on different calls. Compare the
+	// first firing call number.
+	firstFire := func(seed int64) uint64 {
+		in := New(seed, 100).Enable(SiteSolver, KindBudget)
+		for i := 0; i < n; i++ {
+			if in.Fire(SiteSolver) != KindNone {
+				return in.Calls(SiteSolver)
+			}
+		}
+		return 0
+	}
+	if f7, f8 := firstFire(7), firstFire(8); f7 == f8 {
+		t.Fatalf("seeds 7 and 8 fired first at the same call %d (suspicious mix)", f7)
+	}
+}
+
+// TestFiredAccountingExact: fired counters match observed outcomes
+// per kind, and every injected panic that is recovered via Observe is
+// counted as surfaced.
+func TestFiredAccountingExact(t *testing.T) {
+	in := New(3, 50).EnableAll()
+	got := drive(in, SiteSolver, 30000)
+	var want int64
+	for k, v := range got {
+		if f := in.Fired(SiteSolver, k); f != int64(v) {
+			t.Fatalf("kind %v: fired=%d observed=%d", k, f, v)
+		}
+		want += int64(v)
+	}
+	if in.TotalFired() != want {
+		t.Fatalf("TotalFired=%d want %d", in.TotalFired(), want)
+	}
+	if s := in.Surfaced(SiteSolver); s != int64(got[KindPanic]) {
+		t.Fatalf("surfaced=%d want %d", s, got[KindPanic])
+	}
+	fc := in.FiredCounts()
+	if fc["solver/panic"] != int64(got[KindPanic]) {
+		t.Fatalf("FiredCounts solver/panic=%d want %d", fc["solver/panic"], got[KindPanic])
+	}
+	sc := in.SurfacedCounts()
+	if got[KindPanic] > 0 && sc["solver"] != int64(got[KindPanic]) {
+		t.Fatalf("SurfacedCounts solver=%d want %d", sc["solver"], got[KindPanic])
+	}
+}
+
+// TestFireRatePlausible: over many calls the firing rate is within a
+// loose factor of 1/period.
+func TestFireRatePlausible(t *testing.T) {
+	const n, period = 200000, 100
+	in := New(11, period).Enable(SiteMem, KindBudget)
+	fired := 0
+	for i := 0; i < n; i++ {
+		if in.Fire(SiteMem) != KindNone {
+			fired++
+		}
+	}
+	want := n / period
+	if fired < want/3 || fired > want*3 {
+		t.Fatalf("fired %d times in %d calls at period %d, want ~%d", fired, n, period, want)
+	}
+}
+
+// TestConcurrentFire: concurrent Fire/Observe keep exact counts under
+// the race detector.
+func TestConcurrentFire(t *testing.T) {
+	in := New(5, 64).EnableAll()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := map[Kind]int64{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := drive(in, SiteSymStep, per)
+			mu.Lock()
+			for k, v := range local {
+				total[k] += int64(v)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if in.Calls(SiteSymStep) != workers*per {
+		t.Fatalf("calls=%d want %d", in.Calls(SiteSymStep), workers*per)
+	}
+	var sum int64
+	for k, v := range total {
+		if f := in.Fired(SiteSymStep, k); f != v {
+			t.Fatalf("kind %v fired=%d observed=%d", k, f, v)
+		}
+		sum += v
+	}
+	if in.TotalFired() != sum {
+		t.Fatalf("TotalFired=%d want %d", in.TotalFired(), sum)
+	}
+	if s := in.Surfaced(SiteSymStep); s != total[KindPanic] {
+		t.Fatalf("surfaced=%d want %d", s, total[KindPanic])
+	}
+}
+
+// TestObserveForeignPanic: Observe must not claim organic panics.
+func TestObserveForeignPanic(t *testing.T) {
+	if _, ok := Observe("boom"); ok {
+		t.Fatalf("Observe claimed a string panic")
+	}
+	if _, ok := Observe(nil); ok {
+		t.Fatalf("Observe claimed nil")
+	}
+}

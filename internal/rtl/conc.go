@@ -94,7 +94,7 @@ func (c *concCtx) stmt(s adl.Stmt) {
 		c.res.Fault = s.Msg
 		c.stop = true
 	default:
-		panic(fmt.Sprintf("rtl: unhandled statement %T", s))
+		panic(&UnsupportedError{Construct: fmt.Sprintf("%T", s), Evaluator: "conc"})
 	}
 }
 
@@ -131,7 +131,7 @@ func (c *concCtx) boolExpr(e adl.Expr) bool {
 			return c.boolExpr(e.X) || c.boolExpr(e.Y)
 		}
 	default:
-		panic(fmt.Sprintf("rtl: non-boolean condition %T", e))
+		panic(&UnsupportedError{Construct: fmt.Sprintf("%T", e), Evaluator: "conc"})
 	}
 }
 
@@ -210,6 +210,6 @@ func (c *concCtx) expr(e adl.Expr) uint64 {
 	case *adl.LoadExpr:
 		return c.st.Load(c.expr(e.Addr), e.Cells)
 	default:
-		panic(fmt.Sprintf("rtl: unhandled expression %T", e))
+		panic(&UnsupportedError{Construct: fmt.Sprintf("%T", e), Evaluator: "conc"})
 	}
 }

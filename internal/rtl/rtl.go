@@ -13,7 +13,23 @@ import (
 	"repro/internal/adl"
 	"repro/internal/cover"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 )
+
+// UnsupportedError is the panic payload raised when an evaluator meets
+// an RTL construct it has no case for — typically a new or malformed
+// ADL semantic line. It is typed (rather than a bare string panic) so
+// the engine's per-path recover boundary can attribute the fault to the
+// translate layer and name the offending construct; the run survives
+// with one dead path instead of crashing.
+type UnsupportedError struct {
+	Construct string // Go type of the unhandled IR node, e.g. "*adl.LoadExpr"
+	Evaluator string // "sym" or "conc"
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("rtl: %s evaluator: unsupported construct %s", e.Evaluator, e.Construct)
+}
 
 // Operands carries the decoded operand values of one instruction.
 type Operands map[string]uint64
@@ -64,12 +80,17 @@ type SymEval struct {
 	// Cov, when set, records translate-layer coverage: one hit per
 	// instruction whose RTL semantics this evaluator walks. Nil-safe.
 	Cov *cover.ArchCov
+
+	// Inject, when set, is the fault-injection hook for the translate
+	// site (docs/robustness.md). Nil-safe.
+	Inject *faultinject.Injector
 }
 
 // Exec runs the semantics of ins with the given operand values against
 // st, returning the control events raised. The caller must have set the
 // architecture's pc register to the instruction's own address beforehand.
 func (ev *SymEval) Exec(st SymState, ins *adl.Insn, ops Operands) []Event {
+	ev.Inject.Fire(faultinject.SiteTranslate)
 	ev.Cov.Hit(cover.LTranslate, ins)
 	ctx := &symCtx{ev: ev, st: st, ops: ops, locals: make([]*expr.Expr, adl.NumLocals(ins.Sem))}
 	ctx.stmts(ins.Sem, nil)
@@ -191,7 +212,7 @@ func (c *symCtx) stmt(s adl.Stmt, guard *expr.Expr) {
 		c.events = append(c.events, Event{Kind: EvFault, Guard: eff, Msg: s.Msg})
 		c.noteStop(eff)
 	default:
-		panic(fmt.Sprintf("rtl: unhandled statement %T", s))
+		panic(&UnsupportedError{Construct: fmt.Sprintf("%T", s), Evaluator: "sym"})
 	}
 }
 
@@ -289,7 +310,7 @@ func (c *symCtx) expr(e adl.Expr, guard *expr.Expr) *expr.Expr {
 	case *adl.LoadExpr:
 		return c.st.Load(c.expr(e.Addr, guard), e.Cells, guard)
 	default:
-		panic(fmt.Sprintf("rtl: unhandled expression %T", e))
+		panic(&UnsupportedError{Construct: fmt.Sprintf("%T", e), Evaluator: "sym"})
 	}
 }
 

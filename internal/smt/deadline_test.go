@@ -1,0 +1,81 @@
+package smt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/faultinject"
+)
+
+func testSolver() (*expr.Builder, *Solver) {
+	b := expr.NewBuilder()
+	return b, New(b)
+}
+
+// TestQueryDeadlineExpires: an already-elapsed deadline makes Check
+// return ErrDeadline (checked deterministically at Solve entry), and
+// the solver stays usable for the next query.
+func TestQueryDeadlineExpires(t *testing.T) {
+	b, s := testSolver()
+	x := b.Var(32, "x")
+	s.QueryDeadline = time.Nanosecond
+	// The 1ns deadline has elapsed by the time Solve's entry check
+	// runs (Linux monotonic clocks have ns resolution), so expiry is
+	// deterministic.
+	r, err := s.Check(b.Eq(x, b.Const(32, 7)))
+	if err != ErrDeadline || r != Unknown {
+		t.Fatalf("Check under 1ns deadline = (%v, %v), want (Unknown, ErrDeadline)", r, err)
+	}
+	if s.Stats.Deadlines != 1 {
+		t.Fatalf("Stats.Deadlines = %d, want 1", s.Stats.Deadlines)
+	}
+	// Clearing the deadline restores normal service on the same solver.
+	s.QueryDeadline = 0
+	r, err = s.Check(b.Eq(x, b.Const(32, 7)))
+	if err != nil || r != Sat {
+		t.Fatalf("Check after deadline cleared = (%v, %v), want (Sat, nil)", r, err)
+	}
+}
+
+// TestInjectedSolverFaults: KindBudget and KindDeadline injections at
+// the solver site surface as the matching sentinel errors before the
+// query cache is consulted.
+func TestInjectedSolverFaults(t *testing.T) {
+	b, s := testSolver()
+	x := b.Var(8, "x")
+	q := b.Eq(x, b.Const(8, 1))
+
+	// Period 1 with a single kind fires on every call.
+	s.Inject = faultinject.New(1, 1).Enable(faultinject.SiteSolver, faultinject.KindBudget)
+	if r, err := s.Check(q); err != ErrBudget || r != Unknown {
+		t.Fatalf("injected budget: got (%v, %v)", r, err)
+	}
+	s.Inject = faultinject.New(1, 1).Enable(faultinject.SiteSolver, faultinject.KindDeadline)
+	if r, err := s.Check(q); err != ErrDeadline || r != Unknown {
+		t.Fatalf("injected deadline: got (%v, %v)", r, err)
+	}
+	// Injected panics carry a *faultinject.Fault and are accounted via
+	// Observe at whichever recover boundary catches them.
+	s.Inject = faultinject.New(1, 1).Enable(faultinject.SiteSolver, faultinject.KindPanic)
+	func() {
+		defer func() {
+			f, ok := faultinject.Observe(recover())
+			if !ok {
+				t.Fatalf("expected injected panic")
+			}
+			if f.Site != faultinject.SiteSolver {
+				t.Fatalf("fault site = %v, want solver", f.Site)
+			}
+		}()
+		s.Check(q)
+	}()
+	if s.Inject.Surfaced(faultinject.SiteSolver) != 1 {
+		t.Fatalf("surfaced = %d, want 1", s.Inject.Surfaced(faultinject.SiteSolver))
+	}
+	// Disarmed again, the solver answers normally.
+	s.Inject = nil
+	if r, err := s.Check(q); err != nil || r != Sat {
+		t.Fatalf("after disarm: got (%v, %v)", r, err)
+	}
+}

@@ -13,6 +13,7 @@ package sat
 import (
 	"errors"
 	"sort"
+	"time"
 )
 
 // Lit is a literal: variable v (numbered from 0) appears positively as
@@ -84,6 +85,10 @@ func (r Result) String() string {
 // ErrBudget is returned when the solver exceeds its conflict budget.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
+// ErrDeadline is returned when a Solve call runs past the wall-clock
+// Deadline set on the solver.
+var ErrDeadline = errors.New("sat: solve deadline exceeded")
+
 // Stats collects cumulative solver counters.
 type Stats struct {
 	Decisions    int64
@@ -93,6 +98,7 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	Solves       int64
+	Deadlines    int64
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
@@ -124,7 +130,21 @@ type Solver struct {
 	// MaxConflicts bounds a single Solve call; 0 means unlimited.
 	MaxConflicts int64
 
+	// Deadline, when nonzero, bounds a single Solve call by wall
+	// clock. Expiry is checked on entry and every few hundred
+	// propagation rounds (the time.Now cost is amortized), returning
+	// ErrDeadline. A deadline at or before the entry check expires
+	// immediately.
+	Deadline time.Time
+
 	Stats Stats
+}
+
+// deadlineExpired reports whether the wall-clock deadline is set and
+// has passed. A deadline equal to now counts as expired, so callers can
+// force deterministic expiry with an already-elapsed deadline.
+func (s *Solver) deadlineExpired() bool {
+	return !s.Deadline.IsZero() && !time.Now().Before(s.Deadline)
 }
 
 // New returns an empty solver.
@@ -517,6 +537,12 @@ func (s *Solver) Solve(assumptions ...Lit) (Result, error) {
 	s.Stats.Solves++
 	defer s.backtrackTo(0)
 
+	if s.deadlineExpired() {
+		s.Stats.Deadlines++
+		return Unknown, ErrDeadline
+	}
+
+	ticks := uint(0)
 	restartIdx := int64(1)
 	conflictsAtStart := s.Stats.Conflicts
 	conflictBudget := int64(luby(restartIdx)) * 128
@@ -524,6 +550,10 @@ func (s *Solver) Solve(assumptions ...Lit) (Result, error) {
 	maxLearnts := int64(len(s.clauses)/3 + 1000)
 
 	for {
+		if ticks++; ticks&255 == 0 && s.deadlineExpired() {
+			s.Stats.Deadlines++
+			return Unknown, ErrDeadline
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++

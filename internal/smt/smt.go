@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/smt/sat"
 )
 
@@ -32,6 +33,11 @@ const (
 // budget.
 var ErrBudget = errors.New("smt: solver budget exhausted")
 
+// ErrDeadline is returned when a query runs past the configured
+// wall-clock QueryDeadline. The engine treats it exactly like ErrBudget
+// — an unknown result to degrade around — but counts it separately.
+var ErrDeadline = errors.New("smt: solver deadline exceeded")
+
 // Stats accumulates solver-facade counters across Check calls.
 type Stats struct {
 	Queries    int64
@@ -46,6 +52,9 @@ type Stats struct {
 	// queries answered without blasting or solving.
 	CacheHits   int64
 	CacheMisses int64
+	// Deadlines counts Check calls abandoned at the wall-clock
+	// QueryDeadline.
+	Deadlines int64
 }
 
 // Add accumulates o into s (used to merge per-worker solver stats).
@@ -59,6 +68,7 @@ func (s *Stats) Add(o Stats) {
 	s.Clauses += o.Clauses
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.Deadlines += o.Deadlines
 }
 
 // Solver is an incremental QF_BV solver over expressions from one Builder.
@@ -75,6 +85,17 @@ type Solver struct {
 
 	// MaxConflicts bounds each individual Check; 0 means unlimited.
 	MaxConflicts int64
+
+	// QueryDeadline, when nonzero, bounds each individual Check by wall
+	// clock: a query running longer returns Unknown with ErrDeadline.
+	// It is the per-query arm of the resource governor
+	// (docs/robustness.md); core.Options.SolverDeadline wires it.
+	QueryDeadline time.Duration
+
+	// Inject, when non-nil, is the fault-injection hook for the solver
+	// site (docs/robustness.md): it can make a Check panic, exhaust its
+	// budget, or expire its deadline on a deterministic schedule.
+	Inject *faultinject.Injector
 
 	// Cache, when non-nil, memoizes Check results across structurally
 	// identical queries. One cache may be shared by many solvers (each
@@ -139,6 +160,16 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 			panic("smt: Check with non-boolean assumption")
 		}
 	}
+	// Fault injection happens before the cache lookup so an injected
+	// failure exercises the same degradation paths a real solver
+	// failure would (a cache hit can never time out).
+	switch s.Inject.Fire(faultinject.SiteSolver) {
+	case faultinject.KindBudget:
+		return Unknown, ErrBudget
+	case faultinject.KindDeadline:
+		s.Stats.Deadlines++
+		return Unknown, ErrDeadline
+	}
 	var key cacheKey
 	if s.Cache != nil {
 		key = queryKey(assumptions)
@@ -180,6 +211,11 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 
 	s.Stats.Queries++
 	s.sat.MaxConflicts = s.MaxConflicts
+	if s.QueryDeadline > 0 {
+		s.sat.Deadline = time.Now().Add(s.QueryDeadline)
+	} else {
+		s.sat.Deadline = time.Time{}
+	}
 	t1 := time.Now()
 	r, err := s.sat.Solve(as...)
 	solve := time.Since(t1)
@@ -191,6 +227,10 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 		s.Obs.CheckSeconds.ObserveSince(t0)
 	}
 	if err != nil {
+		if err == sat.ErrDeadline {
+			s.Stats.Deadlines++
+			return Unknown, ErrDeadline
+		}
 		return Unknown, ErrBudget
 	}
 	switch r {
