@@ -2,12 +2,13 @@
 # detector over the packages with concurrent machinery, short
 # fixed-budget smokes of the fuzz targets and the differential oracle,
 # the end-to-end telemetry smoke (docs/observability.md), the
-# semantic-coverage gate (docs/coverage.md), and the chaos smoke of the
-# fault-isolation layer (docs/robustness.md).
+# semantic-coverage gate (docs/coverage.md), the chaos smoke of the
+# fault-isolation layer (docs/robustness.md), and the compiled-vs-
+# interpreted equivalence smoke (docs/compile.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke
 
 build:
 	go build ./...
@@ -19,7 +20,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc
 
 bench:
 	go test -bench=. -benchmem
@@ -50,6 +51,13 @@ obs-smoke:
 # exact fault accounting, under the race detector.
 chaos-smoke:
 	go test -race -run 'TestChaosSmoke' -count=1 ./internal/difftest
+
+# Compiled-vs-interpreted smoke (docs/compile.md): a fixed-budget run of
+# the oracle's compile layer over every embedded ADL — concrete machine,
+# engine replay and full exploration must agree exactly between compiled
+# and interpreted execution, including one run under chaos injection.
+compile-smoke:
+	go test -run 'TestCompileSmoke' -count=1 ./internal/difftest
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

@@ -6,6 +6,7 @@
 //
 //	difftest [-duration 30s | -rounds N] [-seed N] [-arch a,b] \
 //	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] \
+//	         [-layers roundtrip,concsym,explore,solver,probe,compile] \
 //	         [-cover] [-cover-out cover.json] [-cover-guided=false] \
 //	         [-cover-target 0.9] [-cover-min 0.9] \
 //	         [-chaos] [-chaos-period N] \
@@ -70,6 +71,7 @@ func main() {
 	coverGuided := flag.Bool("cover-guided", true, "bias generation toward uncovered instructions (with -cover)")
 	coverTarget := flag.Float64("cover-target", 0, "run until every architecture's coverage floor reaches this fraction (implies -cover)")
 	coverMin := flag.Float64("cover-min", 0, "exit 4 when any architecture's final coverage floor is below this fraction (implies -cover)")
+	layers := flag.String("layers", "", "comma-separated oracle layers to run (roundtrip,concsym,explore,solver,probe,compile; default all)")
 	chaos := flag.Bool("chaos", false, "arm the fault injector at every site (docs/robustness.md)")
 	chaosPeriod := flag.Int("chaos-period", 0, "approximate calls between injected faults per site (default 2000, implies -chaos)")
 	verbose := flag.Bool("v", false, "log per-round progress")
@@ -121,6 +123,9 @@ func main() {
 	}
 	if *arches != "" {
 		opts.Arches = strings.Split(*arches, ",")
+	}
+	if *layers != "" {
+		opts.Layers = strings.Split(*layers, ",")
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {

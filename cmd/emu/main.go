@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	emu [-input <string>] [-steps N] [-trace] [-cover] [-cover-out f] <image.rimg>
+//	emu [-input <string>] [-steps N] [-trace] [-no-compile] [-cover] [-cover-out f] <image.rimg>
+//
+// Execution runs through the semantics compiler and superblock cache by
+// default (docs/compile.md); -no-compile interprets every instruction.
 //
 // -cover and -cover-out measure semantic coverage of the loaded ADL on
 // the concrete layer (docs/coverage.md): the JSON report goes to the
@@ -27,6 +30,7 @@ func main() {
 	input := flag.String("input", "", "bytes fed to the read trap")
 	steps := flag.Int64("steps", 1_000_000, "instruction budget")
 	trace := flag.Bool("trace", false, "print each executed instruction")
+	noCompile := flag.Bool("no-compile", false, "disable the semantics compiler and superblocks (docs/compile.md)")
 	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
 	coverOut := flag.String("cover-out", "", "write the coverage report as JSON to this file (implies -cover)")
 	flag.Parse()
@@ -50,6 +54,7 @@ func main() {
 		os.Exit(1)
 	}
 	m := conc.NewMachine(a)
+	m.NoCompile = *noCompile
 	var coll *cover.Collector
 	if *coverOn || *coverOut != "" {
 		coll = cover.New()

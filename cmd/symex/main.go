@@ -5,9 +5,14 @@
 // Usage:
 //
 //	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail]
-//	      [-solver-deadline 2s] [-state-budget N]
+//	      [-solver-deadline 2s] [-state-budget N] [-no-compile]
 //	      [-cover] [-cover-out cover.json] [-obs-addr :8089] [-trace-out trace.json]
 //	      <image.rimg>
+//
+// Execution runs through the semantics compiler and superblock cache by
+// default (docs/compile.md); -no-compile is the interpretation ablation.
+// The compile/superblock summary goes to stderr with the other
+// diagnostics.
 //
 // The per-path summary goes to stdout; worker and cache statistics go to
 // stderr so stdout stays pipeable. -obs-addr serves live Prometheus
@@ -51,6 +56,7 @@ func main() {
 	seed := flag.String("seed", "", "seed input for -concolic")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = all CPUs)")
 	noCache := flag.Bool("no-query-cache", false, "disable the shared solver-query cache")
+	noCompile := flag.Bool("no-compile", false, "disable the semantics compiler and superblocks (docs/compile.md); interpret every step")
 	solverDeadline := flag.Duration("solver-deadline", 0, "wall-clock budget per solver query; expiry over-approximates (docs/robustness.md)")
 	stateBudget := flag.Int("state-budget", 0, "per-state symbolic term budget; oversized states are killed gracefully")
 	obsAddr := flag.String("obs-addr", "", "serve live /metrics, /coverage, expvar and pprof on this address")
@@ -165,6 +171,7 @@ func main() {
 		Strategy:       strat,
 		Workers:        *workers,
 		NoQueryCache:   *noCache,
+		NoCompile:      *noCompile,
 		SolverDeadline: *solverDeadline,
 		MaxStateTerms:  *stateBudget,
 		Obs:            o,
@@ -223,6 +230,16 @@ func main() {
 	if h, m := r.Stats.Solver.CacheHits, r.Stats.Solver.CacheMisses; h+m > 0 {
 		fmt.Fprintf(os.Stderr, "query cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			h, m, 100*float64(h)/float64(h+m))
+	}
+	// Semantics-compiler statistics (docs/compile.md): how much of the
+	// run executed through compiled units and superblocks.
+	if r.Stats.CompiledUnits > 0 {
+		share := 0.0
+		if r.Stats.Instructions > 0 {
+			share = 100 * float64(r.Stats.SuperblockInsns) / float64(r.Stats.Instructions)
+		}
+		fmt.Fprintf(os.Stderr, "compile: %d units, %d superblocks, %d hits, %d insns in superblocks (%.0f%% of run)\n",
+			r.Stats.CompiledUnits, r.Stats.Superblocks, r.Stats.SuperblockHits, r.Stats.SuperblockInsns, share)
 	}
 	for _, ws := range r.Stats.WorkerStats {
 		util := 0.0

@@ -13,7 +13,7 @@ import (
 	"repro/internal/smt"
 )
 
-func build(t *testing.T, src string) *prog.Program {
+func build(t testing.TB, src string) *prog.Program {
 	t.Helper()
 	p, err := asm.New(arch.MustLoad("tiny32")).Assemble("test.s", src)
 	if err != nil {

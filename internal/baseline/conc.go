@@ -1,0 +1,249 @@
+// Hand-written concrete tiny32 emulator: the comparison point for the
+// semantics compiler's emulation-speed claim (docs/compile.md). This is
+// the emulator one would write directly against the ISA manual — a
+// fetch/decode/execute switch over hard-coded encodings with native
+// uint64 arithmetic — so the compiled ADL-generated emulator's rate is
+// measured against it, not against the (much slower) RTL interpreter.
+// It mirrors internal/conc's observable behaviour: same trap
+// convention, same stop kinds, same fault messages.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bv"
+	"repro/internal/prog"
+)
+
+// ConcStop mirrors internal/conc's stop reasons for the hand-written
+// emulator.
+type ConcStop struct {
+	Kind  string // "halt", "exit", "steps", "decode", "fault"
+	PC    uint64
+	Fault string
+}
+
+// ConcMachine is the hand-written concrete tiny32 machine.
+type ConcMachine struct {
+	Regs   [16]uint64
+	PC     uint64
+	Mem    map[uint64]byte
+	Input  []byte
+	Output []byte
+	Steps  int64
+
+	inPos int
+}
+
+// NewConcMachine builds the machine for a tiny32 program image.
+func NewConcMachine(p *prog.Program) (*ConcMachine, error) {
+	if p.Arch != "tiny32" {
+		return nil, fmt.Errorf("baseline emulator is hard-coded for tiny32, got %q", p.Arch)
+	}
+	m := &ConcMachine{Mem: make(map[uint64]byte), PC: p.Entry}
+	for _, s := range p.Segments {
+		for i, b := range s.Data {
+			m.Mem[bv.Trunc(s.Addr+uint64(i), 32)] = b
+		}
+	}
+	return m, nil
+}
+
+func (m *ConcMachine) load(addr uint64, n uint) uint64 {
+	var v uint64
+	for i := int(n) - 1; i >= 0; i-- { // little endian
+		v = v<<8 | uint64(m.Mem[bv.Trunc(addr+uint64(i), 32)])
+	}
+	return v
+}
+
+func (m *ConcMachine) store(addr uint64, n uint, v uint64) {
+	for i := uint(0); i < n; i++ {
+		m.Mem[bv.Trunc(addr+uint64(i), 32)] = byte(v >> (8 * i))
+	}
+}
+
+// Run executes up to maxSteps instructions.
+func (m *ConcMachine) Run(maxSteps int64) ConcStop {
+	for m.Steps < maxSteps {
+		pc := m.PC
+		word := m.load(pc, 4)
+		m.Steps++
+
+		op := word >> 24 & 0xff
+		rd := word >> 20 & 0xf
+		ra := word >> 16 & 0xf
+		rb := word >> 12 & 0xf
+		imm := word & 0xffff
+		target := word & 0xffffff
+
+		simm := bv.Trunc(bv.SExt(imm, 16), 32)
+		r := &m.Regs
+		set := func(v uint64) { r[rd] = bv.Trunc(v, 32) }
+		div := func() (uint64, bool) {
+			if r[rb] == 0 {
+				return 0, false
+			}
+			return r[rb], true
+		}
+
+		next := pc + 4
+		switch op {
+		case opHalt:
+			return ConcStop{Kind: "halt", PC: pc}
+		case opTrap:
+			switch imm {
+			case 0:
+				return ConcStop{Kind: "exit", PC: pc}
+			case 1:
+				if m.inPos < len(m.Input) {
+					r[1] = uint64(m.Input[m.inPos])
+					m.inPos++
+				} else {
+					r[1] = bv.Mask(32)
+				}
+			case 2:
+				m.Output = append(m.Output, byte(r[1]))
+			default:
+				return ConcStop{Kind: "fault", PC: pc, Fault: fmt.Sprintf("unknown trap %d", imm)}
+			}
+		case opAdd:
+			set(r[ra] + r[rb])
+		case opSub:
+			set(r[ra] - r[rb])
+		case opMul:
+			set(r[ra] * r[rb])
+		case opAnd:
+			set(r[ra] & r[rb])
+		case opOr:
+			set(r[ra] | r[rb])
+		case opXor:
+			set(r[ra] ^ r[rb])
+		case opSll:
+			set(bv.Shl(r[ra], r[rb], 32))
+		case opSrl:
+			set(bv.LShr(r[ra], r[rb], 32))
+		case opSra:
+			set(bv.AShr(r[ra], r[rb], 32))
+		case opDivu:
+			d, ok := div()
+			if !ok {
+				return ConcStop{Kind: "fault", PC: pc, Fault: "division by zero"}
+			}
+			set(r[ra] / d)
+		case opDivs:
+			d, ok := div()
+			if !ok {
+				return ConcStop{Kind: "fault", PC: pc, Fault: "division by zero"}
+			}
+			set(bv.SDiv(r[ra], d, 32))
+		case opRemu:
+			d, ok := div()
+			if !ok {
+				return ConcStop{Kind: "fault", PC: pc, Fault: "division by zero"}
+			}
+			set(r[ra] % d)
+		case opRems:
+			d, ok := div()
+			if !ok {
+				return ConcStop{Kind: "fault", PC: pc, Fault: "division by zero"}
+			}
+			set(bv.SRem(r[ra], d, 32))
+		case opSltu:
+			set(boolBit(r[ra] < r[rb]))
+		case opSlts:
+			set(boolBit(bv.SLt(r[ra], r[rb], 32)))
+		case opMov:
+			set(r[ra])
+		case opNot:
+			set(^r[ra])
+		case opAddi:
+			set(r[ra] + simm)
+		case opAndi:
+			set(r[ra] & imm)
+		case opOri:
+			set(r[ra] | imm)
+		case opXori:
+			set(r[ra] ^ imm)
+		case opSlli:
+			set(bv.Shl(r[ra], imm, 32))
+		case opSrli:
+			set(bv.LShr(r[ra], imm, 32))
+		case opSrai:
+			set(bv.AShr(r[ra], imm, 32))
+		case opLi:
+			set(simm)
+		case opLih:
+			set(imm << 16)
+		case opSltiu:
+			set(boolBit(r[ra] < simm))
+		case opSltis:
+			set(boolBit(bv.SLt(r[ra], simm, 32)))
+		case opLw:
+			set(m.load(bv.Trunc(r[ra]+simm, 32), 4))
+		case opLh:
+			set(bv.Trunc(bv.SExt(m.load(bv.Trunc(r[ra]+simm, 32), 2), 16), 32))
+		case opLhu:
+			set(m.load(bv.Trunc(r[ra]+simm, 32), 2))
+		case opLb:
+			set(bv.Trunc(bv.SExt(m.load(bv.Trunc(r[ra]+simm, 32), 1), 8), 32))
+		case opLbu:
+			set(m.load(bv.Trunc(r[ra]+simm, 32), 1))
+		case opSw:
+			m.store(bv.Trunc(r[ra]+simm, 32), 4, r[rd])
+		case opSh:
+			m.store(bv.Trunc(r[ra]+simm, 32), 2, r[rd])
+		case opSb:
+			m.store(bv.Trunc(r[ra]+simm, 32), 1, r[rd])
+		case opBeq:
+			if r[rd] == r[ra] {
+				next = pc + simm
+			}
+		case opBne:
+			if r[rd] != r[ra] {
+				next = pc + simm
+			}
+		case opBlt:
+			if bv.SLt(r[rd], r[ra], 32) {
+				next = pc + simm
+			}
+		case opBltu:
+			if r[rd] < r[ra] {
+				next = pc + simm
+			}
+		case opBge:
+			if !bv.SLt(r[rd], r[ra], 32) {
+				next = pc + simm
+			}
+		case opBgeu:
+			if r[rd] >= r[ra] {
+				next = pc + simm
+			}
+		case opJmp:
+			next = pc + bv.SExt(target, 24)
+		case opJal:
+			r[15] = bv.Trunc(pc+4, 32)
+			next = pc + bv.SExt(target, 24)
+		case opJr:
+			next = r[ra]
+		case opJalr:
+			r[rd] = bv.Trunc(pc+4, 32)
+			next = r[ra]
+		default:
+			return ConcStop{Kind: "decode", PC: pc, Fault: fmt.Sprintf("unknown opcode %#x", op)}
+		}
+		m.PC = bv.Trunc(next, 32)
+	}
+	return ConcStop{Kind: "steps", PC: m.PC}
+}
+
+// opRems is outside the hand-written symbolic engine's table; the
+// concrete emulator covers it for workload parity with internal/conc.
+const opRems = 0x4a
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

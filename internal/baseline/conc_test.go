@@ -1,0 +1,93 @@
+package baseline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/baseline"
+	"repro/internal/conc"
+	"repro/internal/harness"
+)
+
+// TestConcMatchesGenerated cross-checks the hand-written emulator
+// against the ADL-generated one on the Table 3 workloads and an I/O
+// program: same stop, same step count, same registers and output.
+func TestConcMatchesGenerated(t *testing.T) {
+	cases := []struct {
+		name, src string
+		input     []byte
+	}{
+		{"sort", harness.Throughput("sort", 16), nil},
+		{"checksum", harness.Throughput("checksum", 64), nil},
+		{"echo", `
+_start:
+	li  r5, -1
+echo:
+	trap 1
+	beq r1, r5, done
+	trap 2
+	jmp echo
+done:
+	trap 0
+`, []byte("abc")},
+	}
+	a := arch.MustLoad("tiny32")
+	for _, c := range cases {
+		p := build(t, c.src)
+
+		hand, err := baseline.NewConcMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hand.Input = c.input
+		hstop := hand.Run(1 << 20)
+
+		gen := conc.NewMachine(a)
+		gen.LoadProgram(p)
+		gen.Input = c.input
+		gstop := gen.Run(1 << 20)
+
+		if hstop.Kind != gstop.Kind.String() || hstop.PC != gstop.PC {
+			t.Errorf("%s: stop %v vs %v", c.name, hstop, gstop)
+		}
+		if hand.Steps != gen.Steps {
+			t.Errorf("%s: steps %d vs %d", c.name, hand.Steps, gen.Steps)
+		}
+		if !bytes.Equal(hand.Output, gen.Output) {
+			t.Errorf("%s: output %v vs %v", c.name, hand.Output, gen.Output)
+		}
+		regs := gen.RegSnapshot()
+		for i := 0; i < 16; i++ {
+			if hand.Regs[i] != regs[i] {
+				t.Errorf("%s: r%d = %#x vs %#x", c.name, i, hand.Regs[i], regs[i])
+			}
+		}
+	}
+}
+
+// BenchmarkHandWrittenEmulator is the Table 3 reference rate: what a
+// dedicated, non-retargetable emulator achieves on the same workloads.
+func BenchmarkHandWrittenEmulator(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		n    int
+	}{{"sort", 24}, {"checksum", 400}} {
+		p := build(b, harness.Throughput(w.name, w.n))
+		b.Run(w.name, func(b *testing.B) {
+			var steps int64
+			for b.Loop() {
+				m, err := baseline.NewConcMachine(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stop := m.Run(1 << 20)
+				if stop.Kind != "halt" {
+					b.Fatalf("stop %v", stop)
+				}
+				steps = m.Steps
+			}
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "insns/s")
+		})
+	}
+}

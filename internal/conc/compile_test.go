@@ -1,0 +1,265 @@
+package conc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/conc"
+	"repro/internal/harness"
+)
+
+// runModes executes one program in the three execution modes — compiled
+// Run (superblocks), compiled Step loop (no superblocks), interpreted
+// Run — and returns the machines and stops for comparison.
+func runModes(t *testing.T, a string, src string, input []byte, maxSteps int64) (ms []*conc.Machine, stops []conc.Stop) {
+	t.Helper()
+	ar := arch.MustLoad(a)
+	p, err := asm.New(ar).Assemble("compile_test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode := 0; mode < 3; mode++ {
+		m := conc.NewMachine(ar)
+		m.NoCompile = mode == 2
+		m.LoadProgram(p)
+		m.Input = input
+		var stop conc.Stop
+		if mode == 1 {
+			stop = conc.Stop{Kind: conc.StopSteps, PC: m.PC()}
+			for i := int64(0); i < maxSteps; i++ {
+				if s := m.Step(); s != nil {
+					stop = *s
+					break
+				}
+			}
+		} else {
+			stop = m.Run(maxSteps)
+		}
+		ms = append(ms, m)
+		stops = append(stops, stop)
+	}
+	return ms, stops
+}
+
+// diffMachines compares the complete observable outcome of two runs.
+func diffMachines(x, y *conc.Machine, sx, sy conc.Stop) string {
+	if sx.Kind != sy.Kind || sx.PC != sy.PC || sx.Fault != sy.Fault {
+		return fmt.Sprintf("stop %v vs %v", sx, sy)
+	}
+	if x.Steps != y.Steps {
+		return fmt.Sprintf("steps %d vs %d", x.Steps, y.Steps)
+	}
+	if string(x.Output) != string(y.Output) {
+		return fmt.Sprintf("output %q vs %q", x.Output, y.Output)
+	}
+	xr, yr := x.RegSnapshot(), y.RegSnapshot()
+	for i := range xr {
+		if xr[i] != yr[i] {
+			return fmt.Sprintf("reg %d: %#x vs %#x", i, xr[i], yr[i])
+		}
+	}
+	xm, ym := x.MemSnapshot(), y.MemSnapshot()
+	for a, v := range xm {
+		if ym[a] != v {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", a, v, ym[a])
+		}
+	}
+	for a, v := range ym {
+		if xm[a] != v {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", a, xm[a], v)
+		}
+	}
+	return ""
+}
+
+// TestCompiledMatchesInterpreted runs representative programs on every
+// architecture in all three execution modes and requires identical
+// machines at the end.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	cases := []struct {
+		arch, src string
+		input     []byte
+	}{
+		{"tiny32", harness.Throughput("sort", 12), nil},
+		{"tiny32", harness.Throughput("checksum", 50), nil},
+		{"tiny32", `
+_start:
+	trap 1          // read -> r1
+	addi r1, r1, 1
+	trap 2          // write r1
+	trap 0          // exit
+`, []byte{41}},
+		{"rv32i", `
+_start:
+	addi t0, zero, 0
+	addi t1, zero, 50
+loop:
+	addi t0, t0, 3
+	xori t0, t0, 0x55
+	addi t1, t1, -1
+	bne  t1, zero, loop
+	ebreak
+`, nil},
+		{"m16", `
+_start:
+	ldi g0, 0
+	ldi g2, 50
+	ldi g3, 0x55
+loop:
+	addi g0, 3
+	xor  g0, g3
+	addi g2, -1
+	cmpi g2, 0
+	bne  loop
+	halt
+`, nil},
+		{"tiny64", `
+_start:
+	li r1, 0
+	li r2, 50
+loop:
+	addi r1, r1, 7
+	xori r1, r1, 0x3c
+	addi r2, r2, -1
+	bne  r2, r0, loop
+	halt
+`, nil},
+	}
+	for i, c := range cases {
+		ms, stops := runModes(t, c.arch, c.src, c.input, 1<<20)
+		for mode := 1; mode < 3; mode++ {
+			if d := diffMachines(ms[0], ms[mode], stops[0], stops[mode]); d != "" {
+				t.Errorf("case %d (%s) mode %d diverged: %s", i, c.arch, mode, d)
+			}
+		}
+		if ms[0].CompileStats.Units == 0 {
+			t.Errorf("case %d (%s): compiled run compiled no units", i, c.arch)
+		}
+		if ms[2].CompileStats.Units != 0 {
+			t.Errorf("case %d (%s): NoCompile run compiled %d units", i, c.arch, ms[2].CompileStats.Units)
+		}
+	}
+}
+
+// TestSelfModifyingCodeInvalidation executes an instruction once, then
+// overwrites it in place and loops back over it: a stale compiled unit
+// would replay the old semantics. The write lands mid-superblock, so it
+// also exercises the in-flight superblock break.
+func TestSelfModifyingCodeInvalidation(t *testing.T) {
+	src := `
+_start:
+	li r3, src
+	lw r2, 0(r3)
+	li r4, patch
+	li r5, 0
+again:
+patch:
+	addi r1, r0, 7
+	bne r5, r0, done
+	addi r5, r5, 1
+	sw r2, 0(r4)
+	addi r6, r6, 1
+	jmp again
+done:
+	halt
+src:
+	addi r1, r0, 99
+`
+	ms, stops := runModes(t, "tiny32", src, nil, 1000)
+	for mode := 1; mode < 3; mode++ {
+		if d := diffMachines(ms[0], ms[mode], stops[0], stops[mode]); d != "" {
+			t.Fatalf("mode %d diverged: %s", mode, d)
+		}
+	}
+	if stops[0].Kind != conc.StopHalt {
+		t.Fatalf("stop %v, want halt", stops[0])
+	}
+	// The patched instruction must have taken effect: r1 = 99, not 7.
+	if got := ms[0].RegSnapshot()[1]; got != 99 {
+		t.Fatalf("r1 = %d, want 99 (stale compiled unit executed)", got)
+	}
+	// Both compiled modes must have detected the self-modification.
+	for mode := 0; mode < 2; mode++ {
+		if ms[mode].CompileStats.Flushes == 0 {
+			t.Errorf("mode %d: no cache flush recorded", mode)
+		}
+	}
+}
+
+// TestSuperblockStats checks that hot straightline runs actually execute
+// through the superblock path.
+func TestSuperblockStats(t *testing.T) {
+	ms, _ := runModes(t, "tiny32", harness.Throughput("checksum", 50), nil, 1<<20)
+	cs := ms[0].CompileStats
+	if cs.Blocks == 0 || cs.BlockHits == 0 || cs.BlockInsns == 0 {
+		t.Fatalf("superblocks unused: %+v", cs)
+	}
+	// The checksum loop body is straightline; the bulk of all executed
+	// instructions must have gone through superblocks.
+	if cs.BlockInsns*2 < ms[0].Steps {
+		t.Errorf("only %d of %d instructions in superblocks", cs.BlockInsns, ms[0].Steps)
+	}
+	// The Step-loop mode never chains superblocks.
+	if ms[1].CompileStats.BlockHits != 0 {
+		t.Errorf("step loop recorded %d superblock hits", ms[1].CompileStats.BlockHits)
+	}
+}
+
+// reloadFlushes pins LoadProgram's cache reset: compiled units from a
+// previous image must not survive into the next.
+func TestLoadProgramFlushesCompiledCode(t *testing.T) {
+	ar := arch.MustLoad("tiny32")
+	p1, err := asm.New(ar).Assemble("p1.s", "_start:\n\tli r1, 1\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := asm.New(ar).Assemble("p2.s", "_start:\n\tli r1, 2\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := conc.NewMachine(ar)
+	m.LoadProgram(p1)
+	if s := m.Run(10); s.Kind != conc.StopHalt {
+		t.Fatalf("run 1: %v", s)
+	}
+	m.LoadProgram(p2)
+	if s := m.Run(10); s.Kind != conc.StopHalt {
+		t.Fatalf("run 2: %v", s)
+	}
+	if got := m.RegSnapshot()[1]; got != 2 {
+		t.Fatalf("r1 = %d after reload, want 2", got)
+	}
+}
+
+// BenchmarkCompiledVsInterp tracks the emulator-level speedup on the
+// Table 3 workloads (sort, checksum) with the ablation interleaved.
+func BenchmarkCompiledVsInterp(b *testing.B) {
+	a := arch.MustLoad("tiny32")
+	for _, w := range []struct {
+		name string
+		n    int
+	}{{"sort", 24}, {"checksum", 400}} {
+		p, err := asm.New(a).Assemble(w.name+".s", harness.Throughput(w.name, w.n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, noCompile bool) {
+			var steps int64
+			for b.Loop() {
+				m := conc.NewMachine(a)
+				m.NoCompile = noCompile
+				m.LoadProgram(p)
+				stop := m.Run(1 << 20)
+				if stop.Kind != conc.StopHalt {
+					b.Fatalf("stop %v", stop)
+				}
+				steps = m.Steps
+			}
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "insns/s")
+		}
+		b.Run(w.name+"/compiled", func(b *testing.B) { run(b, false) })
+		b.Run(w.name+"/interp", func(b *testing.B) { run(b, true) })
+	}
+}

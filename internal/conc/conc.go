@@ -123,6 +123,19 @@ type Machine struct {
 	// decode-layer hook is attached in the same motion. Nil disables.
 	Cov *cover.ArchCov
 
+	// NoCompile disables the semantics compiler and superblock caching
+	// (ablation): every step re-fetches, re-decodes and re-interprets
+	// the RTL AST, as before PR 6 (docs/compile.md).
+	NoCompile bool
+
+	// CompileStats counts compiled units, superblocks and cache flushes
+	// for this machine (the registry metrics mirror it).
+	CompileStats CompileStats
+
+	code    *codeCache  // per-address compiled units and superblocks
+	scratch rtl.Scratch // reusable locals buffer (also for the interpreted path)
+	curPC   uint64      // instruction under execution (panic attribution in superblocks)
+
 	sysArg *adl.Reg
 	sysRet *adl.Reg
 }
@@ -132,6 +145,13 @@ type Metrics struct {
 	Steps      *obs.Counter   // conc_steps_total
 	RunSeconds *obs.Histogram // conc_run_seconds
 	Faults     *obs.Counter   // fault_paths_total{layer="conc"}
+
+	// Semantics-compiler series (docs/compile.md).
+	CompileUnits     *obs.Counter   // compile_units_total{layer="conc"}
+	SuperblockBuilds *obs.Counter   // superblock_builds_total{layer="conc"}
+	SuperblockHits   *obs.Counter   // superblock_hits_total{layer="conc"}
+	SuperblockInsns  *obs.Counter   // superblock_insns_total{layer="conc"}
+	SuperblockLen    *obs.Histogram // superblock_len{layer="conc"}
 }
 
 // NewMetrics resolves the emulator metric set against a registry;
@@ -141,9 +161,14 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		return nil
 	}
 	return &Metrics{
-		Steps:      r.Counter("conc_steps_total", "Instructions executed by the concrete emulator"),
-		RunSeconds: r.Histogram("conc_run_seconds", "Concrete emulator Run latency", obs.TimeBuckets),
-		Faults:     r.Counter(`fault_paths_total{layer="conc"}`, "Paths or runs ended by a recovered panic, by fault layer"),
+		Steps:            r.Counter("conc_steps_total", "Instructions executed by the concrete emulator"),
+		RunSeconds:       r.Histogram("conc_run_seconds", "Concrete emulator Run latency", obs.TimeBuckets),
+		Faults:           r.Counter(`fault_paths_total{layer="conc"}`, "Paths or runs ended by a recovered panic, by fault layer"),
+		CompileUnits:     r.Counter(`compile_units_total{layer="conc"}`, "Instructions compiled to closure chains"),
+		SuperblockBuilds: r.Counter(`superblock_builds_total{layer="conc"}`, "Superblocks constructed"),
+		SuperblockHits:   r.Counter(`superblock_hits_total{layer="conc"}`, "Superblock executions"),
+		SuperblockInsns:  r.Counter(`superblock_insns_total{layer="conc"}`, "Instructions executed inside superblocks"),
+		SuperblockLen:    r.Histogram(`superblock_len{layer="conc"}`, "Superblock chain length at build time", obs.SuperblockLenBuckets),
 	}
 }
 
@@ -173,6 +198,7 @@ func (m *Machine) LoadProgram(p *prog.Program) {
 			m.mem[s.Addr+uint64(i)] = b
 		}
 	}
+	m.flushCode() // the new image invalidates previously compiled code
 	m.WriteReg(m.Arch.PC, p.Entry)
 	m.pcWritten = false
 }
@@ -213,6 +239,7 @@ func (m *Machine) Load(addr uint64, cells uint) uint64 {
 
 // Store implements rtl.ConcState.
 func (m *Machine) Store(addr uint64, cells uint, val uint64) {
+	m.noteStore(addr, cells) // self-modification guard for compiled code
 	if m.Arch.Endian == adl.Little {
 		for i := uint(0); i < cells; i++ {
 			m.mem[m.trunc(addr+uint64(i))] = byte(val >> (8 * i))
@@ -261,13 +288,22 @@ func (m *Machine) Step() (done *Stop) {
 		}
 	}()
 	m.Inject.Fire(faultinject.SiteConcStep)
+	if !m.NoCompile {
+		// Compiled single step: per-address cached decode + closure
+		// chain. Run additionally chains superblocks (compile.go).
+		u, stop := m.unitAt(pc)
+		if stop != nil {
+			return stop
+		}
+		return m.execUnit(pc, u)
+	}
 	buf := m.fetch(pc)
 	dec, err := m.Dec.Decode(buf)
 	if err != nil {
 		return &Stop{Kind: StopDecode, PC: pc, Err: err}
 	}
 	m.pcWritten = false
-	res := rtl.ConcExec(m, dec.Insn, dec.Ops)
+	res := rtl.ConcExecScratch(m, dec.Insn, dec.Ops, &m.scratch)
 	m.Steps++
 	if m.Cov != nil {
 		m.Cov.Hit(cover.LConc, dec.Insn)
@@ -366,10 +402,36 @@ func (m *Machine) Run(maxSteps int64) Stop {
 			m.Metrics.RunSeconds.ObserveSince(t0)
 		}()
 	}
-	for i := int64(0); i < maxSteps; i++ {
-		if s := m.Step(); s != nil {
+	if m.NoCompile {
+		for i := int64(0); i < maxSteps; i++ {
+			if s := m.Step(); s != nil {
+				return *s
+			}
+		}
+		return Stop{Kind: StopSteps, PC: m.PC()}
+	}
+	return m.runCompiled(maxSteps, start)
+}
+
+// runCompiled is the compiled Run loop: advance by superblocks
+// (straightline runs execute back-to-back with no per-instruction
+// dispatch), falling back to compiled single steps at branches and
+// control events. One recover boundary covers the whole loop — a
+// recovered panic always ends the run, and hoisting the defer out of
+// the per-chunk path matters on branchy code with short superblocks.
+func (m *Machine) runCompiled(maxSteps, start int64) (stop Stop) {
+	defer func() {
+		if r := recover(); r != nil {
+			stop = *m.recoverStop(m.curPC, r)
+		}
+	}()
+	for {
+		budget := maxSteps - (m.Steps - start)
+		if budget <= 0 {
+			return Stop{Kind: StopSteps, PC: m.PC()}
+		}
+		if s := m.runChunk(budget); s != nil {
 			return *s
 		}
 	}
-	return Stop{Kind: StopSteps, PC: m.PC()}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/prog"
+	"repro/internal/rtl"
 	"repro/internal/smt"
 )
 
@@ -72,7 +73,14 @@ type Options struct {
 	MaxSolverConflicts int64
 
 	// NoTranslationCache disables the per-address decode cache (ablation).
+	// It also disables compiled execution: the compile cache is itself a
+	// translation cache, so the ablation must cover both.
 	NoTranslationCache bool
+
+	// NoCompile disables compiled execution (ablation): every
+	// instruction runs through the RTL interpreter instead of the
+	// translate-time closure chains and superblocks of docs/compile.md.
+	NoCompile bool
 
 	// NoSimplify disables expression simplification (ablation).
 	NoSimplify bool
@@ -234,6 +242,13 @@ type Stats struct {
 	MaxLiveSet   int
 	DecodeCalls  int64 // actual decoder invocations (cache misses)
 	Merges       int64 // state merges performed (MergeStates)
+
+	// Compiled-execution counters (docs/compile.md). Shared across
+	// workers in parallel runs; zero under the NoCompile ablation.
+	CompiledUnits   int64 // instructions compiled to closure chains
+	Superblocks     int64 // superblocks built (non-empty)
+	SuperblockHits  int64 // superblock executions
+	SuperblockInsns int64 // instructions executed inside superblocks
 	Coverage     int   // distinct instruction addresses executed
 	WallTime     time.Duration
 	Solver       smt.Stats
@@ -307,6 +322,13 @@ type Engine struct {
 	xlate  map[uint64]decoder.Decoded
 	visits map[uint64]int64 // per-pc execution counts (coverage strategy)
 	rng    *rand.Rand
+
+	// compiled is the shared compiled-code cache (docs/compile.md);
+	// workers of a parallel run share one instance. scratch is this
+	// engine's private locals buffer for compiled execution — never
+	// shared, it is mutable per-exec state.
+	compiled *compileCache
+	scratch  rtl.Scratch
 
 	nextID int
 	report Report
@@ -384,6 +406,13 @@ type engineMetrics struct {
 	decodeSeconds *obs.Histogram // engine_decode_seconds
 	branchSeconds *obs.Histogram // engine_branch_check_seconds
 
+	// Compiled-execution series (docs/compile.md).
+	compiledUnits    *obs.Counter   // engine_compiled_units_total
+	superblockBuilds *obs.Counter   // engine_superblock_builds_total
+	superblockHits   *obs.Counter   // engine_superblock_hits_total
+	superblockInsns  *obs.Counter   // engine_superblock_insns_total
+	superblockLen    *obs.Histogram // engine_superblock_len
+
 	// Robustness series (docs/robustness.md): fault_paths_total by
 	// fault layer and degraded_total by degradation cause. The zero
 	// arrays are nil counters, so recording stays a no-op when
@@ -414,6 +443,12 @@ func newEngineMetrics(o *obs.Obs) engineMetrics {
 		stepSeconds:   r.Histogram("engine_step_seconds", "Per-instruction symbolic step latency (sampled 1 in 8)", obs.TimeBuckets),
 		decodeSeconds: r.Histogram("engine_decode_seconds", "Decoder invocation latency (translation-cache misses only)", obs.TimeBuckets),
 		branchSeconds: r.Histogram("engine_branch_check_seconds", "Branch-feasibility decision latency (solver time)", obs.TimeBuckets),
+
+		compiledUnits:    r.Counter("engine_compiled_units_total", "Instructions compiled to closure chains"),
+		superblockBuilds: r.Counter("engine_superblock_builds_total", "Superblocks built (non-empty straightline prefixes)"),
+		superblockHits:   r.Counter("engine_superblock_hits_total", "Superblock executions"),
+		superblockInsns:  r.Counter("engine_superblock_insns_total", "Instructions executed inside superblocks"),
+		superblockLen:    r.Histogram("engine_superblock_len", "Superblock chain length at build time", obs.SuperblockLenBuckets),
 	}
 	for i, l := range faultLayers {
 		m.faults[i] = r.Counter(fmt.Sprintf("fault_paths_total{layer=%q}", l), faultPathsHelp)
@@ -453,10 +488,11 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 		Dec:     decoder.New(a),
 		Prog:    p,
 		Opts:    opts,
-		xlate:   make(map[uint64]decoder.Decoded),
-		visits:  make(map[uint64]int64),
-		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
-		bugSeen: newBugDedup(),
+		xlate:    make(map[uint64]decoder.Decoded),
+		visits:   make(map[uint64]int64),
+		rng:      rand.New(rand.NewSource(opts.Seed + 1)),
+		bugSeen:  newBugDedup(),
+		compiled: newCompileCache(),
 	}
 	e.inputNames = make([]string, opts.InputBytes)
 	for i := range e.inputNames {

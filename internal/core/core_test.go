@@ -12,7 +12,7 @@ import (
 	"repro/internal/smt"
 )
 
-func build(t *testing.T, archName, src string) *prog.Program {
+func build(t testing.TB, archName, src string) *prog.Program {
 	t.Helper()
 	a := arch.MustLoad(archName)
 	p, err := asm.New(a).Assemble("test.s", src)

@@ -81,6 +81,7 @@ func (e *Engine) Run() (*Report, error) {
 	e.report.Stats.WallTime = time.Since(t0)
 	e.report.Stats.Solver = e.Solver.Stats
 	e.report.Stats.Coverage = len(e.visits)
+	e.snapshotCompileStats()
 	return &e.report, nil
 }
 
@@ -240,6 +241,15 @@ func (e *Engine) step(st *State) ([]*State, error) {
 			defer e.m.stepSeconds.ObserveSince(t0)
 		}
 	}
+	// Compiled execution (docs/compile.md): when the instruction bytes
+	// come from the unmodified image, run through the shared cache of
+	// closure-compiled units and superblocks. States whose memory
+	// overlay touches the fetch window — self-modifying code — and the
+	// NoCompile/NoTranslationCache ablations take the interpreter below.
+	if e.compileOn() && !st.mem.writtenRange(st.PC, e.Arch.MaxInsnBytes()) {
+		return e.stepCompiled(st)
+	}
+
 	dec, err := e.decode(st)
 	if err != nil {
 		st.Fault = err.Error()

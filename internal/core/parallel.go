@@ -317,6 +317,7 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		Layout:     e.Layout,
 		xlate:      make(map[uint64]decoder.Decoded),
 		visits:     make(map[uint64]int64),
+		compiled:   e.compiled,
 		rng:        rand.New(rand.NewSource(e.Opts.Seed + 0x9e37 + int64(i))),
 		bugSeen:    e.bugSeen,
 		cache:      e.cache,
@@ -475,6 +476,7 @@ func (e *Engine) runParallel() (*Report, error) {
 
 	e.mergeWorkerReports(workers, vt, pr)
 	e.report.Stats.WallTime = time.Since(t0)
+	e.snapshotCompileStats()
 	return &e.report, nil
 }
 

@@ -1,0 +1,69 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompileSmoke is the compiled-vs-interpreted acceptance soak: a
+// fixed-seed run of the compile layer alone, over every embedded
+// architecture, must perform checks on all of them and find zero
+// divergences (`make compile-smoke`).
+func TestCompileSmoke(t *testing.T) {
+	res, err := Run(Options{
+		Seed:   3,
+		Rounds: 12,
+		Layers: []string{LayerCompile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("compiled vs interpreted diverged:\n%v", res.Divergences[0])
+	}
+	if res.Checks[LayerCompile] == 0 {
+		t.Fatal("compile layer ran no checks")
+	}
+	for _, l := range []string{LayerRoundTrip, LayerConcSym, LayerExplore, LayerSolver} {
+		if res.Checks[l] != 0 {
+			t.Errorf("layer %s ran %d checks despite the filter", l, res.Checks[l])
+		}
+	}
+}
+
+// TestCompileSmokeChaos repeats the compile soak with the fault
+// injector armed: compiled and interpreted execution draw different
+// injection schedules, so perturbed comparisons must be dropped as
+// skips — never reported as divergences — and the run must survive
+// with exact fault accounting.
+func TestCompileSmokeChaos(t *testing.T) {
+	res, err := Run(Options{
+		Seed:        5,
+		Rounds:      8,
+		Layers:      []string{LayerCompile},
+		Chaos:       true,
+		ChaosPeriod: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("divergence under chaos (fault-isolation bug):\n%v", res.Divergences[0])
+	}
+	if res.Checks[LayerCompile] == 0 {
+		t.Fatal("compile layer ran no checks")
+	}
+	var injected int64
+	for k, n := range res.Injected {
+		injected += n
+		if strings.HasSuffix(k, "/panic") {
+			site := strings.TrimSuffix(k, "/panic")
+			if res.Surfaced[site] != n {
+				t.Errorf("site %s: %d panics injected, %d surfaced", site, n, res.Surfaced[site])
+			}
+		}
+	}
+	if injected == 0 {
+		t.Error("chaos run injected no faults")
+	}
+}

@@ -48,7 +48,8 @@ const (
 	LayerConcSym   = "concsym"
 	LayerExplore   = "explore" // concsym via full exploration (Workers, end states)
 	LayerSolver    = "solver"
-	LayerProbe     = "probe" // single-instruction probes of never-executed insns
+	LayerProbe     = "probe"   // single-instruction probes of never-executed insns
+	LayerCompile   = "compile" // compiled execution vs interpretation (docs/compile.md)
 )
 
 // Options configures a differential run.
@@ -60,6 +61,13 @@ type Options struct {
 	// Arches selects the architectures under test (default: every
 	// embedded architecture).
 	Arches []string
+
+	// Layers selects which oracle layers run (the Layer* constants);
+	// empty means all of them. Filtering changes the master stream's
+	// draw positions, so reproduce a divergence with its recorded
+	// sub-seed, not by replaying the master seed under a different
+	// layer set.
+	Layers []string
 
 	// Source loads the subject ADL description by name; the generated
 	// assembler, decoder and symbolic engine are built from it. Default:
@@ -428,24 +436,52 @@ func Run(opts Options) (*Result, error) {
 func (r *run) round(master *rand.Rand, round int) {
 	for _, g := range r.gens {
 		// Layer 1: one random encoding round-trip per instruction.
-		for _, ins := range g.subj.Insns {
-			r.roundTrip(g, ins, master.Int63())
+		if r.enabled(LayerRoundTrip) {
+			for _, ins := range g.subj.Insns {
+				r.roundTrip(g, ins, master.Int63())
+			}
 		}
 		// Layer 2a: one generated program through concrete replay.
-		r.replayCompare(g, master.Int63())
+		if r.enabled(LayerConcSym) {
+			r.replayCompare(g, master.Int63())
+		}
 		// Layer 2b: every few rounds, a branching program through full
 		// exploration at each worker count, matched path by path.
-		if round%4 == 0 {
+		if round%4 == 0 && r.enabled(LayerExplore) {
 			r.exploreCompare(g, master.Int63())
+		}
+		// Compile layer: compiled execution vs interpretation, in the
+		// concrete machine, engine replay, and (every few rounds, offset
+		// from the explore layer) full exploration.
+		if r.enabled(LayerCompile) {
+			r.compileCompare(g, master.Int63())
+			if round%4 == 2 {
+				r.compileExplore(g, master.Int63())
+			}
 		}
 		// Probe layer: single-instruction programs for instructions no
 		// execution layer has reached yet (coverage-directed).
-		if r.opts.Cover != nil && !r.opts.NoProbes {
+		if r.opts.Cover != nil && !r.opts.NoProbes && r.enabled(LayerProbe) {
 			r.probeRound(g, master.Int63())
 		}
 	}
 	// Layer 3: solver metamorphic checks (architecture-independent).
-	r.solverRound(master.Int63())
+	if r.enabled(LayerSolver) {
+		r.solverRound(master.Int63())
+	}
+}
+
+// enabled reports whether a layer is selected by Options.Layers.
+func (r *run) enabled(layer string) bool {
+	if len(r.opts.Layers) == 0 {
+		return true
+	}
+	for _, l := range r.opts.Layers {
+		if l == layer {
+			return true
+		}
+	}
+	return false
 }
 
 // diverged records a divergence, writing the corpus file if configured.

@@ -166,6 +166,11 @@ var TimeBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// SuperblockLenBuckets is the chain-length histogram layout shared by
+// the concrete emulator's and the symbolic engine's superblock metrics
+// (docs/compile.md); superblocks are capped at 64 instructions.
+var SuperblockLenBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
 // Histogram is a fixed-bucket histogram with atomic per-bucket counters.
 // Bucket i counts observations v with v <= bounds[i] (and greater than
 // every lower bound); the last bucket is the implicit +Inf overflow.

@@ -34,8 +34,30 @@ func (r ConcResult) Stopped() bool { return r.Halted || r.Trapped || r.Fault != 
 // pc to the instruction's address; on return, if the semantics did not
 // assign pc, the caller advances it by the encoding length.
 func ConcExec(st ConcState, ins *adl.Insn, ops Operands) ConcResult {
-	c := &concCtx{st: st, ops: ops, locals: make([]uint64, adl.NumLocals(ins.Sem))}
+	return ConcExecScratch(st, ins, ops, nil)
+}
+
+// ConcExecScratch is ConcExec with a caller-owned scratch buffer: the
+// local-slot slice and the evaluation context are reused across calls
+// instead of allocated per instruction, which is the emulator's hot
+// path. sc may be nil (allocate fresh); do not share one Scratch
+// between goroutines.
+func ConcExecScratch(st ConcState, ins *adl.Insn, ops Operands, sc *Scratch) ConcResult {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	c := &sc.ic
+	c.st = st
+	c.ops = ops
+	if n := adl.NumLocals(ins.Sem); n == 0 {
+		c.locals = nil
+	} else {
+		c.locals = sc.concLocals(n)
+	}
+	c.res = ConcResult{}
+	c.stop = false
 	c.stmts(ins.Sem)
+	c.st = nil
 	return c.res
 }
 
