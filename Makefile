@@ -3,12 +3,14 @@
 # fixed-budget smokes of the fuzz targets and the differential oracle,
 # the end-to-end telemetry smoke (docs/observability.md), the
 # semantic-coverage gate (docs/coverage.md), the chaos smoke of the
-# fault-isolation layer (docs/robustness.md), and the compiled-vs-
-# interpreted equivalence smoke (docs/compile.md).
+# fault-isolation layer (docs/robustness.md), the compiled-vs-
+# interpreted equivalence smoke (docs/compile.md), and the analysis-
+# service smoke with its persistent cross-run solver cache
+# (docs/service.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke
 
 build:
 	go build ./...
@@ -20,7 +22,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service
 
 bench:
 	go test -bench=. -benchmem
@@ -58,6 +60,14 @@ chaos-smoke:
 # and interpreted execution, including one run under chaos injection.
 compile-smoke:
 	go test -run 'TestCompileSmoke' -count=1 ./internal/difftest
+
+# Analysis-service smoke (docs/service.md): boot symexd on loopback,
+# run the four embedded ADLs' programs concurrently over HTTP with
+# results matched against direct library runs, then boot a second
+# daemon generation against the persisted solver cache and require a
+# nonzero cross-run hit rate on /metrics with zero corruption counters.
+service-smoke:
+	go test -run 'TestServiceSmoke' -count=1 ./internal/service
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

@@ -6,10 +6,10 @@
 //
 //	difftest [-duration 30s | -rounds N] [-seed N] [-arch a,b] \
 //	         [-workers 1,2] [-steps N] [-corpus dir] [-adl name=file] \
-//	         [-layers roundtrip,concsym,explore,solver,probe,compile] \
+//	         [-layers roundtrip,concsym,explore,solver,probe,compile,service] \
 //	         [-cover] [-cover-out cover.json] [-cover-guided=false] \
 //	         [-cover-target 0.9] [-cover-min 0.9] \
-//	         [-chaos] [-chaos-period N] \
+//	         [-chaos] [-chaos-period N] [-service-addr host:port] \
 //	         [-obs-addr :8089] [-trace-out trace.json] [-v]
 //
 // The run is a pure function of the seed; every divergence is reported
@@ -35,6 +35,12 @@
 // the fault accounting (injected vs surfaced, per site) is printed to
 // stderr. A chaos run must stay divergence-free: a divergence under
 // chaos is a fault-isolation bug, not a semantic one.
+//
+// -service-addr points the oracle at a running symexd daemon
+// (docs/service.md): generated exploration programs are also submitted
+// over the job API and the streamed results must match a direct
+// in-process run. Incompatible with -adl overrides, since the daemon
+// analyzes with its embedded descriptions.
 //
 // -obs-addr serves live Prometheus metrics, /coverage, expvar and
 // pprof for the duration of the soak; -trace-out writes the Chrome
@@ -74,6 +80,7 @@ func main() {
 	layers := flag.String("layers", "", "comma-separated oracle layers to run (roundtrip,concsym,explore,solver,probe,compile; default all)")
 	chaos := flag.Bool("chaos", false, "arm the fault injector at every site (docs/robustness.md)")
 	chaosPeriod := flag.Int("chaos-period", 0, "approximate calls between injected faults per site (default 2000, implies -chaos)")
+	serviceAddr := flag.String("service-addr", "", "also drive a running symexd daemon at this address and match its results against direct runs (docs/service.md)")
 	verbose := flag.Bool("v", false, "log per-round progress")
 
 	// -adl name=file overrides the subject description for one
@@ -99,6 +106,7 @@ func main() {
 		TraceOut:    *traceOut,
 		Chaos:       *chaos || *chaosPeriod > 0,
 		ChaosPeriod: *chaosPeriod,
+		ServiceAddr: *serviceAddr,
 	}
 	// Coverage collection is on when any -cover* flag asks for it, and
 	// also whenever the live endpoint is up, so -obs-addr users get
@@ -141,6 +149,13 @@ func main() {
 		opts.Log = os.Stderr
 	}
 	if len(overrides) > 0 {
+		// The daemon analyzes with its embedded descriptions, so pairing
+		// -service-addr with a subject override would "compare" two
+		// different ADLs and report bogus divergences.
+		if *serviceAddr != "" {
+			fmt.Fprintln(os.Stderr, "difftest: -service-addr cannot be combined with -adl overrides (the daemon serves the embedded ADLs)")
+			os.Exit(2)
+		}
 		opts.Source = func(name string) (string, error) {
 			if file, ok := overrides[name]; ok {
 				src, err := os.ReadFile(file)

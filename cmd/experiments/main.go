@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
-//	                   coverage|cover-overhead|governor|compile]
+//	                   coverage|cover-overhead|governor|compile|service-cache]
 //	            [-obs-addr :8089]
 package main
 
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache)")
 	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	flag.Parse()
@@ -85,6 +85,8 @@ func main() {
 		harness.RunGovernorOverhead(workerCounts).Print(os.Stdout)
 	case "compile":
 		harness.RunCompileBench().Print(os.Stdout)
+	case "service-cache":
+		harness.RunServiceCache().Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -1,0 +1,90 @@
+// symexd is the sharded analysis daemon: it serves the HTTP/JSON job
+// API of internal/service (submit program images, poll status, stream
+// JSONL results), schedules concurrent jobs under the resource
+// governor, and shares one solver-query cache across every job —
+// optionally backed by a persistent cross-run cache file. The obs
+// introspection surface (/metrics, /coverage, pprof) is part of the
+// same listener. See docs/service.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address (host:port)")
+		cacheFile     = flag.String("cache-file", "", "persistent solver-cache file (empty = in-memory only)")
+		cacheMax      = flag.Int("cache-max-entries", 0, "LRU bound for the persistent cache (0 = unbounded)")
+		flushInterval = flag.Duration("flush-interval", 2*time.Second, "persistent-cache flush period")
+		maxConc       = flag.Int("max-concurrent", 2, "jobs running at once")
+		queueDepth    = flag.Int("queue-depth", 64, "queued jobs before submissions get 429")
+		maxWorkers    = flag.Int("max-workers-per-job", 4, "cap on per-job exploration workers")
+		maxSteps      = flag.Int64("max-steps-cap", 200000, "cap on per-job instruction budgets")
+		maxPaths      = flag.Int("max-paths-cap", 4096, "cap on per-job path budgets")
+		solverDL      = flag.Duration("solver-deadline", 2*time.Second, "per-query solver wall clock (resource governor)")
+		maxTerms      = flag.Int("max-state-terms", 0, "per-state symbolic-footprint budget (0 = off)")
+		coverage      = flag.Bool("coverage", false, "collect semantic coverage (served at /coverage)")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		MaxWorkersPerJob: *maxWorkers,
+		MaxStepsCap:      *maxSteps,
+		MaxPathsCap:      *maxPaths,
+		SolverDeadline:   *solverDL,
+		MaxStateTerms:    *maxTerms,
+		CacheFile:        *cacheFile,
+		CacheMaxEntries:  *cacheMax,
+		FlushInterval:    *flushInterval,
+		Obs:              obs.New(),
+	}
+	if *coverage {
+		cfg.Cover = cover.New()
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symexd: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symexd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("symexd listening on %s", httpSrv.Addr())
+	if *cacheFile != "" {
+		ps := srv.PersistStats()
+		mode := "writer"
+		if ps.ReadOnly {
+			mode = "read-only follower"
+		}
+		fmt.Printf(" (cache %s: %d entries loaded, %d corrupt skipped, %s)",
+			*cacheFile, ps.Loaded, ps.Corruptions, mode)
+	}
+	fmt.Println()
+
+	// Graceful shutdown: stop admitting, cancel jobs, flush the cache
+	// and release the writer lease before exiting.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("symexd: draining")
+	httpSrv.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "symexd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

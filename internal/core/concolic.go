@@ -57,6 +57,9 @@ func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 	tried[string(queue[0])] = true
 
 	for len(queue) > 0 && len(rep.Paths) < maxRuns {
+		if canceled(e.Opts.Cancel) {
+			break // partial report: runs completed so far stand
+		}
 		input := queue[0]
 		queue = queue[1:]
 

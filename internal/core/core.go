@@ -110,6 +110,22 @@ type Options struct {
 	// NoQueryCache disables the shared solver-query cache (ablation).
 	NoQueryCache bool
 
+	// QueryCache, when non-nil, is adopted as the solver-query cache
+	// instead of a fresh per-engine one. The cache is keyed by
+	// builder-independent structural digests, so one instance can be
+	// shared across engines, runs and tenants — the service layer
+	// (internal/service) hands every job the same persistent-backed
+	// cache. Ignored under NoQueryCache.
+	QueryCache *smt.QueryCache
+
+	// Cancel, when non-nil, aborts the run cooperatively once the
+	// channel is closed: the engine stops between instructions, kills
+	// the remaining live states (counted in Stats.StatesKilled) and
+	// returns the report of whatever completed. Serial, parallel and
+	// concolic runs all honor it; the service layer wires it to job
+	// cancellation.
+	Cancel <-chan struct{}
+
 	// CaptureEndState records each completed path's final symbolic
 	// registers and memory overlay in PathResult.End, so differential
 	// oracles can evaluate the whole end state under a concrete input.
@@ -499,7 +515,11 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 		e.inputNames[i] = fmt.Sprintf("in%d", i)
 	}
 	if !opts.NoQueryCache {
-		e.cache = smt.NewQueryCache()
+		if opts.QueryCache != nil {
+			e.cache = opts.QueryCache
+		} else {
+			e.cache = smt.NewQueryCache()
+		}
 		e.Solver.Cache = e.cache
 	}
 	e.m = newEngineMetrics(opts.Obs)
@@ -616,4 +636,18 @@ func (e *Engine) inputName(i int) string {
 		return e.inputNames[i]
 	}
 	return fmt.Sprintf("in%d", i)
+}
+
+// canceled is the non-blocking poll behind Options.Cancel: one channel
+// read per check, nil-safe.
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }

@@ -34,6 +34,8 @@ func (e *Engine) Run() (*Report, error) {
 			killReason = "stop-on-bug"
 		case e.Opts.TimeBudget > 0 && time.Since(t0) > e.Opts.TimeBudget:
 			killReason = "time-budget"
+		case canceled(e.Opts.Cancel):
+			killReason = "canceled"
 		}
 		if killReason != "" {
 			e.report.Stats.StatesKilled += len(live)

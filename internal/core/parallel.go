@@ -278,8 +278,12 @@ type parRun struct {
 	err   error
 }
 
-// stopNow reports whether a global budget ended the run.
+// stopNow reports whether a global budget (or a cancellation) ended the
+// run.
 func (pr *parRun) stopNow() bool {
+	if canceled(pr.opts.Cancel) {
+		return true
+	}
 	if pr.pathsDone.Load() >= int64(pr.opts.MaxPaths) {
 		return true
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/service"
 	"repro/internal/smt"
 )
 
@@ -137,6 +138,13 @@ type Options struct {
 	// ChaosPeriod is the average number of site calls between injected
 	// faults in chaos mode (default 2000; smaller is more hostile).
 	ChaosPeriod int
+
+	// ServiceAddr, when set, arms the service layer: generated
+	// exploration programs are also submitted to the symexd daemon at
+	// this address and the streamed results must match a direct
+	// in-process run (see service.go). The daemon serves its embedded
+	// ADLs, so ServiceAddr cannot be combined with Source overrides.
+	ServiceAddr string
 }
 
 func (o Options) withDefaults() Options {
@@ -291,6 +299,10 @@ type run struct {
 	// snapshot taken at the last checkpoint() — see chaos.go.
 	inj         *faultinject.Injector
 	checkFired0 int64
+
+	// svc is the lazily built API client of the service layer (nil
+	// until the first serviceCompare; see service.go).
+	svc *service.Client
 }
 
 // engineObs is the telemetry handle handed to every engine the oracle
@@ -449,6 +461,11 @@ func (r *run) round(master *rand.Rand, round int) {
 		// exploration at each worker count, matched path by path.
 		if round%4 == 0 && r.enabled(LayerExplore) {
 			r.exploreCompare(g, master.Int63())
+		}
+		// Service layer: the same class of program through a live symexd
+		// daemon, matched against a direct run (needs -service-addr).
+		if r.opts.ServiceAddr != "" && round%2 == 0 && r.enabled(LayerService) {
+			r.serviceCompare(g, master.Int63())
 		}
 		// Compile layer: compiled execution vs interpretation, in the
 		// concrete machine, engine replay, and (every few rounds, offset

@@ -1,0 +1,168 @@
+// Service layer of the oracle: the same generated branching programs
+// the explore layer uses are submitted to a running symexd daemon
+// (Options.ServiceAddr) and the streamed results are matched against a
+// direct in-process engine run with identical budgets. This proves the
+// HTTP/JSON path — admission, scheduling, the shared solver cache, the
+// JSONL stream — is observationally equivalent to the library API.
+//
+// The comparison is restricted to model-independent facts (path
+// status/end-pc/step multisets and bug (checker, pc) sets): the
+// daemon's shared, possibly persisted query cache may hand back
+// different satisfying models than a fresh solver, which is allowed to
+// change bug inputs but — on the pure modeExplore programs this layer
+// generates — never the explored path set.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// LayerService is the service-parity oracle layer; it only runs when
+// Options.ServiceAddr points at a live daemon.
+const LayerService = "service"
+
+// serviceClient lazily builds the API client for Options.ServiceAddr.
+func (r *run) serviceClient() *service.Client {
+	if r.svc == nil {
+		r.svc = service.NewClient(r.opts.ServiceAddr)
+	}
+	return r.svc
+}
+
+// serviceCompare generates one branching program, explores it directly
+// and through the daemon, and compares the outcomes.
+func (r *run) serviceCompare(g *archGen, subSeed int64) {
+	rg := rand.New(rand.NewSource(subSeed))
+	const k = 2
+	nBody := 3 + rg.Intn(6)
+	src, ok := g.genProgram(rg, modeExplore, nBody, k)
+	if !ok {
+		return
+	}
+	r.checkpoint()
+	p, err := g.as.Assemble("gen.s", src)
+	if err != nil {
+		r.res.Checks[LayerService]++
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  "generated program does not assemble: " + err.Error(),
+			Program: src,
+		})
+		return
+	}
+
+	// Direct run, with the same checkers and budgets the daemon applies.
+	eng := core.NewEngine(g.subj, p, core.Options{
+		InputBytes: k,
+		MaxSteps:   r.opts.MaxSteps,
+		MaxPaths:   256,
+		Workers:    1,
+		Obs:        r.engineObs(),
+		Cover:      g.coll,
+		Inject:     g.inj,
+	})
+	for _, c := range service.Checkers() {
+		eng.AddChecker(c)
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		r.res.Checks[LayerService]++
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  "direct engine run: " + err.Error(),
+			Program: src,
+		})
+		return
+	}
+	if rep.Stats.StatesKilled > 0 || rep.Stats.PathsDone >= 256 {
+		r.res.Skipped[LayerService]++ // budget truncation: path sets unreliable
+		return
+	}
+
+	r.res.Checks[LayerService]++
+	c := r.serviceClient()
+	st, err := c.Submit(service.JobSpec{
+		Image:    p.Marshal(),
+		Inputs:   k,
+		MaxSteps: r.opts.MaxSteps,
+		MaxPaths: 256,
+		Workers:  1,
+	})
+	if err != nil {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  "service submit: " + err.Error(),
+			Program: src,
+		})
+		return
+	}
+	final, err := c.Wait(st.ID, 60*time.Second)
+	if err != nil {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  "service wait: " + err.Error(),
+			Program: src,
+		})
+		return
+	}
+	if final.Status != service.StateDone {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  fmt.Sprintf("service job ended %q (%v), want done", final.Status, final.Error),
+			Program: src,
+		})
+		return
+	}
+	evs, err := c.Results(st.ID, true)
+	if err != nil {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  "service results: " + err.Error(),
+			Program: src,
+		})
+		return
+	}
+
+	var svcPaths, svcBugs []string
+	for _, ev := range evs {
+		switch ev.Type {
+		case "path":
+			svcPaths = append(svcPaths, fmt.Sprintf("%s@%#x/%d", ev.Path.Status, ev.Path.EndPC, ev.Path.Steps))
+		case "bug":
+			svcBugs = append(svcBugs, fmt.Sprintf("%s@%#x", ev.Bug.Check, ev.Bug.PC))
+		}
+	}
+	var dirPaths, dirBugs []string
+	for _, pr := range rep.Paths {
+		dirPaths = append(dirPaths, fmt.Sprintf("%s@%#x/%d", pr.Status, pr.EndPC, pr.Steps))
+	}
+	for _, b := range rep.Bugs {
+		dirBugs = append(dirBugs, fmt.Sprintf("%s@%#x", b.Check, b.PC))
+	}
+	sort.Strings(svcPaths)
+	sort.Strings(dirPaths)
+	sort.Strings(svcBugs)
+	sort.Strings(dirBugs)
+
+	if fmt.Sprint(svcPaths) != fmt.Sprint(dirPaths) {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  fmt.Sprintf("path sets differ:\n  service %v\n  direct  %v", svcPaths, dirPaths),
+			Program: src,
+		})
+		return
+	}
+	if fmt.Sprint(svcBugs) != fmt.Sprint(dirBugs) {
+		r.diverged(Divergence{
+			Layer: LayerService, Arch: g.name, Seed: subSeed,
+			Detail:  fmt.Sprintf("bug sets differ:\n  service %v\n  direct  %v", svcBugs, dirBugs),
+			Program: src,
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestServiceLayerAgainstLiveDaemon boots a real symexd server on
+// loopback and runs the oracle's service layer against it: generated
+// exploration programs submitted over HTTP must match direct in-process
+// runs exactly, across every embedded architecture.
+func TestServiceLayerAgainstLiveDaemon(t *testing.T) {
+	srv, err := service.New(service.Config{MaxConcurrent: 2, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+
+	res, err := Run(Options{
+		Seed:        11,
+		Rounds:      6,
+		Layers:      []string{LayerService},
+		ServiceAddr: hs.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checks[LayerService] == 0 {
+		t.Fatal("service layer performed no checks against the live daemon")
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("service layer divergence: %v", d)
+	}
+	t.Logf("service layer: %d checks, %d skipped", res.Checks[LayerService], res.Skipped[LayerService])
+}

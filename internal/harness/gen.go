@@ -23,7 +23,9 @@ var AllArches = []string{"tiny32", "tiny64", "rv32i", "m16"}
 func BranchLadder(archName string, k int) string {
 	var sb strings.Builder
 	switch archName {
-	case "tiny32":
+	case "tiny32", "tiny64":
+		// tiny64 shares tiny32's assembly syntax (the ADLs differ in
+		// width, not mnemonics), so one template serves both.
 		sb.WriteString("_start:\n\tli r3, 0\n")
 		for i := 0; i < k; i++ {
 			fmt.Fprintf(&sb, "\ttrap 1\n\tli r2, %d\n\tbltu r1, r2, skip%d\n\taddi r3, r3, 1\nskip%d:\n", 64+i, i, i)

@@ -1,0 +1,164 @@
+// Service-cache experiment: how much solver work a second symexd
+// generation saves by starting from the persisted cross-run cache of
+// the first (docs/service.md). Two daemon generations run the same
+// per-ISA workloads against one cache file; the second generation's
+// disk-hit fraction is the measured cross-run hit rate the acceptance
+// smoke requires to be nonzero.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// ServiceCacheRow is one architecture's workload measured across the
+// two daemon generations.
+type ServiceCacheRow struct {
+	Arch     string
+	Paths    int   // paths explored by the job (identical across generations)
+	Queries1 int64 // solver queries issued by generation 1 (cold file)
+	Misses1  int64 // generation-1 cache misses (entries earned and persisted)
+	Queries2 int64 // solver queries issued by generation 2 (warm file)
+	DiskHits int64 // generation-2 hits on entries loaded from the file
+}
+
+// CrossRate is the fraction of generation-2 queries answered from the
+// previous generation's persisted entries.
+func (r ServiceCacheRow) CrossRate() float64 {
+	if r.Queries2 == 0 {
+		return 0
+	}
+	return float64(r.DiskHits) / float64(r.Queries2)
+}
+
+// ServiceCache is the cross-run persistent-cache experiment.
+type ServiceCache struct {
+	Rows    []ServiceCacheRow
+	Loaded  int64 // entries generation 2 loaded from the file
+	Entries int64 // entries on disk after generation 1 closed
+	Corrupt int64 // corruption events across both generations (must be 0)
+}
+
+// RunServiceCache runs the branch-ladder workload for every embedded
+// architecture through two symexd generations sharing one persistent
+// cache file, attributing per-ISA cache deltas by running the jobs
+// sequentially (MaxConcurrent 1).
+func RunServiceCache() ServiceCache {
+	dir, err := os.MkdirTemp("", "symexd-cache")
+	if err != nil {
+		panic("harness: service cache: " + err.Error())
+	}
+	defer os.RemoveAll(dir)
+	cacheFile := filepath.Join(dir, "solver.cache")
+
+	type workload struct {
+		arch  string
+		image []byte
+	}
+	var wls []workload
+	for _, name := range AllArches {
+		_, p := mustBuild(name, BranchLadder(name, 6))
+		wls = append(wls, workload{arch: name, image: p.Marshal()})
+	}
+
+	var out ServiceCache
+	rows := map[string]*ServiceCacheRow{}
+
+	// runGeneration submits each workload sequentially and records the
+	// cache-stat deltas around each job.
+	runGeneration := func(gen int) *service.Server {
+		srv, err := service.New(service.Config{
+			MaxConcurrent: 1,
+			CacheFile:     cacheFile,
+			Obs:           obs.New(),
+		})
+		if err != nil {
+			panic("harness: service cache: " + err.Error())
+		}
+		hs, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			panic("harness: service cache: " + err.Error())
+		}
+		defer hs.Close()
+		c := service.NewClient(hs.Addr())
+		for _, wl := range wls {
+			before := srv.Cache().Stats()
+			st, err := c.Submit(service.JobSpec{Image: wl.image})
+			if err != nil {
+				panic(fmt.Sprintf("harness: service cache: submit %s: %v", wl.arch, err))
+			}
+			final, err := c.Wait(st.ID, 5*time.Minute)
+			if err != nil || final.Status != service.StateDone {
+				panic(fmt.Sprintf("harness: service cache: %s job: %v / %v", wl.arch, final, err))
+			}
+			after := srv.Cache().Stats()
+
+			row, ok := rows[wl.arch]
+			if !ok {
+				row = &ServiceCacheRow{Arch: wl.arch}
+				rows[wl.arch] = row
+				out.Rows = append(out.Rows, ServiceCacheRow{}) // placeholder, filled below
+			}
+			queries := (after.Hits + after.Misses) - (before.Hits + before.Misses)
+			if gen == 1 {
+				row.Paths = final.Stats.Paths
+				row.Queries1 = queries
+				row.Misses1 = after.Misses - before.Misses
+			} else {
+				if final.Stats.Paths != row.Paths {
+					panic(fmt.Sprintf("harness: service cache: %s path count changed across generations (%d vs %d)",
+						wl.arch, row.Paths, final.Stats.Paths))
+				}
+				row.Queries2 = queries
+				row.DiskHits = after.DiskHits - before.DiskHits
+			}
+		}
+		return srv
+	}
+
+	srv1 := runGeneration(1)
+	if err := srv1.Close(); err != nil {
+		panic("harness: service cache: closing generation 1: " + err.Error())
+	}
+	ps1 := srv1.PersistStats()
+	out.Entries = ps1.FileEntries
+	out.Corrupt += ps1.Corruptions
+
+	srv2 := runGeneration(2)
+	ps2 := srv2.PersistStats()
+	out.Loaded = ps2.Loaded
+	out.Corrupt += ps2.Corruptions
+	if err := srv2.Close(); err != nil {
+		panic("harness: service cache: closing generation 2: " + err.Error())
+	}
+
+	for i, name := range AllArches {
+		out.Rows[i] = *rows[name]
+	}
+	return out
+}
+
+// Print renders the experiment in the EXPERIMENTS.md table format.
+func (t ServiceCache) Print(w io.Writer) {
+	fmt.Fprintf(w, "Cross-run persistent solver cache (two symexd generations, branch ladder k=6)\n")
+	fmt.Fprintf(w, "%-8s %6s %10s %10s %10s %10s %10s\n",
+		"arch", "paths", "gen1 qrys", "gen1 miss", "gen2 qrys", "disk hits", "cross rate")
+	var q2, dh int64
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-8s %6d %10d %10d %10d %10d %9.1f%%\n",
+			r.Arch, r.Paths, r.Queries1, r.Misses1, r.Queries2, r.DiskHits, 100*r.CrossRate())
+		q2 += r.Queries2
+		dh += r.DiskHits
+	}
+	total := ServiceCacheRow{Queries2: q2, DiskHits: dh}
+	fmt.Fprintf(w, "%-8s %6s %10s %10s %10d %10d %9.1f%%\n",
+		"total", "", "", "", q2, dh, 100*total.CrossRate())
+	fmt.Fprintf(w, "file: %d entries persisted, %d loaded by generation 2, %d corruption events\n",
+		t.Entries, t.Loaded, t.Corrupt)
+}

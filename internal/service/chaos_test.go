@@ -1,0 +1,119 @@
+// Chaos coverage for the job handlers: with the PR-5 fault-injection
+// harness armed across every site, each injected fault must surface as
+// a typed outcome — a recovered path fault inside a completed job, a
+// graceful degradation, or a typed job error carrying a fault record.
+// Never a bare 500, never an unexplained failure, and the injector's
+// fired == surfaced panic accounting must balance once all jobs are
+// terminal (docs/robustness.md).
+package service_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/harness"
+	"repro/internal/obs"
+
+	. "repro/internal/service"
+)
+
+func TestServiceChaosFaultsSurfaceTyped(t *testing.T) {
+	inj := faultinject.New(7, 150).EnableAll()
+	srv, hs, c := startServer(t, Config{
+		MaxConcurrent: 3,
+		Obs:           obs.New(),
+		Inject:        inj,
+	})
+	defer srv.Close()
+	defer hs.Close()
+
+	// A workload mix that visits every instrumented site: branch
+	// ladders (solver-heavy), a needle program (division and memory
+	// traffic) and the vuln suite (checker-triggering loads, stores and
+	// indirect jumps).
+	var images [][]byte
+	for _, name := range harness.AllArches {
+		images = append(images, buildImage(t, name, harness.BranchLadder(name, 4)))
+	}
+	images = append(images, buildImage(t, "tiny32", harness.Needle("tiny32", []byte{1, 2, 3})))
+	for _, v := range harness.VulnSuite("tiny32") {
+		spec := JobSpec{Image: buildImage(t, "tiny32", v.Src)}
+		if v.Inputs > 0 {
+			spec.Inputs = v.Inputs
+		}
+		images = append(images, spec.Image)
+	}
+
+	var ids []string
+	for i, img := range images {
+		st, jerr := srv.Submit(JobSpec{Image: img})
+		if jerr != nil {
+			t.Fatalf("submit %d: %v", i, jerr)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	failed, done := 0, 0
+	for _, id := range ids {
+		st, err := c.Wait(id, 60*time.Second)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		switch st.Status {
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+			// The chaos contract: a failed job is always typed, and a
+			// failure caused by an injected fault carries its record.
+			if st.Error == nil {
+				t.Errorf("job %s failed without a typed error", id)
+				continue
+			}
+			switch st.Error.Code {
+			case CodePanic, CodeDecode:
+				if st.Error.Fault == nil {
+					t.Errorf("job %s: %s failure without a fault record", id, st.Error.Code)
+				} else if !st.Error.Fault.Injected {
+					t.Errorf("job %s: chaos-run %s failure not marked injected: %+v", id, st.Error.Code, st.Error.Fault)
+				}
+			case CodeEngine:
+				// run-level engine error: typed, acceptable
+			default:
+				t.Errorf("job %s: unexpected failure code %q", id, st.Error.Code)
+			}
+		default:
+			t.Errorf("job %s ended %q; chaos must not wedge or cancel jobs", id, st.Status)
+		}
+	}
+	if done == 0 {
+		t.Error("no job survived chaos; the fault isolation layer should absorb most injections")
+	}
+	t.Logf("chaos: %d done, %d failed (typed), faults fired: %v", done, failed, inj.FiredCounts())
+
+	// Exact panic accounting: every injected panic was caught by a
+	// recover boundary that called Observe — none leaked, none was
+	// double-counted.
+	for _, site := range faultinject.Sites() {
+		fired := inj.Fired(site, faultinject.KindPanic)
+		surfaced := inj.Surfaced(site)
+		if fired != surfaced {
+			t.Errorf("site %s: %d panics fired but %d surfaced", site, fired, surfaced)
+		}
+	}
+	if inj.TotalFired() == 0 {
+		t.Error("injector never fired; chaos run proved nothing (lower the period)")
+	}
+
+	// The job table view stays coherent after chaos: every job listed,
+	// every listed job terminal.
+	if got := len(srv.List()); got != len(ids) {
+		t.Errorf("List returned %d jobs, want %d", got, len(ids))
+	}
+	for _, st := range srv.List() {
+		if st.Status != StateDone && st.Status != StateFailed {
+			t.Errorf("job %s still %q after all waits returned", st.ID, st.Status)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// End-to-end service smoke (the PR's acceptance test, wired into
+// `make service-smoke`): boot symexd on loopback, submit the four
+// bundled ADLs' example programs concurrently over real HTTP, and
+// assert the results are identical to driving the core engine
+// directly. Then boot a SECOND daemon generation against the same
+// persistent cache file and assert the cross-run hit counter on
+// /metrics is nonzero with zero corruption counters.
+package service_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/prog"
+
+	// The tests live outside the package (dot-imported) because they
+	// exercise the public API end to end and pull in internal/harness,
+	// which reaches internal/service again through difftest's service
+	// layer — an in-package test would be an import cycle.
+	. "repro/internal/service"
+)
+
+// buildImage assembles src for an architecture and returns the RIMG
+// image bytes a client would submit.
+func buildImage(t *testing.T, archName, src string) []byte {
+	t.Helper()
+	a, err := arch.Load(archName)
+	if err != nil {
+		t.Fatalf("loading %s: %v", archName, err)
+	}
+	p, err := asm.New(a).Assemble(archName+".s", src)
+	if err != nil {
+		t.Fatalf("assembling for %s: %v", archName, err)
+	}
+	return p.Marshal()
+}
+
+// directReport runs the same analysis the service would, through the
+// library API, with the exact budgets the server's admission clamping
+// produces for a zero-valued spec.
+func directReport(t *testing.T, image []byte) *core.Report {
+	t.Helper()
+	p, err := prog.Unmarshal(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := arch.Load(p.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(a, p, core.Options{
+		MaxSteps:       4096,
+		MaxPaths:       512,
+		InputBytes:     8,
+		Workers:        1,
+		SolverDeadline: 2 * time.Second,
+	})
+	for _, c := range Checkers() {
+		e.AddChecker(c)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// pathKey folds one path into a comparable string. The comparison is
+// model-independent (status + end pc + steps), so a shared or
+// pre-warmed solver cache cannot perturb it for the pure branch-ladder
+// programs this smoke runs.
+func pathKey(status string, endPC uint64, steps int64) string {
+	return fmt.Sprintf("%s@%#x/%d", status, endPC, steps)
+}
+
+func sortedPathKeysDirect(rep *core.Report) []string {
+	var out []string
+	for _, p := range rep.Paths {
+		out = append(out, pathKey(p.Status.String(), p.EndPC, p.Steps))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPathKeysEvents(evs []Event) []string {
+	var out []string
+	for _, ev := range evs {
+		if ev.Type == "path" {
+			out = append(out, pathKey(ev.Path.Status, ev.Path.EndPC, ev.Path.Steps))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func bugKeysDirect(rep *core.Report) []string {
+	var out []string
+	for _, b := range rep.Bugs {
+		out = append(out, fmt.Sprintf("%s@%#x", b.Check, b.PC))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func bugKeysEvents(evs []Event) []string {
+	var out []string
+	for _, ev := range evs {
+		if ev.Type == "bug" {
+			out = append(out, fmt.Sprintf("%s@%#x", ev.Bug.Check, ev.Bug.PC))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricValue extracts one sample from a Prometheus text exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+				t.Fatalf("parsing %s sample %q: %v", name, fields[1], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in /metrics output", name)
+	return 0
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *HTTPServer, *Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return srv, hs, NewClient(hs.Addr())
+}
+
+func TestServiceSmoke(t *testing.T) {
+	cacheFile := t.TempDir() + "/solver.cache"
+
+	images := map[string][]byte{}
+	for _, name := range harness.AllArches {
+		images[name] = buildImage(t, name, harness.BranchLadder(name, 4))
+	}
+	direct := map[string]*core.Report{}
+	for name, img := range images {
+		direct[name] = directReport(t, img)
+		if got := len(direct[name].Paths); got != 16 {
+			t.Fatalf("%s: direct run found %d paths, want 16 (2^4 branch ladder)", name, got)
+		}
+	}
+
+	// checkParity submits every ADL's program concurrently and compares
+	// the streamed results against the direct library runs.
+	checkParity := func(t *testing.T, c *Client, gen string) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		results := map[string][]Event{}
+		for name, img := range images {
+			wg.Add(1)
+			go func(name string, img []byte) {
+				defer wg.Done()
+				st, err := c.Submit(JobSpec{Image: img})
+				if err != nil {
+					t.Errorf("%s/%s: submit: %v", gen, name, err)
+					return
+				}
+				if st.Status != StateQueued {
+					t.Errorf("%s/%s: fresh job status %q, want %q", gen, name, st.Status, StateQueued)
+				}
+				final, err := c.Wait(st.ID, 30*time.Second)
+				if err != nil {
+					t.Errorf("%s/%s: wait: %v", gen, name, err)
+					return
+				}
+				if final.Status != StateDone {
+					t.Errorf("%s/%s: job ended %q (%v), want done", gen, name, final.Status, final.Error)
+					return
+				}
+				evs, err := c.Results(st.ID, true)
+				if err != nil {
+					t.Errorf("%s/%s: results: %v", gen, name, err)
+					return
+				}
+				mu.Lock()
+				results[name] = evs
+				mu.Unlock()
+			}(name, img)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		for name, evs := range results {
+			wantPaths := sortedPathKeysDirect(direct[name])
+			gotPaths := sortedPathKeysEvents(evs)
+			if fmt.Sprint(gotPaths) != fmt.Sprint(wantPaths) {
+				t.Errorf("%s/%s: path set diverges from direct run\n got %v\nwant %v", gen, name, gotPaths, wantPaths)
+			}
+			wantBugs := bugKeysDirect(direct[name])
+			gotBugs := bugKeysEvents(evs)
+			if fmt.Sprint(gotBugs) != fmt.Sprint(wantBugs) {
+				t.Errorf("%s/%s: bug set diverges from direct run\n got %v\nwant %v", gen, name, gotBugs, wantBugs)
+			}
+			var done *JobStats
+			for _, ev := range evs {
+				if ev.Type == "done" {
+					done = ev.Done
+				}
+			}
+			if done == nil {
+				t.Errorf("%s/%s: results stream has no done event", gen, name)
+			} else if done.Paths != len(direct[name].Paths) {
+				t.Errorf("%s/%s: done.paths = %d, want %d", gen, name, done.Paths, len(direct[name].Paths))
+			}
+		}
+	}
+
+	// Generation 1: cold cache file; populate it.
+	srv1, hs1, c1 := startServer(t, Config{
+		MaxConcurrent: 4,
+		CacheFile:     cacheFile,
+		FlushInterval: 50 * time.Millisecond,
+		Obs:           obs.New(),
+	})
+	checkParity(t, c1, "gen1")
+	if srv1.PersistStats().ReadOnly {
+		t.Fatal("gen1 should hold the writer lease")
+	}
+	hs1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("closing gen1: %v", err)
+	}
+	if n := srv1.PersistStats().FileEntries; n == 0 {
+		t.Fatal("gen1 flushed no cache entries to disk")
+	}
+
+	// Generation 2: a fresh daemon against the persisted file must
+	// answer part of the solver load from the previous run's entries.
+	srv2, hs2, c2 := startServer(t, Config{
+		MaxConcurrent: 4,
+		CacheFile:     cacheFile,
+		FlushInterval: 50 * time.Millisecond,
+		Obs:           obs.New(),
+	})
+	defer srv2.Close()
+	defer hs2.Close()
+	if got := srv2.PersistStats().Loaded; got == 0 {
+		t.Fatal("gen2 loaded no entries from the persisted cache file")
+	}
+	checkParity(t, c2, "gen2")
+
+	text, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := metricValue(t, text, "service_cache_cross_hits_total"); v == 0 {
+		t.Error("gen2 reports zero cross-run cache hits on /metrics; want nonzero")
+	}
+	if v := metricValue(t, text, "cache_corrupt_total"); v != 0 {
+		t.Errorf("cache_corrupt_total = %v on a clean cache file, want 0", v)
+	}
+	if v := metricValue(t, text, "service_jobs_admitted_total"); v != float64(len(images)) {
+		t.Errorf("service_jobs_admitted_total = %v, want %d", v, len(images))
+	}
+}
+
+// TestServiceConcolicJob exercises the second analysis mode end to end:
+// a concolic job over a branch ladder must cover all 2^k ladder paths
+// given enough runs, and report them with their concrete inputs.
+func TestServiceConcolicJob(t *testing.T) {
+	srv, hs, c := startServer(t, Config{Obs: obs.New()})
+	defer srv.Close()
+	defer hs.Close()
+
+	img := buildImage(t, "tiny32", harness.BranchLadder("tiny32", 3))
+	st, err := c.Submit(JobSpec{Image: img, Mode: "concolic", MaxRuns: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StateDone {
+		t.Fatalf("concolic job ended %q (%v), want done", final.Status, final.Error)
+	}
+	evs, err := c.Results(st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := 0
+	for _, ev := range evs {
+		if ev.Type == "path" {
+			if ev.Path.Input == nil {
+				t.Error("concolic path event without its concrete input")
+			}
+			paths++
+		}
+	}
+	if paths != 8 {
+		t.Errorf("concolic run reported %d paths, want 8 (2^3 ladder)", paths)
+	}
+}
+
+// TestServiceAPIErrors pins the typed error envelopes: bad submissions
+// are 400 bad_request, unknown jobs are 404, and after Close the server
+// answers draining.
+func TestServiceAPIErrors(t *testing.T) {
+	srv, hs, c := startServer(t, Config{Obs: obs.New()})
+	defer hs.Close()
+
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"empty image", JobSpec{}},
+		{"garbage image", JobSpec{Image: []byte("not an image")}},
+		{"arch mismatch", JobSpec{Image: buildImage(t, "tiny32", "_start:\n\ttrap 0\n"), Arch: "rv32i"}},
+		{"bad mode", JobSpec{Image: buildImage(t, "tiny32", "_start:\n\ttrap 0\n"), Mode: "exhaustive"}},
+		{"bad strategy", JobSpec{Image: buildImage(t, "tiny32", "_start:\n\ttrap 0\n"), Strategy: "astar"}},
+	}
+	for _, tc := range cases {
+		_, err := c.Submit(tc.spec)
+		je, ok := err.(*JobError)
+		if !ok {
+			t.Fatalf("%s: got %v, want a *JobError", tc.name, err)
+		}
+		if je.Code != CodeBadRequest {
+			t.Errorf("%s: code %q, want %q", tc.name, je.Code, CodeBadRequest)
+		}
+	}
+
+	if _, err := c.Status("j999999"); err == nil {
+		t.Error("status of unknown job did not error")
+	} else if je, ok := err.(*JobError); !ok || je.Code != CodeNotFound {
+		t.Errorf("unknown job: got %v, want not_found", err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(JobSpec{Image: buildImage(t, "tiny32", "_start:\n\ttrap 0\n")})
+	if je, ok := err.(*JobError); !ok || je.Code != CodeDraining {
+		t.Errorf("submit after Close: got %v, want draining", err)
+	}
+}

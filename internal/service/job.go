@@ -1,0 +1,272 @@
+// Job lifecycle: admission-to-terminal state machine, the engine run
+// with its recover boundary, and the JSONL event log results streaming
+// reads from. Every failure a job can suffer — bad decode, engine
+// error, recovered panic, injected fault — lands as a typed JobError
+// with a fault record where one applies; the fault-injection contract
+// ("fired faults always surface as typed errors, never bare 500s") is
+// enforced here and proven by chaos_test.go.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/prog"
+)
+
+// Job is one admitted analysis.
+type Job struct {
+	id   string
+	a    *adl.Arch
+	p    *prog.Program
+	mode string // explore|concolic
+	opts core.Options
+
+	seed    []byte // concolic
+	maxRuns int    // concolic
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{} // closed on cancel; wired to opts.Cancel
+	cancelReq  atomic.Bool
+
+	doneCh chan struct{} // closed when terminal
+
+	mu     sync.Mutex
+	state  string // queued|running|done|failed|canceled
+	err    *JobError
+	stats  *JobStats
+	events []Event
+}
+
+func newJob(a *adl.Arch, p *prog.Program, mode string, opts core.Options, seed []byte, maxRuns int) *Job {
+	j := &Job{
+		a:        a,
+		p:        p,
+		mode:     mode,
+		opts:     opts,
+		seed:     seed,
+		maxRuns:  maxRuns,
+		cancelCh: make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		state:    StateQueued,
+	}
+	j.opts.Cancel = j.cancelCh
+	return j
+}
+
+func (j *Job) requestCancel() {
+	j.cancelReq.Store(true)
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+// canceledEarly reports whether the job was canceled while still
+// queued; if so it transitions straight to canceled.
+func (j *Job) canceledEarly() bool {
+	if !j.cancelReq.Load() {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.state != StateQueued
+	if !terminal {
+		j.state = StateCanceled
+		j.err = &JobError{Code: CodeCanceled, Msg: "canceled before running"}
+	}
+	j.mu.Unlock()
+	if !terminal {
+		close(j.doneCh)
+	}
+	return !terminal
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// finish transitions to a terminal state exactly once and wakes every
+// results waiter.
+func (j *Job) finish(state string, err *JobError, stats *JobStats) {
+	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = err
+	j.stats = stats
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.mu.Unlock()
+}
+
+func (j *Job) eventsSnapshot() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+func (j *Job) statusString() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:     j.id,
+		Arch:   j.p.Arch,
+		Mode:   j.mode,
+		Status: j.state,
+		Error:  j.err,
+		Stats:  j.stats,
+	}
+	return st
+}
+
+// runJob executes one job inside the service's recover boundary: a
+// panic escaping the engine (including injected handler-level faults)
+// is converted to a typed "panic" failure carrying the fault record
+// when the panic was injected — never a crash, never an untyped error.
+func (s *Server) runJob(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			je := &JobError{Code: CodePanic, Msg: fmt.Sprint(r)}
+			if f, ok := faultinject.Observe(r); ok {
+				je.Fault = &FaultRecord{Site: f.Site.String(), Injected: true, Msg: f.Error()}
+			}
+			j.emit(Event{Type: "fault", Fault: je.Fault})
+			j.finish(StateFailed, je, nil)
+		}
+	}()
+
+	// The service consults the decode fault site once per job before
+	// handing the program to the engine, mirroring how the decoder
+	// consults it per instruction: chaos runs prove that admission-time
+	// faults also surface as typed job errors.
+	if k := s.cfg.Inject.Fire(faultinject.SiteDecode); k == faultinject.KindDecode {
+		fr := &FaultRecord{Site: faultinject.SiteDecode.String(), Injected: true, Msg: faultinject.ErrDecode.Error()}
+		j.emit(Event{Type: "fault", Fault: fr})
+		j.finish(StateFailed, &JobError{Code: CodeDecode, Msg: faultinject.ErrDecode.Error(), Fault: fr}, nil)
+		return
+	}
+
+	e := core.NewEngine(j.a, j.p, j.opts)
+	for _, c := range Checkers() {
+		e.AddChecker(c)
+	}
+
+	t0 := time.Now()
+	switch j.mode {
+	case "concolic":
+		s.runConcolic(j, e, t0)
+	default:
+		s.runExplore(j, e, t0)
+	}
+}
+
+func (s *Server) runExplore(j *Job, e *core.Engine, t0 time.Time) {
+	rep, err := e.Run()
+	if err != nil {
+		j.finish(StateFailed, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		return
+	}
+	stats := exploreStats(rep, t0)
+	for _, p := range rep.Paths {
+		j.emit(Event{Type: "path", Path: &PathEvent{
+			ID: p.ID, Status: p.Status.String(), EndPC: p.EndPC, Steps: p.Steps, Depth: p.Depth,
+		}})
+	}
+	for _, b := range rep.Bugs {
+		j.emit(Event{Type: "bug", Bug: &BugEvent{
+			Check: b.Check, PC: b.PC, Insn: b.Insn, Msg: b.Msg, Input: b.Input,
+		}})
+	}
+	for _, f := range rep.Faults {
+		j.emit(Event{Type: "fault", Fault: &FaultRecord{Layer: f.Layer, PC: f.PC, Msg: f.Msg}})
+	}
+	j.emit(Event{Type: "coverage", Coverage: &CoverageEvent{Covered: rep.Stats.Coverage}})
+	j.emit(Event{Type: "done", Done: stats})
+
+	if j.cancelReq.Load() {
+		j.finish(StateCanceled, &JobError{Code: CodeCanceled, Msg: "canceled while running"}, stats)
+		return
+	}
+	j.finish(StateDone, nil, stats)
+}
+
+func (s *Server) runConcolic(j *Job, e *core.Engine, t0 time.Time) {
+	rep, err := e.Concolic(j.seed, j.maxRuns)
+	if err != nil {
+		j.finish(StateFailed, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		return
+	}
+	stats := concolicStats(rep, t0)
+	for i, p := range rep.Paths {
+		j.emit(Event{Type: "path", Path: &PathEvent{
+			ID: i, Status: p.Status.String(), Steps: p.Steps, Input: p.Input,
+		}})
+	}
+	for _, b := range rep.Bugs {
+		j.emit(Event{Type: "bug", Bug: &BugEvent{
+			Check: b.Check, PC: b.PC, Insn: b.Insn, Msg: b.Msg, Input: b.Input,
+		}})
+	}
+	for _, f := range rep.Faults {
+		j.emit(Event{Type: "fault", Fault: &FaultRecord{Layer: f.Layer, PC: f.PC, Msg: f.Msg}})
+	}
+	j.emit(Event{Type: "coverage", Coverage: &CoverageEvent{Covered: rep.Coverage}})
+	j.emit(Event{Type: "done", Done: stats})
+
+	if j.cancelReq.Load() {
+		j.finish(StateCanceled, &JobError{Code: CodeCanceled, Msg: "canceled while running"}, stats)
+		return
+	}
+	j.finish(StateDone, nil, stats)
+}
+
+func exploreStats(rep *core.Report, t0 time.Time) *JobStats {
+	st := rep.Stats
+	return &JobStats{
+		Paths:        len(rep.Paths),
+		Bugs:         len(rep.Bugs),
+		Instructions: st.Instructions,
+		Forks:        st.Forks,
+		SolverQs:     st.Solver.Queries,
+		CacheHits:    st.Solver.CacheHits,
+		CacheMisses:  st.Solver.CacheMisses,
+		PathFaults:   st.PathFaults,
+		Degraded:     st.Degraded.Total(),
+		Coverage:     st.Coverage,
+		WallMS:       time.Since(t0).Milliseconds(),
+	}
+}
+
+func concolicStats(rep *core.ConcolicReport, t0 time.Time) *JobStats {
+	st := rep.Stats
+	return &JobStats{
+		Paths:        len(rep.Paths),
+		Bugs:         len(rep.Bugs),
+		Instructions: st.Instructions,
+		Forks:        st.Forks,
+		SolverQs:     st.Solver.Queries,
+		CacheHits:    st.Solver.CacheHits,
+		CacheMisses:  st.Solver.CacheMisses,
+		PathFaults:   st.PathFaults,
+		Degraded:     st.Degraded.Total(),
+		Coverage:     rep.Coverage,
+		WallMS:       time.Since(t0).Milliseconds(),
+	}
+}

@@ -1,0 +1,154 @@
+// Service-level metrics (docs/observability.md): job scheduling
+// counters, queue gauges, and the persistence/cross-run cache series
+// the acceptance smoke reads off /metrics. Counters backed by sampled
+// sources (the cache and the persistent log keep their own totals) are
+// exported as deltas against the last refresh, so Prometheus sees
+// proper monotone counters.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+type serviceMetrics struct {
+	admitted *obs.Counter // service_jobs_admitted_total
+
+	rejQueueFull  *obs.Counter // service_jobs_rejected_total{reason="queue_full"}
+	rejDraining   *obs.Counter // service_jobs_rejected_total{reason="draining"}
+	rejBadRequest *obs.Counter // service_jobs_rejected_total{reason="bad_request"}
+
+	doneOK       *obs.Counter // service_jobs_completed_total{status="done"}
+	doneFailed   *obs.Counter // service_jobs_completed_total{status="failed"}
+	doneCanceled *obs.Counter // service_jobs_completed_total{status="canceled"}
+
+	queueDepth *obs.Gauge // service_queue_depth
+	running    *obs.Gauge // service_jobs_running
+
+	cacheSize   *obs.Gauge   // service_cache_entries
+	cacheHits   *obs.Counter // service_cache_hits_total (delta-fed)
+	cacheMisses *obs.Counter // service_cache_misses_total (delta-fed)
+	crossHits   *obs.Counter // service_cache_cross_hits_total (delta-fed)
+
+	persistEntries     *obs.Gauge   // service_persist_entries
+	persistLoaded      *obs.Gauge   // service_persist_loaded
+	persistFlushed     *obs.Counter // service_persist_flushed_total (delta-fed)
+	persistCompactions *obs.Counter // service_persist_compactions_total (delta-fed)
+	persistReadOnly    *obs.Gauge   // service_persist_read_only
+	cacheCorrupt       *obs.Counter // cache_corrupt_total (delta-fed)
+}
+
+func newServiceMetrics(r *obs.Registry) serviceMetrics {
+	rej := func(reason string) *obs.Counter {
+		return r.Counter(fmt.Sprintf("service_jobs_rejected_total{reason=%q}", reason),
+			"Job submissions rejected by the admission controller, by reason")
+	}
+	done := func(status string) *obs.Counter {
+		return r.Counter(fmt.Sprintf("service_jobs_completed_total{status=%q}", status),
+			"Jobs that reached a terminal state, by outcome")
+	}
+	return serviceMetrics{
+		admitted: r.Counter("service_jobs_admitted_total", "Jobs admitted to the run queue"),
+
+		rejQueueFull:  rej("queue_full"),
+		rejDraining:   rej("draining"),
+		rejBadRequest: rej("bad_request"),
+
+		doneOK:       done("done"),
+		doneFailed:   done("failed"),
+		doneCanceled: done("canceled"),
+
+		queueDepth: r.Gauge("service_queue_depth", "Admitted jobs waiting for a runner"),
+		running:    r.Gauge("service_jobs_running", "Jobs currently executing"),
+
+		cacheSize:   r.Gauge("service_cache_entries", "Entries in the shared solver-query cache"),
+		cacheHits:   r.Counter("service_cache_hits_total", "Solver queries answered by the shared cache"),
+		cacheMisses: r.Counter("service_cache_misses_total", "Solver queries the shared cache could not answer"),
+		crossHits:   r.Counter("service_cache_cross_hits_total", "Cache hits on entries loaded from the persistent log (cross-run hits)"),
+
+		persistEntries:     r.Gauge("service_persist_entries", "Entries in the persistent cache file"),
+		persistLoaded:      r.Gauge("service_persist_loaded", "Entries loaded from the persistent cache at startup/reload"),
+		persistFlushed:     r.Counter("service_persist_flushed_total", "Entries appended to the persistent cache log"),
+		persistCompactions: r.Counter("service_persist_compactions_total", "LRU compaction rewrites of the persistent cache log"),
+		persistReadOnly:    r.Gauge("service_persist_read_only", "1 when another process holds the cache writer lease"),
+		cacheCorrupt:       r.Counter("cache_corrupt_total", "Corrupt entries skipped while loading the persistent cache"),
+	}
+}
+
+func (m *serviceMetrics) rejected(code string) {
+	switch code {
+	case CodeQueueFull:
+		m.rejQueueFull.Inc()
+	case CodeDraining:
+		m.rejDraining.Inc()
+	default:
+		m.rejBadRequest.Inc()
+	}
+}
+
+func (m *serviceMetrics) completed(status string) {
+	switch status {
+	case StateDone:
+		m.doneOK.Inc()
+	case StateCanceled:
+		m.doneCanceled.Inc()
+	default:
+		m.doneFailed.Inc()
+	}
+}
+
+// metricsBase remembers the last exported totals of the delta-fed
+// counters. Guarded by its own mutex: refreshMetrics is called from the
+// flusher, from /metrics scrapes and from Close concurrently.
+type metricsBase struct {
+	mu          sync.Mutex
+	cacheHits   int64
+	cacheMisses int64
+	crossHits   int64
+	flushed     int64
+	compactions int64
+	corruptions int64
+}
+
+// refreshMetrics re-exports the sampled sources (shared cache, persist
+// log) into the registry: gauges are set, counters advance by the delta
+// since the last refresh.
+func (s *Server) refreshMetrics() {
+	cs := s.cache.Stats()
+	s.base.mu.Lock()
+	defer s.base.mu.Unlock()
+
+	s.m.cacheSize.Set(int64(cs.Size))
+	s.m.cacheHits.Add(max64(0, cs.Hits-s.base.cacheHits))
+	s.base.cacheHits = max64(cs.Hits, s.base.cacheHits)
+	s.m.cacheMisses.Add(max64(0, cs.Misses-s.base.cacheMisses))
+	s.base.cacheMisses = max64(cs.Misses, s.base.cacheMisses)
+	s.m.crossHits.Add(max64(0, cs.DiskHits-s.base.crossHits))
+	s.base.crossHits = max64(cs.DiskHits, s.base.crossHits)
+
+	if s.persist != nil {
+		ps := s.persist.Stats()
+		s.m.persistEntries.Set(ps.FileEntries)
+		s.m.persistLoaded.Set(ps.Loaded)
+		s.m.persistFlushed.Add(max64(0, ps.Flushed-s.base.flushed))
+		s.base.flushed = max64(ps.Flushed, s.base.flushed)
+		s.m.persistCompactions.Add(max64(0, ps.Compactions-s.base.compactions))
+		s.base.compactions = max64(ps.Compactions, s.base.compactions)
+		s.m.cacheCorrupt.Add(max64(0, ps.Corruptions-s.base.corruptions))
+		s.base.corruptions = max64(ps.Corruptions, s.base.corruptions)
+		if ps.ReadOnly {
+			s.m.persistReadOnly.Set(1)
+		} else {
+			s.m.persistReadOnly.Set(0)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

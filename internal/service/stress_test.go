@@ -1,0 +1,176 @@
+// Scheduler stress: concurrent submit/cancel/poll/stream against one
+// server, exercising the admission path, the bounded queue, early and
+// mid-run cancellation and the status/results snapshots under the race
+// detector (this package is part of the Makefile race tier).
+package service_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+
+	. "repro/internal/service"
+)
+
+func TestServiceSubmitCancelPollStress(t *testing.T) {
+	srv, err := New(Config{
+		MaxConcurrent: 2,
+		QueueDepth:    4, // small on purpose: backpressure must fire
+		Obs:           obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A ladder deep enough that cancellation can land mid-run.
+	img := buildImage(t, "tiny32", harness.BranchLadder("tiny32", 6))
+
+	const clients = 8
+	const perClient = 6
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		submitted []string
+		rejected  int
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				st, jerr := srv.Submit(JobSpec{Image: img})
+				if jerr != nil {
+					if jerr.Code != CodeQueueFull {
+						t.Errorf("client %d: unexpected rejection %v", c, jerr)
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				mu.Lock()
+				submitted = append(submitted, st.ID)
+				mu.Unlock()
+
+				// Poll a little, cancel about half the jobs at a random
+				// point, and keep polling through the transition.
+				for p := 0; p < 5; p++ {
+					if _, ok := srv.Status(st.ID); !ok {
+						t.Errorf("client %d: job %s vanished", c, st.ID)
+					}
+					if p == 2 && rng.Intn(2) == 0 {
+						if _, ok := srv.Cancel(st.ID); !ok {
+							t.Errorf("client %d: cancel of %s not found", c, st.ID)
+						}
+					}
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if rejected == 0 {
+		t.Log("note: queue never filled; backpressure path not exercised this run")
+	}
+
+	// Every admitted job must reach a terminal state, and terminal
+	// snapshots must be internally consistent.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range submitted {
+		for {
+			st, ok := srv.Status(id)
+			if !ok {
+				t.Fatalf("job %s vanished while waiting", id)
+			}
+			if st.Status == StateDone || st.Status == StateFailed || st.Status == StateCanceled {
+				switch st.Status {
+				case StateDone:
+					if st.Error != nil {
+						t.Errorf("job %s: done with error %v", id, st.Error)
+					}
+					if st.Stats == nil || st.Stats.Paths == 0 {
+						t.Errorf("job %s: done without stats", id)
+					}
+				case StateCanceled:
+					if st.Error == nil || st.Error.Code != CodeCanceled {
+						t.Errorf("job %s: canceled with error %v, want code %q", id, st.Error, CodeCanceled)
+					}
+				case StateFailed:
+					t.Errorf("job %s: failed unexpectedly: %v", id, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, st.Status)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Cancel of already-terminal jobs is a harmless no-op.
+	for _, id := range submitted[:min(4, len(submitted))] {
+		before, _ := srv.Status(id)
+		after, ok := srv.Cancel(id)
+		if !ok || after.Status != before.Status {
+			t.Errorf("cancel of terminal job %s changed status %q -> %q", id, before.Status, after.Status)
+		}
+	}
+}
+
+// TestServiceCloseDuringLoad races Close against live submissions: no
+// send-on-closed-channel panics, and every post-drain submission gets
+// the typed draining error.
+func TestServiceCloseDuringLoad(t *testing.T) {
+	srv, err := New(Config{MaxConcurrent: 2, QueueDepth: 8, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, "tiny32", harness.BranchLadder("tiny32", 5))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, jerr := srv.Submit(JobSpec{Image: img})
+				if jerr != nil && jerr.Code != CodeQueueFull && jerr.Code != CodeDraining {
+					t.Errorf("unexpected rejection during shutdown race: %v", jerr)
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, jerr := srv.Submit(JobSpec{Image: img}); jerr == nil || jerr.Code != CodeDraining {
+		t.Errorf("submit after close: got %v, want draining", jerr)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -29,6 +29,16 @@ type QueryCache struct {
 	shards [cacheShards]cacheShard
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// diskHits counts lookups answered by an entry that was loaded from
+	// a persistent cache file (persist.go) rather than solved in this
+	// process — the cross-run hit counter of the service layer.
+	diskHits atomic.Int64
+
+	// tick is the logical use clock behind per-entry LRU ordering: every
+	// lookup hit and store stamps the entry, and the persistent cache's
+	// size-bounded compaction keeps the most recently stamped entries.
+	tick atomic.Int64
 }
 
 type cacheShard struct {
@@ -42,6 +52,8 @@ type cacheKey struct{ k0, k1 uint64 }
 type cacheEntry struct {
 	r     Result
 	model expr.Env // satisfying assignment for Sat entries; must not be mutated
+	used  int64    // logical use-clock stamp of the last lookup hit (LRU)
+	disk  bool     // entry came from a persistent cache file (cross-run)
 }
 
 // NewQueryCache returns an empty cache.
@@ -81,14 +93,22 @@ func (c *QueryCache) shard(k cacheKey) *cacheShard {
 	return &c.shards[k.k0%cacheShards]
 }
 
-// lookup returns a memoized result for the key, counting hit/miss.
+// lookup returns a memoized result for the key, counting hit/miss. A
+// hit restamps the entry's LRU use clock under the shard lock.
 func (c *QueryCache) lookup(k cacheKey) (cacheEntry, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	e, ok := s.m[k]
+	if ok {
+		e.used = c.tick.Add(1)
+		s.m[k] = e
+	}
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		if e.disk {
+			c.diskHits.Add(1)
+		}
 	} else {
 		c.misses.Add(1)
 	}
@@ -101,9 +121,59 @@ func (c *QueryCache) store(k cacheKey, e cacheEntry) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if _, ok := s.m[k]; !ok {
+		e.used = c.tick.Add(1)
 		s.m[k] = e
 	}
 	s.mu.Unlock()
+}
+
+// Insert seeds a memoized result under a raw 128-bit key, bypassing the
+// digest fold — the persistent loader's entry point (persist.go). An
+// entry already present wins: in-process results are at least as fresh
+// as anything read back from disk. fromDisk marks the entry for the
+// cross-run DiskHits counter.
+func (c *QueryCache) Insert(k0, k1 uint64, r Result, model expr.Env, fromDisk bool) {
+	if r == Unknown {
+		return // non-canonical, same rule as store
+	}
+	k := cacheKey{k0: k0, k1: k1}
+	s := c.shard(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = cacheEntry{r: r, model: model, used: c.tick.Add(1), disk: fromDisk}
+	}
+	s.mu.Unlock()
+}
+
+// ExportedEntry is one memoized query as seen by Export.
+type ExportedEntry struct {
+	K0, K1 uint64
+	R      Result
+	Model  expr.Env // shared, not copied: callers must not mutate
+	Used   int64    // LRU use-clock stamp (higher = more recent)
+	Disk   bool     // loaded from a persistent file rather than solved here
+}
+
+// Export calls fn for every memoized entry. Each shard is copied under
+// its lock, so the callback runs lock-free on a per-shard-consistent
+// snapshot: an entry stored concurrently with the export is either
+// wholly present or wholly absent, never torn. Cross-shard skew is
+// limited to entries being stored while the export walks — acceptable
+// for the persistent flusher, which only ever appends what it sees and
+// catches stragglers on the next flush.
+func (c *QueryCache) Export(fn func(ExportedEntry)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		snap := make([]ExportedEntry, 0, len(s.m))
+		for k, e := range s.m {
+			snap = append(snap, ExportedEntry{K0: k.k0, K1: k.k1, R: e.r, Model: e.model, Used: e.used, Disk: e.disk})
+		}
+		s.mu.Unlock()
+		for _, e := range snap {
+			fn(e)
+		}
+	}
 }
 
 // Hits returns the number of lookups answered from the cache.
@@ -112,16 +182,61 @@ func (c *QueryCache) Hits() int64 { return c.hits.Load() }
 // Misses returns the number of lookups that fell through to the solver.
 func (c *QueryCache) Misses() int64 { return c.misses.Load() }
 
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
-func (c *QueryCache) HitRate() float64 {
-	h, m := c.hits.Load(), c.misses.Load()
-	if h+m == 0 {
-		return 0
-	}
-	return float64(h) / float64(h+m)
+// DiskHits returns the number of lookups answered by an entry loaded
+// from a persistent cache file — hits that crossed a process boundary.
+func (c *QueryCache) DiskHits() int64 { return c.diskHits.Load() }
+
+// CacheStats is a consistent counter snapshot (see QueryCache.Stats).
+type CacheStats struct {
+	Hits     int64
+	Misses   int64
+	DiskHits int64
+	Size     int
 }
 
-// Size returns the number of memoized queries.
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a snapshot of the counters that is consistent enough
+// for ratio math while shards mutate: the hit counter is re-read until
+// it is stable around the other loads, so a concurrently recorded
+// lookup can never produce a snapshot with more disk hits than hits, or
+// a hit rate above 1. Size is summed shard by shard (each shard
+// consistent under its lock); with no eviction it is monotonic, so the
+// sum is a valid lower bound of the instantaneous size.
+func (c *QueryCache) Stats() CacheStats {
+	var st CacheStats
+	for {
+		h0 := c.hits.Load()
+		st.Misses = c.misses.Load()
+		st.DiskHits = c.diskHits.Load()
+		st.Hits = c.hits.Load()
+		if st.Hits == h0 {
+			break
+		}
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Size += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// HitRate returns hits / (hits + misses) from a consistent snapshot, or
+// 0 before any lookup. Safe to call while lookups are in flight; the
+// result is always in [0, 1].
+func (c *QueryCache) HitRate() float64 { return c.Stats().HitRate() }
+
+// Size returns the number of memoized queries. Each shard is counted
+// under its lock; with no eviction the result is a lower bound of the
+// instantaneous size and is exact once stores quiesce.
 func (c *QueryCache) Size() int {
 	n := 0
 	for i := range c.shards {

@@ -1,0 +1,456 @@
+// Persistent solver-query cache: a content-addressed, cross-run store
+// behind QueryCache (docs/service.md). Because queries are keyed by
+// 128-bit *structural* digests (expr.Digest), a memoized sat/unsat
+// result is valid for any process that ever poses a structurally
+// identical query — across runs, jobs and tenants. The persistent layer
+// makes that sharing survive process restarts:
+//
+//   - the file is an append-only log of CRC32-checksummed entries
+//     (key, result, model), so a flush is a single sequential write and
+//     a crash mid-append costs only the torn tail;
+//   - Load replays the log into the in-memory QueryCache, skipping and
+//     (when writable) truncating any corrupt suffix — a flipped bit or
+//     truncated tail can never poison results, only shrink the cache;
+//   - a background flusher (service layer or caller-driven) appends the
+//     entries solved since the last flush;
+//   - compaction bounds the file: when the live entry count exceeds the
+//     configured maximum, the log is rewritten with only the most
+//     recently used entries (LRU order from the QueryCache use clock);
+//   - a flock-based single-writer lease makes concurrent daemons safe:
+//     the first opener owns appends, later openers attach read-only and
+//     still load (and re-load) the shared file.
+package smt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+
+	"repro/internal/expr"
+)
+
+// Persist file layout (all integers little-endian):
+//
+//	header:  "SXQC" | u32 version
+//	entry:   u32 payloadLen | u32 crc32(payload) | payload
+//	payload: u64 k0 | u64 k1 | u8 result | u32 nvars |
+//	         { u16 nameLen | name bytes | u64 value } * nvars
+const (
+	persistMagic   = "SXQC"
+	persistVersion = 1
+
+	// maxPayload bounds a single entry; anything larger in the length
+	// field is treated as corruption, not an allocation request.
+	maxPayload = 1 << 20
+)
+
+// ErrReadOnly is returned by Flush and Compact when another process
+// holds the single-writer lease on the cache file.
+var ErrReadOnly = errors.New("smt: persistent cache is read-only (another writer holds the lease)")
+
+// PersistStats is a snapshot of the persistent layer's counters.
+type PersistStats struct {
+	Loaded      int64 // entries loaded from the file into the QueryCache
+	Flushed     int64 // entries appended to the file by this process
+	Corruptions int64 // corrupt entries (bad CRC, torn tail) skipped on load
+	Compactions int64 // log rewrites performed
+	FileEntries int64 // entries believed on disk after the last load/flush
+	ReadOnly    bool  // true when another process owns the writer lease
+}
+
+// PersistOptions configures OpenPersistentCache.
+type PersistOptions struct {
+	// MaxEntries bounds the on-disk log: when a flush would leave more
+	// than this many entries in the file, the log is compacted down to
+	// the MaxEntries most recently used ones. 0 means unbounded.
+	MaxEntries int
+}
+
+// PersistentCache binds a QueryCache to an on-disk log file.
+type PersistentCache struct {
+	cache *QueryCache
+	opts  PersistOptions
+
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	readOnly bool
+	onDisk   map[cacheKey]struct{} // keys known to be in the file
+	stats    PersistStats
+	closed   bool
+}
+
+// OpenPersistentCache opens (creating if needed) the cache file at path,
+// acquires the single-writer flock lease when available, and loads every
+// intact entry into cache. When another process already holds the lease
+// the cache attaches read-only: Load works, Flush returns ErrReadOnly,
+// and the file is never truncated or appended to. The returned cache is
+// usable even when the load found corruption — the corrupt suffix is
+// skipped (and truncated away, for the writer) and counted in
+// Stats().Corruptions.
+func OpenPersistentCache(path string, cache *QueryCache, opts PersistOptions) (*PersistentCache, error) {
+	if cache == nil {
+		return nil, errors.New("smt: OpenPersistentCache needs a QueryCache")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("smt: persistent cache: %w", err)
+	}
+	p := &PersistentCache{
+		cache:  cache,
+		opts:   opts,
+		f:      f,
+		path:   path,
+		onDisk: make(map[cacheKey]struct{}),
+	}
+	// Single-writer lease: first process in owns appends; later ones
+	// degrade to read-only loaders instead of interleaving writes.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		p.readOnly = true
+		p.stats.ReadOnly = true
+	}
+	if err := p.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// load replays the log into the QueryCache. Caller need not hold p.mu
+// (only called from OpenPersistentCache and Reload, which do).
+func (p *PersistentCache) load() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loadLocked()
+}
+
+func (p *PersistentCache) loadLocked() error {
+	if _, err := p.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("smt: persistent cache: %w", err)
+	}
+	st, err := p.f.Stat()
+	if err != nil {
+		return fmt.Errorf("smt: persistent cache: %w", err)
+	}
+	if st.Size() == 0 {
+		// Fresh file: the writer stamps the header now so appends can
+		// assume it exists; a reader of an empty file just has nothing.
+		if !p.readOnly {
+			var hdr [8]byte
+			copy(hdr[:4], persistMagic)
+			binary.LittleEndian.PutUint32(hdr[4:], persistVersion)
+			if _, err := p.f.Write(hdr[:]); err != nil {
+				return fmt.Errorf("smt: persistent cache: %w", err)
+			}
+		}
+		return nil
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(p.f, hdr[:]); err != nil || string(hdr[:4]) != persistMagic ||
+		binary.LittleEndian.Uint32(hdr[4:]) != persistVersion {
+		// A file that is not ours (or a torn header) is treated as wholly
+		// corrupt: the writer starts over, a reader loads nothing.
+		p.stats.Corruptions++
+		if !p.readOnly {
+			if err := p.rewriteLocked(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	good := int64(len(hdr)) // offset of the last intact entry boundary
+	var lenb [8]byte
+	for {
+		if _, err := io.ReadFull(p.f, lenb[:]); err != nil {
+			if err != io.EOF {
+				p.stats.Corruptions++ // torn length/CRC prefix
+			}
+			break
+		}
+		plen := binary.LittleEndian.Uint32(lenb[:4])
+		crc := binary.LittleEndian.Uint32(lenb[4:])
+		if plen == 0 || plen > maxPayload {
+			p.stats.Corruptions++
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(p.f, payload); err != nil {
+			p.stats.Corruptions++ // truncated tail
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			p.stats.Corruptions++ // flipped bits
+			break
+		}
+		k, r, model, ok := decodeEntry(payload)
+		if !ok {
+			p.stats.Corruptions++
+			break
+		}
+		p.cache.Insert(k.k0, k.k1, r, model, true)
+		if _, dup := p.onDisk[k]; !dup {
+			p.onDisk[k] = struct{}{}
+			p.stats.FileEntries++
+		}
+		p.stats.Loaded++
+		good += int64(len(lenb)) + int64(plen)
+	}
+	// Skip-and-truncate recovery: the writer drops the corrupt suffix so
+	// the next append lands on an intact boundary. Readers only skip —
+	// truncation without the lease would race the writer.
+	if !p.readOnly {
+		if err := p.f.Truncate(good); err != nil {
+			return fmt.Errorf("smt: persistent cache: truncate: %w", err)
+		}
+		if _, err := p.f.Seek(good, io.SeekStart); err != nil {
+			return fmt.Errorf("smt: persistent cache: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reload re-reads the file, inserting entries appended by another
+// process since the last load. Only meaningful for read-only attachers
+// following an active writer; the writer already has everything.
+func (p *PersistentCache) Reload() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("smt: persistent cache is closed")
+	}
+	// Re-scan from the start: Insert keeps existing entries, so replay
+	// is idempotent, and onDisk dedups the file-entry count.
+	return p.loadLocked()
+}
+
+func encodeEntry(e ExportedEntry) []byte {
+	n := 8 + 8 + 1 + 4
+	names := make([]string, 0, len(e.Model))
+	for name := range e.Model {
+		names = append(names, name)
+		n += 2 + len(name) + 8
+	}
+	sort.Strings(names) // deterministic bytes for a given entry
+	buf := make([]byte, 0, n)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], e.K0)
+	buf = append(buf, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], e.K1)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, byte(e.R))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(names)))
+	buf = append(buf, u32[:]...)
+	for _, name := range names {
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(name)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, name...)
+		binary.LittleEndian.PutUint64(u64[:], e.Model[name])
+		buf = append(buf, u64[:]...)
+	}
+	return buf
+}
+
+func decodeEntry(b []byte) (k cacheKey, r Result, model expr.Env, ok bool) {
+	if len(b) < 8+8+1+4 {
+		return k, r, nil, false
+	}
+	k.k0 = binary.LittleEndian.Uint64(b)
+	k.k1 = binary.LittleEndian.Uint64(b[8:])
+	r = Result(b[16])
+	if r != Sat && r != Unsat {
+		return k, r, nil, false
+	}
+	nvars := binary.LittleEndian.Uint32(b[17:])
+	b = b[21:]
+	if nvars > 0 {
+		model = make(expr.Env, nvars)
+	}
+	for i := uint32(0); i < nvars; i++ {
+		if len(b) < 2 {
+			return k, r, nil, false
+		}
+		nl := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < nl+8 {
+			return k, r, nil, false
+		}
+		model[string(b[:nl])] = binary.LittleEndian.Uint64(b[nl:])
+		b = b[nl+8:]
+	}
+	if len(b) != 0 {
+		return k, r, nil, false
+	}
+	return k, r, model, true
+}
+
+// Flush appends every definitive entry solved since the last flush (or
+// load) to the log, then compacts if the file grew past MaxEntries.
+// Safe to call concurrently with lookups and stores; entries stored
+// while the flush runs are caught by the next one.
+func (p *PersistentCache) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("smt: persistent cache is closed")
+	}
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	var buf []byte
+	var added []cacheKey
+	p.cache.Export(func(e ExportedEntry) {
+		k := cacheKey{k0: e.K0, k1: e.K1}
+		if _, ok := p.onDisk[k]; ok {
+			return
+		}
+		payload := encodeEntry(e)
+		var pre [8]byte
+		binary.LittleEndian.PutUint32(pre[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(pre[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, pre[:]...)
+		buf = append(buf, payload...)
+		added = append(added, k)
+	})
+	if len(buf) > 0 {
+		if _, err := p.f.Write(buf); err != nil {
+			return fmt.Errorf("smt: persistent cache: append: %w", err)
+		}
+		for _, k := range added {
+			p.onDisk[k] = struct{}{}
+		}
+		p.stats.Flushed += int64(len(added))
+		p.stats.FileEntries += int64(len(added))
+	}
+	if p.opts.MaxEntries > 0 && p.stats.FileEntries > int64(p.opts.MaxEntries) {
+		return p.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the log keeping only the MaxEntries most recently
+// used entries (all of them when MaxEntries is 0 — still useful to drop
+// duplicate and superseded records after many appends).
+func (p *PersistentCache) Compact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("smt: persistent cache is closed")
+	}
+	if p.readOnly {
+		return ErrReadOnly
+	}
+	return p.compactLocked()
+}
+
+func (p *PersistentCache) compactLocked() error {
+	var entries []ExportedEntry
+	p.cache.Export(func(e ExportedEntry) { entries = append(entries, e) })
+	// Most recently used first; the survivors are the LRU-bounded set.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Used > entries[j].Used })
+	if p.opts.MaxEntries > 0 && len(entries) > p.opts.MaxEntries {
+		entries = entries[:p.opts.MaxEntries]
+	}
+	if err := p.rewriteLocked(entries); err != nil {
+		return err
+	}
+	p.stats.Compactions++
+	return nil
+}
+
+// rewriteLocked replaces the log atomically (write temp, rename over).
+func (p *PersistentCache) rewriteLocked(entries []ExportedEntry) error {
+	tmp, err := os.CreateTemp(dirOf(p.path), ".sxqc-compact-*")
+	if err != nil {
+		return fmt.Errorf("smt: persistent cache: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [8]byte
+	copy(hdr[:4], persistMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], persistVersion)
+	buf := append([]byte(nil), hdr[:]...)
+	onDisk := make(map[cacheKey]struct{}, len(entries))
+	for _, e := range entries {
+		payload := encodeEntry(e)
+		var pre [8]byte
+		binary.LittleEndian.PutUint32(pre[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(pre[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, pre[:]...)
+		buf = append(buf, payload...)
+		onDisk[cacheKey{k0: e.K0, k1: e.K1}] = struct{}{}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("smt: persistent cache: compact: %w", err)
+	}
+	// Move the flock lease to the new inode before it becomes the file.
+	if err := syscall.Flock(int(tmp.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		tmp.Close()
+		return fmt.Errorf("smt: persistent cache: compact lease: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("smt: persistent cache: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("smt: persistent cache: compact: %w", err)
+	}
+	p.f.Close()
+	p.f = tmp
+	p.onDisk = onDisk
+	p.stats.FileEntries = int64(len(entries))
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Stats returns a snapshot of the persistence counters.
+func (p *PersistentCache) Stats() PersistStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ReadOnly reports whether this process lost the single-writer lease.
+func (p *PersistentCache) ReadOnly() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readOnly
+}
+
+// Close flushes (when writable) and releases the file and its lease.
+func (p *PersistentCache) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	var flushErr error
+	if !p.ReadOnly() {
+		flushErr = p.Flush()
+	}
+	p.mu.Lock()
+	p.closed = true
+	err := p.f.Close() // releases the flock lease
+	p.mu.Unlock()
+	if flushErr != nil {
+		return flushErr
+	}
+	return err
+}
