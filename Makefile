@@ -6,11 +6,12 @@
 # fault-isolation layer (docs/robustness.md), the compiled-vs-
 # interpreted equivalence smoke (docs/compile.md), and the analysis-
 # service smoke with its persistent cross-run solver cache
-# (docs/service.md).
+# (docs/service.md), and the exploration-profiler smoke against a live
+# daemon (docs/observability.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke
 
 build:
 	go build ./...
@@ -22,7 +23,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service ./internal/profile
 
 bench:
 	go test -bench=. -benchmem
@@ -68,6 +69,12 @@ compile-smoke:
 # nonzero cross-run hit rate on /metrics with zero corruption counters.
 service-smoke:
 	go test -run 'TestServiceSmoke' -count=1 ./internal/service
+
+# Exploration-profiler smoke (docs/observability.md): boot symexd on
+# loopback, run a job, and fetch its per-PC cost profile in all three
+# formats — the pprof bytes must parse and attribute solver time.
+profile-smoke:
+	go test -run 'TestProfileSmoke' -count=1 ./internal/service
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

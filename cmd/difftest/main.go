@@ -60,6 +60,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/difftest"
 	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 func main() {
@@ -78,6 +79,8 @@ func main() {
 	coverTarget := flag.Float64("cover-target", 0, "run until every architecture's coverage floor reaches this fraction (implies -cover)")
 	coverMin := flag.Float64("cover-min", 0, "exit 4 when any architecture's final coverage floor is below this fraction (implies -cover)")
 	layers := flag.String("layers", "", "comma-separated oracle layers to run (roundtrip,concsym,explore,solver,probe,compile; default all)")
+	profileOn := flag.Bool("profile", false, "attribute explore-layer cost to guest PCs; the hotspot report goes to stderr")
+	profileOut := flag.String("profile-out", "", "write the exploration profile as gzipped pprof protobuf to this file (implies -profile)")
 	chaos := flag.Bool("chaos", false, "arm the fault injector at every site (docs/robustness.md)")
 	chaosPeriod := flag.Int("chaos-period", 0, "approximate calls between injected faults per site (default 2000, implies -chaos)")
 	serviceAddr := flag.String("service-addr", "", "also drive a running symexd daemon at this address and match its results against direct runs (docs/service.md)")
@@ -118,9 +121,17 @@ func main() {
 		opts.CoverGuided = *coverGuided
 		opts.CoverTarget = *coverTarget
 	}
+	var prof *profile.Profiler
+	if *profileOn || *profileOut != "" {
+		prof = profile.New(profile.Meta{ADL: "difftest"})
+		opts.Profile = prof
+	}
 	if *obsAddr != "" {
 		opts.Obs = obs.New()
 		opts.Obs.Cover = coll
+		if prof != nil {
+			opts.Obs.Profile = prof
+		}
 		srv, err := obs.Serve(*obsAddr, opts.Obs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -186,6 +197,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cover-out: wrote coverage report to %s\n", *coverOut)
 		}
 		coll.WriteText(os.Stderr)
+	}
+	// Profile output follows the same discipline: pprof bytes to the
+	// named file, the hotspot report to stderr.
+	if prof != nil {
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err == nil {
+				err = prof.WritePprof(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profile-out: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "profile-out: wrote pprof profile to %s (go tool pprof -top %s)\n",
+				*profileOut, *profileOut)
+		}
+		if *profileOn {
+			prof.WriteText(os.Stderr)
+		}
 	}
 	// Chaos fault accounting goes to stderr like the other human
 	// summaries; per-site "fired/surfaced" pairs make missing recoveries

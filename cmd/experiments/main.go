@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
-//	                   coverage|cover-overhead|governor|compile|service-cache]
+//	                   coverage|cover-overhead|governor|compile|service-cache|profile-overhead]
 //	            [-obs-addr :8089]
 package main
 
@@ -22,8 +22,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache)")
-	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor (0 = all CPUs)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache, profile-overhead)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor/profile-overhead (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	flag.Parse()
 
@@ -87,6 +87,8 @@ func main() {
 		harness.RunCompileBench().Print(os.Stdout)
 	case "service-cache":
 		harness.RunServiceCache().Print(os.Stdout)
+	case "profile-overhead":
+		harness.RunProfileOverhead(workerCounts).Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -7,6 +7,7 @@
 //	symex [-inputs N] [-steps N] [-paths N] [-strategy s] [-workers N] [-paths-detail]
 //	      [-solver-deadline 2s] [-state-budget N] [-no-compile]
 //	      [-cover] [-cover-out cover.json] [-obs-addr :8089] [-trace-out trace.json]
+//	      [-profile] [-profile-out prof.pb.gz] [-profile-json prof.json]
 //	      <image.rimg>
 //
 // Execution runs through the semantics compiler and superblock cache by
@@ -22,6 +23,15 @@
 // -cover-out measure semantic coverage of the loaded ADL
 // (docs/coverage.md) fully offline: the JSON report goes to the named
 // file and the human-readable matrix to stderr.
+//
+// -profile attributes exploration cost (solver time, queries, forks,
+// step time, kills) to guest program counters and prints the ranked
+// hotspot report — including diamond fork/rejoin merge candidates — to
+// stderr. -profile-out writes the same attribution as a gzipped pprof
+// protobuf whose locations are guest PCs, so
+// `go tool pprof -top prof.pb.gz` renders a guest-code profile;
+// -profile-json writes the machine-readable report. Any of the three
+// arms the profiler (see docs/observability.md).
 //
 // -solver-deadline and -state-budget arm the resource governor
 // (docs/robustness.md): a query past the wall-clock deadline or a state
@@ -42,6 +52,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/prog"
 )
 
@@ -63,6 +74,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the exploration trace as Chrome trace_event JSON to this file")
 	coverOn := flag.Bool("cover", false, "collect semantic coverage; the matrix goes to stderr")
 	coverOut := flag.String("cover-out", "", "write the coverage report as JSON to this file (implies -cover)")
+	profileOn := flag.Bool("profile", false, "attribute exploration cost to guest PCs; the hotspot report goes to stderr")
+	profileOut := flag.String("profile-out", "", "write the exploration profile as gzipped pprof protobuf to this file (implies -profile)")
+	profileJSON := flag.String("profile-json", "", "write the exploration profile report as JSON to this file (implies -profile)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
@@ -142,6 +156,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-out: %d events -> %s (open with ui.perfetto.dev)\n",
 			o.Trace.Len(), *traceOut)
 	}
+	var prof *profile.Profiler
+	if *profileOn || *profileOut != "" || *profileJSON != "" {
+		prof = profile.New(profile.Meta{ADL: p.Arch})
+	}
+	// Profile output follows the coverage discipline: every surface is
+	// a diagnostic (stderr or a named file), stdout stays pipeable.
+	dumpProfile := func() {
+		if prof == nil {
+			return
+		}
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err == nil {
+				err = prof.WritePprof(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profile-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "profile-out: wrote pprof profile to %s (go tool pprof -top %s)\n",
+				*profileOut, *profileOut)
+		}
+		if *profileJSON != "" {
+			data, err := prof.JSON()
+			if err == nil {
+				err = os.WriteFile(*profileJSON, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profile-json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "profile-json: wrote profile report to %s\n", *profileJSON)
+		}
+		if *profileOn {
+			prof.WriteText(os.Stderr)
+		}
+	}
 	// Coverage output is fully offline: JSON to -cover-out, the
 	// human-readable matrix to stderr, stdout untouched.
 	dumpCover := func() {
@@ -176,6 +230,7 @@ func main() {
 		MaxStateTerms:  *stateBudget,
 		Obs:            o,
 		Cover:          coll,
+		Profile:        prof,
 	})
 	for _, c := range checker.All() {
 		e.AddChecker(c)
@@ -189,6 +244,7 @@ func main() {
 		}
 		dumpTrace()
 		dumpCover()
+		dumpProfile()
 		if len(rep.Faults) > 0 {
 			fmt.Fprintf(os.Stderr, "faults: %d runs ended by recovered panics:\n", len(rep.Faults))
 			for _, f := range rep.Faults {
@@ -218,6 +274,7 @@ func main() {
 	}
 	dumpTrace()
 	dumpCover()
+	dumpProfile()
 
 	fmt.Printf("%s: %d paths, %d instructions, %d forks (%d infeasible), %v\n",
 		p.Arch, len(r.Paths), r.Stats.Instructions, r.Stats.Forks,

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,8 +35,16 @@ func main() {
 		solverDL      = flag.Duration("solver-deadline", 2*time.Second, "per-query solver wall clock (resource governor)")
 		maxTerms      = flag.Int("max-state-terms", 0, "per-state symbolic-footprint budget (0 = off)")
 		coverage      = flag.Bool("coverage", false, "collect semantic coverage (served at /coverage)")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symexd: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		MaxConcurrent:    *maxConc,
@@ -49,6 +58,7 @@ func main() {
 		CacheMaxEntries:  *cacheMax,
 		FlushInterval:    *flushInterval,
 		Obs:              obs.New(),
+		Logger:           logger,
 	}
 	if *coverage {
 		cfg.Cover = cover.New()
@@ -56,35 +66,61 @@ func main() {
 
 	srv, err := service.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "symexd: %v\n", err)
+		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	httpSrv, err := srv.Listen(*addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "symexd: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("symexd listening on %s", httpSrv.Addr())
+	attrs := []any{"addr", httpSrv.Addr()}
 	if *cacheFile != "" {
 		ps := srv.PersistStats()
 		mode := "writer"
 		if ps.ReadOnly {
 			mode = "read-only follower"
 		}
-		fmt.Printf(" (cache %s: %d entries loaded, %d corrupt skipped, %s)",
-			*cacheFile, ps.Loaded, ps.Corruptions, mode)
+		attrs = append(attrs, "cache_file", *cacheFile, "cache_loaded", ps.Loaded,
+			"cache_corrupt", ps.Corruptions, "cache_mode", mode)
 	}
-	fmt.Println()
+	logger.Info("symexd listening", attrs...)
 
 	// Graceful shutdown: stop admitting, cancel jobs, flush the cache
 	// and release the writer lease before exiting.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("symexd: draining")
+	logger.Info("draining")
 	httpSrv.Close()
 	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "symexd: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// buildLogger assembles the daemon's slog logger on stderr, so the log
+// stream stays separate from anything scripts scrape off stdout.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }

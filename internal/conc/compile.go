@@ -174,6 +174,9 @@ func (m *Machine) blockAt(pc uint64) *concBlock {
 // per-step injection site.
 func (m *Machine) execUnit(pc uint64, u *concUnit) *Stop {
 	m.pcWritten = false
+	if m.Prof != nil {
+		m.Prof.Exec(pc, u.unit.Mnemonic, u.unit.Format)
+	}
 	res := u.unit.ExecConc(m, &m.scratch)
 	m.Steps++
 	if m.Cov != nil {

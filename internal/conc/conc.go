@@ -17,6 +17,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/rtl"
 )
@@ -116,6 +117,12 @@ type Machine struct {
 	// harness at the emulator's instrumented sites (the per-step
 	// boundary; wire Dec.Inject too for the decode site). Nil-safe.
 	Inject *faultinject.Injector
+
+	// Prof, when non-nil, attributes executed instructions to guest PCs
+	// in an exploration profile shard (internal/profile). The emulator
+	// is single-goroutine, so one shard suffices; the owner folds it
+	// into its Profiler when the run ends. Nil disables (nil-safe).
+	Prof *profile.Shard
 
 	// Cov, when non-nil, records conc-layer semantic coverage:
 	// instructions executed, branch outcomes (from the pc-written flag),
@@ -303,6 +310,13 @@ func (m *Machine) Step() (done *Stop) {
 		return &Stop{Kind: StopDecode, PC: pc, Err: err}
 	}
 	m.pcWritten = false
+	if m.Prof != nil {
+		format := ""
+		if dec.Insn.Format != nil {
+			format = dec.Insn.Format.Name
+		}
+		m.Prof.Exec(pc, dec.Insn.Mnemonic, format)
+	}
 	res := rtl.ConcExecScratch(m, dec.Insn, dec.Ops, &m.scratch)
 	m.Steps++
 	if m.Cov != nil {

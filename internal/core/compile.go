@@ -33,6 +33,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/decoder"
 	"repro/internal/faultinject"
+	"repro/internal/profile"
 	"repro/internal/rtl"
 )
 
@@ -52,6 +53,11 @@ type compEntry struct {
 // key address. An empty block records a non-straightline head.
 type compBlock struct {
 	units []*compEntry
+	prof  []profile.BlockUnit
+	// shared is true for cache-resident blocks, whose pointer is a
+	// stable profiling key; truncated (self-modified) blocks are rebuilt
+	// per call and must record per unit instead.
+	shared bool
 }
 
 // compileCache is the engine-wide compiled-code store, shared across
@@ -116,6 +122,7 @@ func (e *Engine) entryAt(st *State, pc uint64) (*compEntry, error) {
 	}
 	e.compiled.unitCount.Add(1)
 	e.m.compiledUnits.Inc()
+	e.prof.CompileMiss(pc)
 	return ent, nil
 }
 
@@ -144,9 +151,13 @@ func (e *Engine) blockFor(st *State) *compBlock {
 			break
 		}
 		blk.units = append(blk.units, ent)
+		blk.prof = append(blk.prof, profile.BlockUnit{
+			PC: cur, Mnemonic: ent.unit.Mnemonic, Format: ent.unit.Format, Cont: ent.cont,
+		})
 		cur = ent.cont
 	}
 	if !truncated {
+		blk.shared = true
 		e.compiled.blocks.Store(pc, blk)
 		if len(blk.units) > 0 {
 			e.compiled.blockCount.Add(1)
@@ -196,6 +207,9 @@ func (e *Engine) runBlock(st *State, blk *compBlock) ([]*State, error) {
 	defer func() {
 		e.compiled.blockInsns.Add(n)
 		e.m.superblockInsns.Add(n)
+		if blk.shared {
+			e.prof.ExecBlock(blk, blk.prof, int(n))
+		}
 	}()
 	for i, ent := range blk.units {
 		pc := st.PC
@@ -211,6 +225,10 @@ func (e *Engine) runBlock(st *State, blk *compBlock) ([]*State, error) {
 		e.report.Stats.Instructions++
 		e.m.instructions.Inc()
 		e.cov.Hit(cover.LSym, ent.dec.Insn)
+		if e.prof != nil && !blk.shared {
+			e.prof.Exec(pc, ent.unit.Mnemonic, ent.unit.Format)
+			e.prof.Edge(pc, ent.cont)
+		}
 		st.Steps++
 		n++
 		// Translate-layer parity: the interpreter's SymEval.Exec fires
@@ -254,6 +272,9 @@ func (e *Engine) execEntry(st *State, ent *compEntry) ([]*State, error) {
 	e.report.Stats.Instructions++
 	e.m.instructions.Inc()
 	e.cov.Hit(cover.LSym, ent.dec.Insn)
+	if e.prof != nil {
+		e.prof.Exec(insAddr, ent.unit.Mnemonic, ent.unit.Format)
+	}
 	st.Steps++
 	e.inject.Fire(faultinject.SiteTranslate)
 	e.cov.Hit(cover.LTranslate, ent.dec.Insn)

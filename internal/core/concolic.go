@@ -46,6 +46,7 @@ type ConcolicReport struct {
 func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 	e.report = Report{}
 	e.bugSeen = newBugDedup()
+	defer e.profiler.Fold(e.prof)
 	rep := &ConcolicReport{}
 	covered := map[uint64]bool{}
 	tried := map[string]bool{}

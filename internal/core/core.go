@@ -22,6 +22,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/rtl"
 	"repro/internal/smt"
@@ -178,6 +179,20 @@ type Options struct {
 	// isolation (docs/robustness.md).
 	Inject *faultinject.Injector
 
+	// Profile attaches the exploration profiler (internal/profile):
+	// per-guest-PC attribution of solver time, fork fan-out,
+	// degradations, cache misses, kills/merges and sampled step time.
+	// Each engine (and each parallel worker) records into its own
+	// unsynchronized shard, folded into the profiler at merge points.
+	// Nil (the default) disables recording; the residual cost is one
+	// pointer test per site, same bargain as Obs and Cover.
+	Profile *profile.Profiler
+
+	// JobID labels this run's trace events and profile with the
+	// analysis-service job that owns it, so artifacts from concurrent
+	// daemon jobs stay attributable. Empty outside the daemon.
+	JobID string
+
 	// StackBase and StackSize describe the stack region; the engine
 	// initializes the architecture's sp register to StackBase. Defaults:
 	// 0x40000 and 0x10000.
@@ -265,11 +280,11 @@ type Stats struct {
 	Superblocks     int64 // superblocks built (non-empty)
 	SuperblockHits  int64 // superblock executions
 	SuperblockInsns int64 // instructions executed inside superblocks
-	Coverage     int   // distinct instruction addresses executed
-	WallTime     time.Duration
-	Solver       smt.Stats
-	PathFaults   int64        // panics recovered at per-path boundaries
-	Degraded     DegradeStats // graceful degradations by cause
+	Coverage        int   // distinct instruction addresses executed
+	WallTime        time.Duration
+	Solver          smt.Stats
+	PathFaults      int64        // panics recovered at per-path boundaries
+	Degraded        DegradeStats // graceful degradations by cause
 
 	// WorkerStats has one entry per exploration worker when Workers > 1
 	// (nil for serial runs). Per-worker numbers are schedule-dependent.
@@ -391,6 +406,13 @@ type Engine struct {
 	// production. Workers share it, so fired/surfaced counts are exact
 	// across a parallel run.
 	inject *faultinject.Injector
+
+	// Exploration profiling (Options.Profile): profiler is the shared
+	// fold target, prof this engine's (or worker's) unsynchronized
+	// recording shard — nil when profiling is off, and every shard
+	// method no-ops on nil.
+	profiler *profile.Profiler
+	prof     *profile.Shard
 }
 
 // StepSampleRate is the sampling factor of the engine_step_seconds
@@ -498,12 +520,12 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 	b := expr.NewBuilder()
 	b.Simplify = !opts.NoSimplify
 	e := &Engine{
-		Arch:    a,
-		B:       b,
-		Solver:  smt.New(b),
-		Dec:     decoder.New(a),
-		Prog:    p,
-		Opts:    opts,
+		Arch:     a,
+		B:        b,
+		Solver:   smt.New(b),
+		Dec:      decoder.New(a),
+		Prog:     p,
+		Opts:     opts,
 		xlate:    make(map[uint64]decoder.Decoded),
 		visits:   make(map[uint64]int64),
 		rng:      rand.New(rand.NewSource(opts.Seed + 1)),
@@ -523,9 +545,16 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 		e.Solver.Cache = e.cache
 	}
 	e.m = newEngineMetrics(opts.Obs)
-	e.tr = opts.Obs.Tracer()
+	e.tr = opts.Obs.Tracer().Scoped(opts.JobID)
 	e.cov = opts.Cover.Bind(a)
 	e.Dec.Cov = e.cov
+	e.profiler = opts.Profile
+	e.prof = opts.Profile.NewShard()
+	if e.prof != nil {
+		// Guarded: assigning a nil *Shard would make the interface
+		// non-nil and re-arm the solver's per-query clock reads.
+		e.Solver.Prof = e.prof
+	}
 	e.Solver.Obs = smt.NewSolverObs(opts.Obs.Registry())
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts
 	e.Solver.QueryDeadline = opts.SolverDeadline

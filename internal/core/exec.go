@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adl"
 	"repro/internal/bv"
 	"repro/internal/cover"
 	"repro/internal/decoder"
@@ -22,6 +23,7 @@ func (e *Engine) Run() (*Report, error) {
 	t0 := time.Now()
 	e.report = Report{}
 	e.bugSeen = newBugDedup()
+	defer e.profiler.Fold(e.prof)
 
 	live := []*State{e.initialState()}
 
@@ -40,6 +42,11 @@ func (e *Engine) Run() (*Report, error) {
 		if killReason != "" {
 			e.report.Stats.StatesKilled += len(live)
 			e.m.statesKilled.Add(int64(len(live)))
+			if e.prof != nil {
+				for _, s := range live {
+					e.prof.Kill(s.PC)
+				}
+			}
 			if e.tr != nil {
 				e.tr.Event("kill", e.workerID, -1, 0,
 					fmt.Sprintf("%s (%d live states)", killReason, len(live)))
@@ -68,6 +75,7 @@ func (e *Engine) Run() (*Report, error) {
 			} else {
 				e.report.Stats.StatesKilled++
 				e.m.statesKilled.Inc()
+				e.prof.Kill(c.PC)
 				if e.tr != nil {
 					e.tr.Event("kill", e.workerID, c.ID, c.PC, "max-states")
 				}
@@ -193,6 +201,15 @@ func (st *State) done(status Status) *State {
 	return st
 }
 
+// formatName is the encoding-format symbolization handed to the
+// profiler alongside the mnemonic.
+func formatName(ins *adl.Insn) string {
+	if ins.Format == nil {
+		return ""
+	}
+	return ins.Format.Name
+}
+
 // decode fetches and decodes the instruction at the state's pc, going
 // through the per-address translation cache when the bytes come from the
 // unmodified image.
@@ -210,6 +227,7 @@ func (e *Engine) decode(st *State) (decoder.Decoded, error) {
 	}
 	e.report.Stats.DecodeCalls++
 	e.m.decodeCalls.Inc()
+	e.prof.CompileMiss(st.PC)
 	// Only the actual decoder call is timed: translation-cache hits (the
 	// common case) must not pay for two clock reads per instruction.
 	var t0 time.Time
@@ -261,6 +279,9 @@ func (e *Engine) step(st *State) ([]*State, error) {
 	e.report.Stats.Instructions++
 	e.m.instructions.Inc()
 	e.cov.Hit(cover.LSym, dec.Insn)
+	if e.prof != nil {
+		e.prof.Exec(st.PC, dec.Insn.Mnemonic, formatName(dec.Insn))
+	}
 	st.Steps++
 
 	insAddr := st.PC
@@ -374,6 +395,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	}
 	e.report.Stats.Forks++
 	e.m.forks.Inc()
+	e.prof.Fork(st.PC, 1)
 	var t0 time.Time
 	if e.m.on || e.tr != nil {
 		t0 = time.Now()
@@ -392,6 +414,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	} else {
 		e.report.Stats.Infeasible++
 		e.m.infeasible.Inc()
+		e.prof.Infeasible(st.PC)
 	}
 	neg := e.B.BoolNot(guard)
 	sat, err = e.feasible(append(st.PathCond, neg))
@@ -404,6 +427,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	} else {
 		e.report.Stats.Infeasible++
 		e.m.infeasible.Inc()
+		e.prof.Infeasible(st.PC)
 	}
 	if e.m.on {
 		e.m.branchSeconds.ObserveSince(t0)
@@ -523,6 +547,7 @@ func (e *Engine) forkTargets(st *State, ts []target, dec decoder.Decoded, insAdd
 	if len(ts) > 1 {
 		e.report.Stats.Forks += int64(len(ts) - 1)
 		e.m.forks.Add(int64(len(ts) - 1))
+		e.prof.Fork(insAddr, int64(len(ts)-1))
 	}
 	cont := bv.Trunc(insAddr+uint64(dec.Len), e.Arch.Bits)
 	baseSig := st.sig
@@ -549,6 +574,7 @@ func (e *Engine) forkTargets(st *State, ts []target, dec decoder.Decoded, insAdd
 			if !ok {
 				e.report.Stats.Infeasible++
 				e.m.infeasible.Inc()
+				e.prof.Infeasible(insAddr)
 				continue
 			}
 			e.cov.Branch(cover.LSolver, dec.Insn, taken)
@@ -575,6 +601,7 @@ func (e *Engine) forkTargets(st *State, ts []target, dec decoder.Decoded, insAdd
 		}
 		child.sig = sig
 		child.PC = bv.Trunc(t.addr, e.Arch.Bits)
+		e.prof.Edge(insAddr, child.PC)
 		out = append(out, child)
 	}
 	return out, nil
@@ -624,6 +651,8 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 		excl = append(excl, e.B.BoolNot(eq))
 		e.report.Stats.Forks++
 		e.m.forks.Inc()
+		e.prof.Fork(st.PC, 1)
+		e.prof.Edge(st.PC, addr)
 		if e.tr != nil {
 			e.tr.Event("fork", e.workerID, child.ID, st.PC,
 				fmt.Sprintf("jump target %#x, parent=%d", addr, st.ID))

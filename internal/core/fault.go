@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/faultinject"
@@ -114,6 +115,7 @@ func (d DegradeStats) Total() int64 {
 func (e *Engine) degrade(cause DegradeCause) {
 	e.report.Stats.Degraded[cause]++
 	e.m.degraded[cause].Inc()
+	e.prof.Degrade(cause.String())
 }
 
 // degradeUnknown is the single policy point for unknown solver results.
@@ -200,7 +202,21 @@ func (e *Engine) safeStep(st *State) (children []*State, err error) {
 		}
 	}()
 	e.inject.Fire(faultinject.SiteSymStep)
+	// Profiling (Options.Profile): mark the stepped PC so solver queries
+	// and degradations issued underneath attribute to it, and sample the
+	// step's wall time into the per-PC series.
+	var pt0 time.Time
+	profSampled := false
+	if e.prof != nil {
+		e.prof.SetPC(st.PC)
+		if profSampled = e.prof.SampleStep(); profSampled {
+			pt0 = time.Now()
+		}
+	}
 	children, err = e.step(st)
+	if profSampled {
+		e.prof.StepTime(st.PC, time.Since(pt0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +224,7 @@ func (e *Engine) safeStep(st *State) (children []*State, err error) {
 		for _, c := range children {
 			if !c.Done && c.termSize() > e.Opts.MaxStateTerms {
 				e.degrade(DegradeStateBudget)
+				e.prof.Kill(c.PC)
 				c.Fault = fmt.Sprintf("state term budget exceeded (%d > %d)", c.termSize(), e.Opts.MaxStateTerms)
 				c.done(StatusKilled)
 			}

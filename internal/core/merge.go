@@ -30,6 +30,7 @@ func (e *Engine) mergeLive(live []*State) []*State {
 				out[idx] = merged
 				e.report.Stats.Merges++
 				e.m.merges.Inc()
+				e.prof.Merge(merged.PC)
 				if e.tr != nil {
 					e.tr.Event("merge", e.workerID, merged.ID, merged.PC, "")
 				}

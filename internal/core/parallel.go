@@ -30,6 +30,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/smt"
 )
 
@@ -129,14 +130,17 @@ type frontier struct {
 	maxLive  int // MaxStates budget; pushes beyond it are killed
 	killed   int64
 
-	// Telemetry (nil-safe): queue depth gauge, kill counter and tracer.
+	// Telemetry (nil-safe): queue depth gauge, kill counter, tracer and
+	// profiler. The profiler is the run-level aggregate (not a worker
+	// shard) because pushes race across workers; Profiler.Kill locks.
 	depth     *obs.Gauge
 	depthMax  *obs.Gauge
 	killedCtr *obs.Counter
 	tr        *obs.Tracer
+	prof      *profile.Profiler
 }
 
-func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *obs.Tracer) *frontier {
+func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *obs.Tracer, prof *profile.Profiler) *frontier {
 	f := &frontier{
 		workers:   workers,
 		strategy:  o.Strategy,
@@ -147,6 +151,7 @@ func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *ob
 		depthMax:  m.liveMax,
 		killedCtr: m.statesKilled,
 		tr:        tr,
+		prof:      prof,
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -160,6 +165,7 @@ func (f *frontier) push(sts ...*State) {
 		if f.closed || len(f.items) >= f.maxLive {
 			f.killed++
 			f.killedCtr.Inc()
+			f.prof.Kill(st.PC)
 			if f.tr != nil {
 				reason := "max-states"
 				if f.closed {
@@ -255,6 +261,9 @@ func (f *frontier) close() {
 		f.closed = true
 		f.killed += int64(len(f.items))
 		f.killedCtr.Add(int64(len(f.items)))
+		for _, st := range f.items {
+			f.prof.Kill(st.PC)
+		}
 		if f.tr != nil && len(f.items) > 0 {
 			f.tr.Event("kill", -1, -1, 0,
 				fmt.Sprintf("run-stopped (%d queued states)", len(f.items)))
@@ -333,12 +342,17 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		tr:         e.tr,
 		cov:        e.cov,
 		inject:     e.inject,
+		profiler:   e.profiler,
+		prof:       e.profiler.NewShard(),
 	}
 	w.Solver.MaxConflicts = e.Opts.MaxSolverConflicts
 	w.Solver.QueryDeadline = e.Opts.SolverDeadline
 	w.Solver.Cache = e.cache
 	w.Solver.Obs = e.Solver.Obs
 	w.Solver.Inject = e.inject
+	if w.prof != nil {
+		w.Solver.Prof = w.prof
+	}
 	return w
 }
 
@@ -400,6 +414,7 @@ func (e *Engine) work(pr *parRun) {
 				pr.front.close()
 				e.report.Stats.StatesKilled++
 				e.m.statesKilled.Inc()
+				e.prof.Kill(cur.PC)
 				if e.tr != nil {
 					e.tr.Event("kill", e.workerID, cur.ID, cur.PC, "global-budget")
 				}
@@ -440,7 +455,7 @@ func (e *Engine) runParallel() (*Report, error) {
 	nw := e.Opts.Workers
 	vt := newVisitTable()
 	pr := &parRun{opts: e.Opts}
-	pr.front = newFrontier(nw, e.Opts, vt, e.m, e.tr)
+	pr.front = newFrontier(nw, e.Opts, vt, e.m, e.tr, e.profiler)
 	if e.Opts.TimeBudget > 0 {
 		pr.deadline = t0.Add(e.Opts.TimeBudget)
 	}
@@ -518,6 +533,7 @@ func (e *Engine) mergeWorkerReports(workers []*Engine, vt *visitTable, pr *parRu
 		})
 		paths = append(paths, w.report.Paths...)
 		bugs = append(bugs, w.report.Bugs...)
+		e.profiler.Fold(w.prof)
 	}
 	pr.front.mu.Lock()
 	s.StatesKilled += int(pr.front.killed)

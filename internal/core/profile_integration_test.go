@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/arch"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/profile"
+)
+
+// profTotals sums every per-PC series of a snapshot.
+func profTotals(s *profile.Snapshot) (execs, queries, hits, misses, forks, infeasible, kills, merges int64) {
+	for _, st := range s.PCs {
+		execs += st.Execs
+		queries += st.SolverQueries
+		hits += st.CacheHits
+		misses += st.CacheMisses
+		forks += st.Forks
+		infeasible += st.Infeasible
+		kills += st.Kills
+		merges += st.Merges
+	}
+	return
+}
+
+// TestProfileMatchesStats checks that the folded profile's totals agree
+// exactly with the engine's own Stats counters — the profiler must not
+// drop or double-count events across worker shards and frontier kills.
+// Runs serial and parallel; the parallel case is the -race workout for
+// the shard-fold discipline.
+func TestProfileMatchesStats(t *testing.T) {
+	src := harness.BranchLadder("tiny32", 7)
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "serial", 4: "parallel"}[workers], func(t *testing.T) {
+			prof := profile.New(profile.Meta{ADL: "tiny32"})
+			p := build(t, "tiny32", src)
+			e := core.NewEngine(arch.MustLoad("tiny32"), p,
+				core.Options{InputBytes: 7, MaxPaths: 5000, Workers: workers, Profile: prof})
+			r, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := prof.Snapshot()
+			if len(snap.PCs) == 0 {
+				t.Fatal("profile recorded no PCs")
+			}
+			execs, queries, hits, misses, forks, infeasible, kills, _ := profTotals(snap)
+			if execs != r.Stats.Instructions {
+				t.Errorf("execs = %d, want Stats.Instructions %d", execs, r.Stats.Instructions)
+			}
+			if queries != r.Stats.Solver.Queries {
+				t.Errorf("solver queries = %d, want Stats.Solver.Queries %d", queries, r.Stats.Solver.Queries)
+			}
+			if hits != r.Stats.Solver.CacheHits {
+				t.Errorf("cache hits = %d, want %d", hits, r.Stats.Solver.CacheHits)
+			}
+			if misses+hits != queries {
+				t.Errorf("hits %d + misses %d != queries %d", hits, misses, queries)
+			}
+			if forks != r.Stats.Forks {
+				t.Errorf("forks = %d, want Stats.Forks %d", forks, r.Stats.Forks)
+			}
+			if infeasible != r.Stats.Infeasible {
+				t.Errorf("infeasible = %d, want Stats.Infeasible %d", infeasible, r.Stats.Infeasible)
+			}
+			if kills != int64(r.Stats.StatesKilled) {
+				t.Errorf("kills = %d, want Stats.StatesKilled %d", kills, r.Stats.StatesKilled)
+			}
+			// The attributed solver time must be positive and the report
+			// renderable on real data.
+			var solverNS int64
+			for _, st := range snap.PCs {
+				solverNS += st.SolverNS
+			}
+			if queries > 0 && solverNS == 0 {
+				t.Error("queries recorded but zero attributed solver time")
+			}
+			var pprofBuf, textBuf bytes.Buffer
+			if err := prof.WritePprof(&pprofBuf); err != nil {
+				t.Fatalf("WritePprof: %v", err)
+			}
+			if _, err := profile.Parse(pprofBuf.Bytes()); err != nil {
+				t.Fatalf("Parse(WritePprof output): %v", err)
+			}
+			if err := prof.WriteText(&textBuf); err != nil {
+				t.Fatalf("WriteText: %v", err)
+			}
+			if textBuf.Len() == 0 {
+				t.Error("empty hotspot report")
+			}
+		})
+	}
+}
+
+// TestProfileMergeCandidate checks that a diamond-shaped branch ladder
+// yields at least one fork/rejoin merge candidate in the hotspot report
+// (ROADMAP item 5: the report must name concrete merge points).
+func TestProfileMergeCandidate(t *testing.T) {
+	prof := profile.New(profile.Meta{ADL: "tiny32"})
+	p := build(t, "tiny32", harness.BranchLadder("tiny32", 6))
+	e := core.NewEngine(arch.MustLoad("tiny32"), p,
+		core.Options{InputBytes: 6, MaxPaths: 5000, Profile: prof})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := prof.Report()
+	if len(rep.MergeCandidates) == 0 {
+		t.Fatal("branch ladder produced no fork/rejoin merge candidates")
+	}
+	for _, mc := range rep.MergeCandidates {
+		if mc.Rejoin == mc.Fork {
+			t.Errorf("degenerate diamond at %#x", mc.Fork)
+		}
+	}
+}

@@ -22,8 +22,8 @@ func goldenScenario(t *testing.T) (*cover.Collector, *adl.Arch) {
 		v.Hit(cover.LAsm, ins)
 		v.Hit(cover.LTranslate, ins)
 	}
-	v.Hit(cover.LSym, a.Insns[0])   // alu
-	v.Hit(cover.LSym, a.Insns[3])   // branchy
+	v.Hit(cover.LSym, a.Insns[0]) // alu
+	v.Hit(cover.LSym, a.Insns[3]) // branchy
 	v.Branch(cover.LSym, a.Insns[3], true)
 	v.Branch(cover.LSolver, a.Insns[3], true)
 	v.Event(cover.LSym, cover.EvTrap)

@@ -288,6 +288,7 @@ func (r *run) exploreCompare(g *archGen, subSeed int64) {
 			Obs:             r.engineObs(),
 			Cover:           g.coll,
 			Inject:          g.inj,
+			Profile:         r.opts.Profile,
 		})
 		rep, err := eng.Run()
 		if err != nil {

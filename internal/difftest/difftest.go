@@ -39,6 +39,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/service"
 	"repro/internal/smt"
 )
@@ -109,6 +110,12 @@ type Options struct {
 	// builds records into it, so a soak accumulates the per-ISA
 	// per-layer coverage matrix as a side effect. Nil disables.
 	Cover *cover.Collector
+
+	// Profile attaches the exploration profiler (internal/profile): the
+	// explore-layer engines of every round record per-PC cost into it,
+	// so a soak accumulates a cross-round guest-code profile whose
+	// hotspot report names fork/rejoin merge candidates. Nil disables.
+	Profile *profile.Profiler
 
 	// CoverGuided biases the program generator's instruction selection
 	// toward instructions the execution layers have not covered yet, so

@@ -1,0 +1,113 @@
+// Profiler experiments: the cost of leaving the exploration profiler
+// armed on the hot path (docs/observability.md). The profiler attributes
+// per-PC cost into worker-local shards; the acceptance bar is <=3%
+// overhead on the fork-heavy parallel workloads, matching the telemetry
+// bar of RunObsOverhead.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// ProfileOverheadRow is one workload measured with the profiler off and
+// armed.
+type ProfileOverheadRow struct {
+	Workload string
+	Workers  int
+	Paths    int
+	WallOff  time.Duration // median rep with Options.Profile == nil
+	WallOn   time.Duration // median rep with a fresh profiler attached
+	Overhead float64       // median-vs-median; robust to one noisy rep
+	PCs      int           // distinct guest PCs attributed (sanity: > 0)
+}
+
+// ProfileOverhead is the profiler-armed vs profiler-off experiment.
+type ProfileOverhead struct {
+	Rows []ProfileOverheadRow
+}
+
+// RunProfileOverhead runs fork-heavy branch ladders with the
+// exploration profiler disabled and armed, interleaving the
+// repetitions like RunObsOverhead so host noise hits both sides alike,
+// and comparing medians so a single noisy rep cannot swing the figure.
+// The ladders are two steps deeper than the parallel-scaling ones:
+// each measured run lasts hundreds of milliseconds, without which
+// scheduler jitter on a shared host swamps a low-percent signal.
+func RunProfileOverhead(workerCounts []int) ProfileOverhead {
+	const reps = 15
+	workloads := []struct{ name, arch, src string }{
+		{"ladder12/tiny32", "tiny32", BranchLadder("tiny32", 12)},
+		{"ladder12/rv32i", "rv32i", BranchLadder("rv32i", 12)},
+	}
+	var t ProfileOverhead
+	for _, wl := range workloads {
+		for _, nw := range workerCounts {
+			a, p := mustBuild(wl.arch, wl.src)
+			run := func(prof *profile.Profiler) (time.Duration, int) {
+				e := core.NewEngine(a, p, core.Options{
+					InputBytes: 12,
+					MaxPaths:   1 << 13,
+					Workers:    nw,
+					Profile:    prof,
+				})
+				r, err := e.Run()
+				if err != nil {
+					panic(fmt.Sprintf("harness: profile overhead: %v", err))
+				}
+				return r.Stats.WallTime, len(r.Paths)
+			}
+			run(nil) // warmup: cold caches hit the unmeasured run
+			var offs, ons []time.Duration
+			paths, pcs := 0, 0
+			for rep := 0; rep < reps; rep++ {
+				// Alternate which side runs first so slow host drift
+				// within a pair cancels instead of biasing one side.
+				prof := profile.New(profile.Meta{ADL: wl.arch})
+				var off, on time.Duration
+				var n int
+				if rep%2 == 0 {
+					off, n = run(nil)
+					on, _ = run(prof)
+				} else {
+					on, _ = run(prof)
+					off, n = run(nil)
+				}
+				pcs = len(prof.Snapshot().PCs)
+				offs = append(offs, off)
+				ons = append(ons, on)
+				paths = n
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			sort.Slice(ons, func(i, j int) bool { return ons[i] < ons[j] })
+			medOff, medOn := offs[reps/2], ons[reps/2]
+			row := ProfileOverheadRow{
+				Workload: wl.name, Workers: nw, Paths: paths,
+				WallOff: medOff, WallOn: medOn, PCs: pcs,
+			}
+			if medOff > 0 {
+				row.Overhead = float64(medOn-medOff) / float64(medOff)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// Print writes the experiment in the repo's table format.
+func (t ProfileOverhead) Print(w io.Writer) {
+	fmt.Fprintf(w, "Exploration-profiler overhead: armed vs off (fork-heavy exploration)\n")
+	fmt.Fprintf(w, "%-16s %8s %6s %6s %12s %12s %9s\n",
+		"workload", "workers", "paths", "pcs", "wall (off)", "wall (on)", "overhead")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-16s %8d %6d %6d %12v %12v %+8.1f%%\n",
+			r.Workload, r.Workers, r.Paths, r.PCs,
+			r.WallOff.Round(time.Millisecond), r.WallOn.Round(time.Millisecond),
+			100*r.Overhead)
+	}
+}

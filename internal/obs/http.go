@@ -5,6 +5,9 @@
 //	/metrics             Prometheus text exposition of the registry
 //	                     (plus the cover_* gauges when coverage is on)
 //	/coverage            semantic-coverage matrix, text or ?format=json
+//	/debug/profile       exploration profile: pprof protobuf by default
+//	                     (go tool pprof http://.../debug/profile), or
+//	                     ?format=text|json for the hotspot report
 //	/debug/vars          expvar (Go runtime vars + the registry snapshot
 //	                     and the coverage report)
 //	/debug/pprof/...     net/http/pprof (CPU, heap, goroutine, trace, ...)
@@ -99,6 +102,32 @@ func Handler(o *Obs) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		cov.WriteText(w)
 	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		prof := o.ProfileSource()
+		if prof == nil {
+			http.Error(w, "exploration profiling is not enabled", http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			prof.WriteText(w)
+		case "json":
+			data, err := prof.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		default:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="exploration.pb.gz"`)
+			if err := prof.WritePprof(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -113,6 +142,7 @@ func Handler(o *Obs) http.Handler {
 		fmt.Fprintf(w, "obs introspection endpoint\n\n"+
 			"  /metrics           Prometheus text metrics\n"+
 			"  /coverage          semantic-coverage matrix (?format=json)\n"+
+			"  /debug/profile     exploration profile: pprof protobuf (?format=text|json)\n"+
 			"  /debug/vars        expvar JSON\n"+
 			"  /debug/pprof/      pprof index (profile, heap, goroutine, trace)\n")
 		if tr := o.Tracer(); tr != nil {

@@ -47,15 +47,30 @@ type CoverSource interface {
 	WritePrometheus(w io.Writer) error
 }
 
+// ProfileSource is the exploration-profile surface the introspection
+// endpoint can serve (implemented by *profile.Profiler). Like
+// CoverSource, obs depends on this interface rather than on
+// internal/profile so the dependency arrow keeps pointing into obs.
+type ProfileSource interface {
+	// WritePprof writes the gzipped pprof protobuf profile.
+	WritePprof(w io.Writer) error
+	// WriteText writes the human-readable hotspot report.
+	WriteText(w io.Writer) error
+	// JSON returns the machine-readable report.
+	JSON() ([]byte, error)
+}
+
 // Obs bundles the telemetry sinks an analysis can carry: the metrics
-// registry, (optionally) the exploration tracer, and (optionally) the
-// semantic-coverage collector the endpoint serves under /coverage. A
+// registry, (optionally) the exploration tracer, (optionally) the
+// semantic-coverage collector the endpoint serves under /coverage, and
+// (optionally) the exploration profiler served under /debug/profile. A
 // nil *Obs means telemetry is fully disabled; all accessors are
 // nil-safe.
 type Obs struct {
-	Reg   *Registry
-	Trace *Tracer
-	Cover CoverSource
+	Reg     *Registry
+	Trace   *Tracer
+	Cover   CoverSource
+	Profile ProfileSource
 }
 
 // New returns an Obs with a fresh registry and no tracer (metrics only).
@@ -87,6 +102,15 @@ func (o *Obs) CoverSource() CoverSource {
 		return nil
 	}
 	return o.Cover
+}
+
+// ProfileSource returns the profile source, nil when o is nil or
+// profiling is off.
+func (o *Obs) ProfileSource() ProfileSource {
+	if o == nil {
+		return nil
+	}
+	return o.Profile
 }
 
 // Counter is a monotonically increasing atomic counter.

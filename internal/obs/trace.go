@@ -25,6 +25,7 @@ type Event struct {
 	PC     uint64 `json:"pc"`               // program counter, when meaningful
 	Kind   string `json:"kind"`             // spawn | fork | branch | kill | end | exec | ...
 	Detail string `json:"detail,omitempty"` // verdict, kill reason, end status, ...
+	Job    string `json:"job,omitempty"`    // owning service job, via Scoped
 }
 
 // DefaultTraceCap bounds the in-memory event buffer; events past the cap
@@ -33,7 +34,17 @@ const DefaultTraceCap = 1 << 18
 
 // Tracer collects events from any number of goroutines. The zero-cost
 // off switch is a nil *Tracer: every method is nil-receiver safe.
+// Scoped views share one underlying buffer while stamping a job
+// correlation key on everything they record, so concurrent daemon jobs
+// writing into one trace stay attributable.
 type Tracer struct {
+	buf *traceBuf
+	job string
+}
+
+// traceBuf is the shared bounded event buffer behind a tracer and all
+// its scoped views.
+type traceBuf struct {
 	mu      sync.Mutex
 	start   time.Time
 	events  []Event
@@ -44,7 +55,17 @@ type Tracer struct {
 // NewTracer returns a tracer whose clock starts now, with the default
 // buffer cap.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), cap: DefaultTraceCap}
+	return &Tracer{buf: &traceBuf{start: time.Now(), cap: DefaultTraceCap}}
+}
+
+// Scoped returns a view of the same tracer that stamps every recorded
+// event with the given job ID (the service's correlation key). An
+// empty job returns the tracer unchanged; a nil tracer stays nil.
+func (t *Tracer) Scoped(job string) *Tracer {
+	if t == nil || job == "" {
+		return t
+	}
+	return &Tracer{buf: t.buf, job: job}
 }
 
 // SetCap changes the maximum number of buffered events.
@@ -52,9 +73,9 @@ func (t *Tracer) SetCap(n int) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.cap = n
-	t.mu.Unlock()
+	t.buf.mu.Lock()
+	t.buf.cap = n
+	t.buf.mu.Unlock()
 }
 
 // Reset drops all buffered events and restarts the clock.
@@ -62,11 +83,11 @@ func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.events = t.events[:0]
-	t.dropped = 0
-	t.start = time.Now()
-	t.mu.Unlock()
+	t.buf.mu.Lock()
+	t.buf.events = t.buf.events[:0]
+	t.buf.dropped = 0
+	t.buf.start = time.Now()
+	t.buf.mu.Unlock()
 }
 
 // Append records a fully formed event (used by encoders' tests and by
@@ -75,17 +96,20 @@ func (t *Tracer) Append(ev Event) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	if len(t.events) >= t.cap {
-		t.dropped++
-	} else {
-		t.events = append(t.events, ev)
+	if ev.Job == "" {
+		ev.Job = t.job
 	}
-	t.mu.Unlock()
+	t.buf.mu.Lock()
+	if len(t.buf.events) >= t.buf.cap {
+		t.buf.dropped++
+	} else {
+		t.buf.events = append(t.buf.events, ev)
+	}
+	t.buf.mu.Unlock()
 }
 
 // now returns the µs-since-start timestamp.
-func (t *Tracer) now() int64 { return int64(time.Since(t.start) / time.Microsecond) }
+func (t *Tracer) now() int64 { return int64(time.Since(t.buf.start) / time.Microsecond) }
 
 // Event records an instant event stamped now.
 func (t *Tracer) Event(kind string, worker, path int, pc uint64, detail string) {
@@ -100,7 +124,7 @@ func (t *Tracer) Span(kind string, worker, path int, pc uint64, begin time.Time,
 	if t == nil {
 		return
 	}
-	ts := int64(begin.Sub(t.start) / time.Microsecond)
+	ts := int64(begin.Sub(t.buf.start) / time.Microsecond)
 	if ts < 0 {
 		ts = 0
 	}
@@ -116,9 +140,9 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	t.buf.mu.Lock()
+	defer t.buf.mu.Unlock()
+	return len(t.buf.events)
 }
 
 // Dropped returns the number of events lost to the buffer cap.
@@ -126,9 +150,9 @@ func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	t.buf.mu.Lock()
+	defer t.buf.mu.Unlock()
+	return t.buf.dropped
 }
 
 // Events returns a copy of the buffered events.
@@ -136,9 +160,9 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	t.buf.mu.Lock()
+	defer t.buf.mu.Unlock()
+	return append([]Event(nil), t.buf.events...)
 }
 
 // WriteJSONL writes one JSON object per line, in emission order.
@@ -200,6 +224,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 		if ev.Detail != "" {
 			ce.Args["detail"] = ev.Detail
+		}
+		if ev.Job != "" {
+			ce.Args["job"] = ev.Job
 		}
 		if ev.Dur > 0 {
 			ce.Phase, ce.Dur = "X", ev.Dur

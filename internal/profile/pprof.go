@@ -1,0 +1,479 @@
+// pprof.go renders the folded profile in the pprof protobuf format
+// (the profile.proto schema used by `go tool pprof`), hand-encoded so
+// the repo stays dependency-free. The mapping of guest concepts onto
+// pprof's vocabulary:
+//
+//   - each guest PC is a Location whose address is the PC;
+//   - each PC gets its own Function named "0x<pc> <mnemonic>" (the
+//     format name is the function's system name, the ADL its
+//     filename), so `go tool pprof -top` ranks guest PCs;
+//   - the ADL name is the Mapping filename, spanning the executed
+//     address range — a flamegraph of guest code, not of the engine.
+//
+// Sample types, in order: solver_time/nanoseconds (the default),
+// solver_queries/count, execs/count, step_time/nanoseconds, and
+// forks/count. `go tool pprof -sample_index=forks` flips the same
+// profile to a fork-fan-out view.
+//
+// Parse is the matching minimal decoder; the golden round-trip test
+// and the daemon smoke both go through it, so an encoding regression
+// cannot land silently.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pbuf) uint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+func (p *pbuf) int(field int, v int64) { p.uint(field, uint64(v)) }
+
+func (p *pbuf) bytes(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) msg(field int, fn func(*pbuf)) {
+	var inner pbuf
+	fn(&inner)
+	p.bytes(field, inner.b)
+}
+
+// packed emits a repeated int64 field in packed encoding.
+func (p *pbuf) packed(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	p.bytes(field, inner.b)
+}
+
+// strtab interns strings per the pprof convention (index 0 is "").
+type strtab struct {
+	idx map[string]int64
+	tab []string
+}
+
+func newStrtab() *strtab {
+	return &strtab{idx: map[string]int64{"": 0}, tab: []string{""}}
+}
+
+func (t *strtab) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.tab))
+	t.idx[s] = i
+	t.tab = append(t.tab, s)
+	return i
+}
+
+// sampleTypes is the fixed series order of every emitted profile.
+var sampleTypes = [...][2]string{
+	{"solver_time", "nanoseconds"},
+	{"solver_queries", "count"},
+	{"execs", "count"},
+	{"step_time", "nanoseconds"},
+	{"forks", "count"},
+}
+
+func sampleValues(st *PCStats) []int64 {
+	return []int64{st.SolverNS, st.SolverQueries, st.Execs, st.StepNS, st.Forks}
+}
+
+// WritePprof writes the gzipped pprof protobuf of the folded profile.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	snap := p.Snapshot()
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(encodePprof(snap)); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+func encodePprof(snap *Snapshot) []byte {
+	tab := newStrtab()
+	var out pbuf
+
+	for _, st := range sampleTypes {
+		typ, unit := tab.id(st[0]), tab.id(st[1])
+		out.msg(1, func(b *pbuf) { // sample_type
+			b.int(1, typ)
+			b.int(2, unit)
+		})
+	}
+
+	pcs := make([]uint64, 0, len(snap.PCs))
+	var minPC, maxPC uint64
+	for pc := range snap.PCs {
+		pcs = append(pcs, pc)
+		if minPC == 0 || pc < minPC {
+			minPC = pc
+		}
+		if pc > maxPC {
+			maxPC = pc
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+
+	adl := snap.Meta.ADL
+	if adl == "" {
+		adl = "guest"
+	}
+	for i, pc := range pcs {
+		st := snap.PCs[pc]
+		id := uint64(i + 1)
+		out.msg(2, func(b *pbuf) { // sample
+			b.packed(1, []int64{int64(id)}) // location_id
+			b.packed(2, sampleValues(st))   // value
+		})
+		name := tab.id(fmt.Sprintf("0x%x %s", pc, st.Mnemonic))
+		sys := tab.id(st.Mnemonic)
+		file := tab.id(adl)
+		out.msg(5, func(b *pbuf) { // function
+			b.uint(1, id)
+			b.int(2, name)
+			b.int(3, sys)
+			b.int(4, file)
+		})
+	}
+	// Locations after functions is fine: pprof resolves by id.
+	for i, pc := range pcs {
+		id := uint64(i + 1)
+		out.msg(4, func(b *pbuf) { // location
+			b.uint(1, id)
+			b.uint(2, 1) // mapping_id
+			b.uint(3, pc)
+			b.msg(4, func(l *pbuf) { // line
+				l.uint(1, id) // function_id
+			})
+		})
+	}
+	mapFile := tab.id(adl)
+	out.msg(3, func(b *pbuf) { // mapping
+		b.uint(1, 1)
+		b.uint(2, minPC)
+		b.uint(3, maxPC+16)
+		b.int(5, mapFile)
+	})
+
+	for _, s := range tab.tab {
+		out.bytes(6, []byte(s)) // string_table
+	}
+	out.int(9, time.Now().UnixNano()) // time_nanos
+	solver := tab.id("solver_time")
+	out.int(14, solver) // default_sample_type
+	return out.b
+}
+
+// ValueType is a decoded pprof sample-type descriptor.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// ParsedSample is one decoded sample resolved to its guest address and
+// function symbolization.
+type ParsedSample struct {
+	Addr       uint64
+	Func       string
+	SystemName string
+	Values     []int64
+}
+
+// Parsed is the subset of a pprof profile the decoder resolves —
+// enough for the golden round-trip test and the daemon smoke to assert
+// on real content.
+type Parsed struct {
+	SampleTypes       []ValueType
+	DefaultSampleType string
+	Mapping           string
+	Samples           []ParsedSample
+	TimeNanos         int64
+}
+
+type rawValueType struct{ typ, unit int64 }
+
+type rawSample struct {
+	locs []uint64
+	vals []int64
+}
+
+type rawLocation struct {
+	id, addr uint64
+	funcID   uint64
+}
+
+type rawFunction struct {
+	id        uint64
+	name, sys int64
+}
+
+// Parse decodes a gzipped (or raw) pprof protobuf produced by
+// WritePprof.
+func Parse(data []byte) (*Parsed, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, err
+		}
+		data = raw
+	}
+
+	var (
+		types   []rawValueType
+		samples []rawSample
+		locs    = map[uint64]rawLocation{}
+		funcs   = map[uint64]rawFunction{}
+		tab     []string
+		mapFile int64
+		defType int64
+		timeNS  int64
+	)
+	err := walkFields(data, func(field int, wire int, v uint64, b []byte) error {
+		switch field {
+		case 1: // sample_type
+			var vt rawValueType
+			if err := walkFields(b, func(f, w int, vv uint64, _ []byte) error {
+				switch f {
+				case 1:
+					vt.typ = int64(vv)
+				case 2:
+					vt.unit = int64(vv)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			types = append(types, vt)
+		case 2: // sample
+			var s rawSample
+			if err := walkFields(b, func(f, w int, vv uint64, bb []byte) error {
+				switch f {
+				case 1:
+					if w == wireBytes {
+						us, err := unpackVarints(bb)
+						if err != nil {
+							return err
+						}
+						s.locs = append(s.locs, us...)
+					} else {
+						s.locs = append(s.locs, vv)
+					}
+				case 2:
+					if w == wireBytes {
+						us, err := unpackVarints(bb)
+						if err != nil {
+							return err
+						}
+						for _, u := range us {
+							s.vals = append(s.vals, int64(u))
+						}
+					} else {
+						s.vals = append(s.vals, int64(vv))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 3: // mapping
+			if err := walkFields(b, func(f, w int, vv uint64, _ []byte) error {
+				if f == 5 {
+					mapFile = int64(vv)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		case 4: // location
+			var l rawLocation
+			if err := walkFields(b, func(f, w int, vv uint64, bb []byte) error {
+				switch f {
+				case 1:
+					l.id = vv
+				case 3:
+					l.addr = vv
+				case 4: // line
+					return walkFields(bb, func(lf, lw int, lv uint64, _ []byte) error {
+						if lf == 1 {
+							l.funcID = lv
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locs[l.id] = l
+		case 5: // function
+			var fn rawFunction
+			if err := walkFields(b, func(f, w int, vv uint64, _ []byte) error {
+				switch f {
+				case 1:
+					fn.id = vv
+				case 2:
+					fn.name = int64(vv)
+				case 3:
+					fn.sys = int64(vv)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcs[fn.id] = fn
+		case 6: // string_table
+			tab = append(tab, string(b))
+		case 9:
+			timeNS = int64(v)
+		case 14:
+			defType = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(tab) {
+			return ""
+		}
+		return tab[i]
+	}
+	out := &Parsed{
+		DefaultSampleType: str(defType),
+		Mapping:           str(mapFile),
+		TimeNanos:         timeNS,
+	}
+	for _, vt := range types {
+		out.SampleTypes = append(out.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	for _, s := range samples {
+		ps := ParsedSample{Values: s.vals}
+		if len(s.locs) > 0 {
+			l := locs[s.locs[0]]
+			ps.Addr = l.addr
+			fn := funcs[l.funcID]
+			ps.Func = str(fn.name)
+			ps.SystemName = str(fn.sys)
+		}
+		out.Samples = append(out.Samples, ps)
+	}
+	sort.Slice(out.Samples, func(i, j int) bool { return out.Samples[i].Addr < out.Samples[j].Addr })
+	return out, nil
+}
+
+// walkFields iterates the top-level fields of one protobuf message.
+// For varint fields the value is passed in v; for length-delimited
+// fields the payload is passed in b.
+func walkFields(data []byte, fn func(field, wire int, v uint64, b []byte) error) error {
+	for len(data) > 0 {
+		key, n, err := readVarint(data)
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case wireVarint:
+			v, n, err := readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wireBytes:
+			l, n, err := readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+			if uint64(len(data)) < l {
+				return fmt.Errorf("profile: truncated field %d", field)
+			}
+			if err := fn(field, wire, 0, data[:l]); err != nil {
+				return err
+			}
+			data = data[l:]
+		case 1: // 64-bit
+			if len(data) < 8 {
+				return fmt.Errorf("profile: truncated fixed64 field %d", field)
+			}
+			data = data[8:]
+		case 5: // 32-bit
+			if len(data) < 4 {
+				return fmt.Errorf("profile: truncated fixed32 field %d", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+func unpackVarints(b []byte) ([]uint64, error) {
+	var out []uint64
+	for len(b) > 0 {
+		v, n, err := readVarint(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func readVarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * uint(i))
+		if b[i] < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("profile: bad varint")
+}

@@ -1,0 +1,273 @@
+// report.go renders the folded profile for humans (ranked hotspot
+// table) and machines (JSON), and names diamond-shaped fork/rejoin
+// regions — places where exploration forks and the arms reconverge at
+// one PC — as state-merging candidates for ROADMAP item 5: a bounded
+// veritesting pass would collapse exactly these regions into ite-terms
+// instead of 2^k paths.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Hotspot is one ranked row of the report: PCStats plus its address.
+type Hotspot struct {
+	PC uint64 `json:"pc"`
+	PCStats
+}
+
+// MergeCandidate is a diamond fork/rejoin region found in the recorded
+// control-transfer graph: exploration forks at Fork, the arms
+// reconverge at Rejoin, and the PCs strictly inside the diamond are
+// Region. SolverNS/StepNS total the cost incurred inside the region
+// (fork PC included) — the upper bound on what merging could save in
+// redundant per-arm solving.
+type MergeCandidate struct {
+	Fork     uint64   `json:"fork"`
+	Rejoin   uint64   `json:"rejoin"`
+	Arms     int      `json:"arms"`
+	Region   []uint64 `json:"region"`
+	Forks    int64    `json:"forks"`
+	SolverNS int64    `json:"solver_ns"`
+	StepNS   int64    `json:"step_ns"`
+}
+
+// Report is the JSON shape of the rendered profile.
+type Report struct {
+	Meta            Meta             `json:"meta"`
+	Hotspots        []Hotspot        `json:"hotspots"`
+	Degraded        map[string]int64 `json:"degraded,omitempty"`
+	MergeCandidates []MergeCandidate `json:"merge_candidates,omitempty"`
+}
+
+// Render builds the report from a snapshot: hotspots ranked by solver
+// time (then step time, then execs), and merge candidates ranked by
+// in-region solver cost.
+func Render(snap *Snapshot) *Report {
+	r := &Report{Meta: snap.Meta, Degraded: snap.Causes}
+	for pc, st := range snap.PCs {
+		r.Hotspots = append(r.Hotspots, Hotspot{PC: pc, PCStats: *st})
+	}
+	sort.Slice(r.Hotspots, func(i, j int) bool {
+		a, b := &r.Hotspots[i], &r.Hotspots[j]
+		if a.SolverNS != b.SolverNS {
+			return a.SolverNS > b.SolverNS
+		}
+		if a.StepNS != b.StepNS {
+			return a.StepNS > b.StepNS
+		}
+		if a.Execs != b.Execs {
+			return a.Execs > b.Execs
+		}
+		return a.PC < b.PC
+	})
+	r.MergeCandidates = findDiamonds(snap)
+	return r
+}
+
+// Report renders the profiler's current state.
+func (p *Profiler) Report() *Report { return Render(p.Snapshot()) }
+
+// JSON implements the obs profile surface: the full report as JSON.
+func (p *Profiler) JSON() ([]byte, error) {
+	return json.MarshalIndent(p.Report(), "", "  ")
+}
+
+// WriteText writes the human-readable ranked hotspot report.
+func (p *Profiler) WriteText(w io.Writer) error {
+	return p.Report().WriteText(w)
+}
+
+func (r *Report) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	title := "exploration profile"
+	if r.Meta.ADL != "" {
+		title += " (" + r.Meta.ADL
+		if r.Meta.JobID != "" {
+			title += ", job " + r.Meta.JobID
+		}
+		title += ")"
+	}
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-10s %-8s %8s %9s %10s %8s %5s %6s %7s %6s %6s\n",
+		"pc", "insn", "execs", "step-ms", "solver-ms", "queries", "hit%", "forks", "infeas", "kills", "merges")
+	rows := r.Hotspots
+	const maxRows = 25
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	for _, h := range rows {
+		hit := 0.0
+		if h.SolverQueries > 0 {
+			hit = 100 * float64(h.CacheHits) / float64(h.SolverQueries)
+		}
+		fmt.Fprintf(&sb, "%-10s %-8s %8d %9.2f %10.2f %8d %5.1f %6d %7d %6d %6d\n",
+			fmt.Sprintf("0x%x", h.PC), h.Mnemonic, h.Execs,
+			float64(h.StepNS)/1e6, float64(h.SolverNS)/1e6,
+			h.SolverQueries, hit, h.Forks, h.Infeasible, h.Kills, h.Merges)
+	}
+	if len(r.Hotspots) > maxRows {
+		fmt.Fprintf(&sb, "  ... %d more PCs\n", len(r.Hotspots)-maxRows)
+	}
+	if len(r.Degraded) > 0 {
+		causes := make([]string, 0, len(r.Degraded))
+		for c := range r.Degraded {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fmt.Fprintf(&sb, "degradations by cause:\n")
+		for _, c := range causes {
+			fmt.Fprintf(&sb, "  %-24s %d\n", c, r.Degraded[c])
+		}
+	}
+	if len(r.MergeCandidates) > 0 {
+		fmt.Fprintf(&sb, "merge candidates (fork/rejoin diamonds, ROADMAP item 5):\n")
+		for i, mc := range r.MergeCandidates {
+			if i >= 8 {
+				fmt.Fprintf(&sb, "  ... %d more regions\n", len(r.MergeCandidates)-8)
+				break
+			}
+			fmt.Fprintf(&sb, "  fork 0x%x -> rejoin 0x%x: %d arms, %d inner PCs, %d forks, solver %.2fms, step %.2fms\n",
+				mc.Fork, mc.Rejoin, mc.Arms, len(mc.Region), mc.Forks,
+				float64(mc.SolverNS)/1e6, float64(mc.StepNS)/1e6)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// diamondBound caps the per-arm forward walk: diamonds wider than this
+// many PCs per arm are loops or genuinely divergent control flow, not
+// merge candidates.
+const diamondBound = 128
+
+// findDiamonds walks the recorded control-transfer graph: every PC
+// with out-degree >= 2 is a fork point; a bounded BFS down each
+// successor arm finds the first PC reached by at least two distinct
+// arms — the rejoin. The PCs visited before the rejoin form the
+// diamond's interior, and the cost charged to them bounds the win from
+// merging the arms instead of exploring them independently.
+func findDiamonds(snap *Snapshot) []MergeCandidate {
+	succ := map[uint64][]uint64{}
+	for e := range snap.Edges {
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	for _, ts := range succ {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+
+	var out []MergeCandidate
+	for fork, arms := range succ {
+		arms = dedupPCs(arms)
+		if len(arms) < 2 {
+			continue
+		}
+		// Per-arm reachable sets with BFS depth, bounded, never
+		// walking through the fork itself (loop back-edges end an arm).
+		reach := make([]map[uint64]int, len(arms))
+		for i, a := range arms {
+			reach[i] = bfs(succ, a, fork)
+		}
+		// The rejoin is the PC present in >= 2 arm sets with the
+		// smallest worst-case depth (earliest reconvergence), ties
+		// broken by address for determinism.
+		bestPC, bestDepth, bestArms := uint64(0), -1, 0
+		counts := map[uint64]int{}
+		worst := map[uint64]int{}
+		for _, rs := range reach {
+			for pc, d := range rs {
+				counts[pc]++
+				if d > worst[pc] {
+					worst[pc] = d
+				}
+			}
+		}
+		for pc, n := range counts {
+			if n < 2 {
+				continue
+			}
+			d := worst[pc]
+			if bestDepth == -1 || d < bestDepth || (d == bestDepth && pc < bestPC) {
+				bestPC, bestDepth, bestArms = pc, d, n
+			}
+		}
+		if bestDepth == -1 {
+			continue
+		}
+		// Interior: PCs on the converging arms strictly before the
+		// rejoin.
+		interior := map[uint64]bool{}
+		for _, rs := range reach {
+			if _, converges := rs[bestPC]; !converges {
+				continue
+			}
+			for pc, d := range rs {
+				if pc != bestPC && d < rs[bestPC] {
+					interior[pc] = true
+				}
+			}
+		}
+		mc := MergeCandidate{Fork: fork, Rejoin: bestPC, Arms: bestArms}
+		if st := snap.PCs[fork]; st != nil {
+			mc.Forks = st.Forks
+			mc.SolverNS += st.SolverNS
+			mc.StepNS += st.StepNS
+		}
+		for pc := range interior {
+			mc.Region = append(mc.Region, pc)
+			if st := snap.PCs[pc]; st != nil {
+				mc.SolverNS += st.SolverNS
+				mc.StepNS += st.StepNS
+			}
+		}
+		sort.Slice(mc.Region, func(i, j int) bool { return mc.Region[i] < mc.Region[j] })
+		out = append(out, mc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.SolverNS != b.SolverNS {
+			return a.SolverNS > b.SolverNS
+		}
+		if a.StepNS != b.StepNS {
+			return a.StepNS > b.StepNS
+		}
+		return a.Fork < b.Fork
+	})
+	return out
+}
+
+func bfs(succ map[uint64][]uint64, start, skip uint64) map[uint64]int {
+	depth := map[uint64]int{start: 0}
+	queue := []uint64{start}
+	for len(queue) > 0 && len(depth) < diamondBound {
+		pc := queue[0]
+		queue = queue[1:]
+		for _, next := range succ[pc] {
+			if next == skip {
+				continue
+			}
+			if _, seen := depth[next]; seen {
+				continue
+			}
+			depth[next] = depth[pc] + 1
+			queue = append(queue, next)
+		}
+	}
+	return depth
+}
+
+func dedupPCs(pcs []uint64) []uint64 {
+	out := pcs[:0]
+	var prev uint64
+	for i, pc := range pcs {
+		if i == 0 || pc != prev {
+			out = append(out, pc)
+		}
+		prev = pc
+	}
+	return out
+}

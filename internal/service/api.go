@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -190,6 +191,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 
 	obsH := s.obsHandler
@@ -205,12 +207,78 @@ func (s *Server) Handler() http.Handler {
 			"  GET    /v1/jobs              list jobs\n"+
 			"  GET    /v1/jobs/{id}         poll job status\n"+
 			"  GET    /v1/jobs/{id}/results stream results as JSONL (?wait=1 blocks)\n"+
+			"  GET    /v1/jobs/{id}/profile exploration profile: pprof pb.gz (?format=text|json)\n"+
 			"  DELETE /v1/jobs/{id}         cancel a job\n"+
 			"  GET    /metrics              Prometheus metrics (service_* + engine)\n"+
 			"  GET    /coverage             semantic-coverage matrix\n"+
+			"  GET    /debug/profile        aggregate exploration profile (all jobs)\n"+
 			"  GET    /debug/pprof/         pprof\n")
 	})
-	return mux
+	return s.logRequests(mux)
+}
+
+// logRequests wraps the service mux with structured request logging:
+// one line per request with method, path, remote address, status and
+// latency. Job-API requests log at Info; the high-frequency scrape and
+// debug surfaces (/metrics, /coverage, /debug/...) log at Debug so a
+// Prometheus poller does not flood the job log.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		level := slog.LevelDebug
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			level = slog.LevelInfo
+		}
+		s.log.Log(r.Context(), level, "http request",
+			"method", r.Method, "path", r.URL.Path, "remote", r.RemoteAddr,
+			"status", rec.status, "dur_ms", time.Since(t0).Milliseconds())
+	})
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handleProfile serves a job's exploration profile: the gzipped pprof
+// protobuf by default (feed it straight to `go tool pprof`), or the
+// hotspot report with ?format=text|json. The profile of a running job
+// is a live partial snapshot — worker shards fold in at merge points,
+// so recent activity may not be visible yet.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok || j.prof == nil {
+		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "no such job"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		j.prof.WriteText(w)
+	case "json":
+		data, err := j.prof.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, &JobError{Code: CodePanic, Msg: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename="%s.pb.gz"`, j.id))
+		if err := j.prof.WritePprof(w); err != nil {
+			writeError(w, http.StatusInternalServerError, &JobError{Code: CodePanic, Msg: err.Error()})
+		}
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +485,30 @@ func (c *Client) Results(id string, wait bool) ([]Event, error) {
 		out = append(out, ev)
 	}
 	return out, sc.Err()
+}
+
+// Profile fetches a job's exploration profile. format "" returns the
+// gzipped pprof protobuf; "text" and "json" return the hotspot report.
+func (c *Client) Profile(id, format string) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/profile"
+	if format != "" {
+		path += "?format=" + format
+	}
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var env struct {
+			Error *JobError `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != nil {
+			return nil, env.Error
+		}
+		return nil, fmt.Errorf("service: HTTP %d fetching profile", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Metrics fetches the Prometheus text exposition (tests and smokes).

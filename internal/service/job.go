@@ -16,6 +16,7 @@ import (
 	"repro/internal/adl"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/profile"
 	"repro/internal/prog"
 )
 
@@ -29,6 +30,11 @@ type Job struct {
 
 	seed    []byte // concolic
 	maxRuns int    // concolic
+
+	// prof is the job's exploration profiler (internal/profile), armed
+	// at admission and served by GET /v1/jobs/{id}/profile; the server
+	// absorbs it into the daemon-wide aggregate when the job finishes.
+	prof *profile.Profiler
 
 	cancelOnce sync.Once
 	cancelCh   chan struct{} // closed on cancel; wired to opts.Cancel
@@ -168,6 +174,7 @@ func (s *Server) runJob(j *Job) {
 		e.AddChecker(c)
 	}
 
+	s.log.Info("job started", "job", j.id, "arch", j.p.Arch, "mode", j.mode)
 	t0 := time.Now()
 	switch j.mode {
 	case "concolic":

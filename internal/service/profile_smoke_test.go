@@ -1,0 +1,136 @@
+// Exploration-profiler smoke (wired into `make profile-smoke`): boot
+// symexd on loopback, run a fork-heavy job, and fetch its per-PC cost
+// profile through GET /v1/jobs/{id}/profile in all three formats. The
+// pprof bytes must decode to a profile whose default sample type is
+// solver_time with nonzero attributed cost, the JSON report must carry
+// the job ID as its correlation key, and the daemon-wide aggregate at
+// /debug/profile must cover the finished job.
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/profile"
+
+	. "repro/internal/service"
+)
+
+func TestProfileSmoke(t *testing.T) {
+	srv, hs, c := startServer(t, Config{MaxConcurrent: 2, Obs: obs.New()})
+	defer srv.Close()
+	defer hs.Close()
+
+	img := buildImage(t, "tiny32", harness.BranchLadder("tiny32", 5))
+	st, err := c.Submit(JobSpec{Image: img})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != StateDone {
+		t.Fatalf("job ended %q (%v), want done", final.Status, final.Error)
+	}
+
+	// pprof surface: the default download must be a parseable gzipped
+	// protobuf attributing solver time to guest PCs of this job's ADL.
+	pb, err := c.Profile(st.ID, "")
+	if err != nil {
+		t.Fatalf("profile (pprof): %v", err)
+	}
+	parsed, err := profile.Parse(pb)
+	if err != nil {
+		t.Fatalf("parsing pprof bytes: %v", err)
+	}
+	if parsed.DefaultSampleType != "solver_time" {
+		t.Errorf("default sample type %q, want solver_time", parsed.DefaultSampleType)
+	}
+	if parsed.Mapping != "tiny32" {
+		t.Errorf("mapping %q, want tiny32", parsed.Mapping)
+	}
+	if len(parsed.Samples) == 0 {
+		t.Fatal("pprof profile has no samples")
+	}
+	var solverNS, execs int64
+	for _, s := range parsed.Samples {
+		if len(s.Values) != len(parsed.SampleTypes) {
+			t.Fatalf("sample at %#x has %d values for %d sample types", s.Addr, len(s.Values), len(parsed.SampleTypes))
+		}
+		solverNS += s.Values[0]
+		execs += s.Values[2]
+		if s.Func == "" {
+			t.Errorf("sample at %#x has no function symbolization", s.Addr)
+		}
+	}
+	if solverNS == 0 {
+		t.Error("no solver time attributed to any guest PC")
+	}
+	if execs == 0 {
+		t.Error("no instruction executions attributed to any guest PC")
+	}
+
+	// JSON surface: the report's meta must name this job (the
+	// correlation key shared with the tracer and the request log).
+	js, err := c.Profile(st.ID, "json")
+	if err != nil {
+		t.Fatalf("profile (json): %v", err)
+	}
+	var rep struct {
+		Meta     profile.Meta      `json:"meta"`
+		Hotspots []json.RawMessage `json:"hotspots"`
+	}
+	if err := json.Unmarshal(js, &rep); err != nil {
+		t.Fatalf("decoding JSON report: %v", err)
+	}
+	if rep.Meta.JobID != st.ID {
+		t.Errorf("report job ID %q, want %q", rep.Meta.JobID, st.ID)
+	}
+	if rep.Meta.ADL != "tiny32" {
+		t.Errorf("report ADL %q, want tiny32", rep.Meta.ADL)
+	}
+	if len(rep.Hotspots) == 0 {
+		t.Error("JSON report has no hotspots")
+	}
+
+	// Text surface: the hotspot table header and the job banner.
+	txt, err := c.Profile(st.ID, "text")
+	if err != nil {
+		t.Fatalf("profile (text): %v", err)
+	}
+	if !strings.Contains(string(txt), "exploration profile") || !strings.Contains(string(txt), st.ID) {
+		t.Errorf("text report missing banner or job ID:\n%s", txt)
+	}
+
+	// The daemon-wide aggregate absorbs finished jobs and serves the
+	// same three formats at /debug/profile.
+	resp, err := c.HTTP.Get(c.Base + "/debug/profile")
+	if err != nil {
+		t.Fatalf("GET /debug/profile: %v", err)
+	}
+	agg, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/profile: status %d, err %v", resp.StatusCode, err)
+	}
+	aggParsed, err := profile.Parse(agg)
+	if err != nil {
+		t.Fatalf("parsing aggregate profile: %v", err)
+	}
+	if len(aggParsed.Samples) < len(parsed.Samples) {
+		t.Errorf("aggregate has %d samples, job profile %d — finished job not absorbed",
+			len(aggParsed.Samples), len(parsed.Samples))
+	}
+
+	// Unknown jobs must 404 with the error envelope, not 500.
+	if _, err := c.Profile("j999999", ""); err == nil {
+		t.Error("profile of unknown job did not fail")
+	}
+}

@@ -9,6 +9,8 @@ package service
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/smt"
 )
@@ -60,6 +63,11 @@ type Config struct {
 	Obs    *obs.Obs
 	Cover  *cover.Collector
 	Inject *faultinject.Injector
+
+	// Logger receives the structured job-lifecycle and request log
+	// (log/slog). Nil discards — the library default stays silent; the
+	// symexd binary wires a text or JSON handler via -log-format.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.Cover != nil && c.Obs.Cover == nil {
 		c.Obs.Cover = c.Cover
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -115,6 +126,11 @@ type Server struct {
 	obsHandler http.Handler
 	m          serviceMetrics
 	base       metricsBase
+	log        *slog.Logger
+
+	// aggProf accumulates every finished job's exploration profile, so
+	// /debug/profile serves a daemon-lifetime guest-code profile.
+	aggProf *profile.Profiler
 
 	mu       sync.Mutex
 	draining bool
@@ -137,10 +153,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: smt.NewQueryCache(),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
+		cfg:     cfg,
+		cache:   smt.NewQueryCache(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		log:     cfg.Logger,
+		aggProf: profile.New(profile.Meta{ADL: "all"}),
 	}
 	if cfg.CacheFile != "" {
 		p, err := smt.OpenPersistentCache(cfg.CacheFile, s.cache, smt.PersistOptions{
@@ -150,6 +168,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: opening cache file: %w", err)
 		}
 		s.persist = p
+	}
+	if cfg.Obs.Profile == nil {
+		cfg.Obs.Profile = s.aggProf
 	}
 	s.obsHandler = obs.Handler(cfg.Obs)
 	s.m = newServiceMetrics(cfg.Obs.Registry())
@@ -241,11 +262,19 @@ func (s *Server) Submit(spec JobSpec) (*JobStatus, *JobError) {
 	}
 	s.seq++
 	j.id = fmt.Sprintf("j%06d", s.seq)
+	// The job ID is the correlation key across every observability
+	// surface: trace events (obs.Tracer.Scoped), the per-job exploration
+	// profile, and the structured log.
+	j.opts.JobID = j.id
+	j.prof = profile.New(profile.Meta{ADL: j.p.Arch, JobID: j.id})
+	j.opts.Profile = j.prof
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
 	s.m.admitted.Inc()
 	s.m.queueDepth.Set(int64(len(s.queue)))
+	s.log.Info("job admitted", "job", j.id, "arch", j.p.Arch, "mode", j.mode,
+		"workers", j.opts.Workers, "queue_depth", len(s.queue))
 	return j.status(), nil
 }
 
@@ -388,6 +417,8 @@ func (s *Server) Cancel(id string) (*JobStatus, bool) {
 // the oldest terminal jobs past the cap.
 func (s *Server) finishJob(j *Job) {
 	s.m.completed(j.statusString())
+	s.aggProf.Absorb(j.prof)
+	s.logFinished(j)
 	s.mu.Lock()
 	s.doneIDs = append(s.doneIDs, j.id)
 	for len(s.doneIDs) > s.cfg.RetainDone {
@@ -395,6 +426,29 @@ func (s *Server) finishJob(j *Job) {
 		s.doneIDs = s.doneIDs[1:]
 	}
 	s.mu.Unlock()
+}
+
+// logFinished emits the terminal job-lifecycle log line: outcome, error
+// code when the job failed, and the headline run stats when it ran.
+func (s *Server) logFinished(j *Job) {
+	j.mu.Lock()
+	attrs := []any{"job", j.id, "status", j.state}
+	if j.err != nil {
+		attrs = append(attrs, "code", j.err.Code, "err", j.err.Msg)
+	}
+	if j.stats != nil {
+		attrs = append(attrs,
+			"paths", j.stats.Paths, "bugs", j.stats.Bugs,
+			"instructions", j.stats.Instructions,
+			"solver_queries", j.stats.SolverQs, "wall_ms", j.stats.WallMS)
+	}
+	failed := j.state == StateFailed
+	j.mu.Unlock()
+	if failed {
+		s.log.Warn("job finished", attrs...)
+		return
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // Close drains the service: new submissions get 503, queued jobs are

@@ -109,7 +109,20 @@ type Solver struct {
 	// solver of a run.
 	Obs *SolverObs
 
+	// Prof, when non-nil, attributes each query's wall time and
+	// cache-hit status to the guest PC being stepped (the exploration
+	// profiler, internal/profile). Unlike Obs it is worker-local: each
+	// worker solver points at its own engine's unsynchronized shard.
+	Prof QueryProf
+
 	Stats Stats
+}
+
+// QueryProf is the per-query profiling hook: one call per Check with
+// the query's wall time and whether the cache answered it. Implemented
+// by profile.Shard.
+type QueryProf interface {
+	Query(d time.Duration, cacheHit bool)
 }
 
 // New returns a solver for expressions built by b.
@@ -170,6 +183,12 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 		s.Stats.Deadlines++
 		return Unknown, ErrDeadline
 	}
+	// Profiled queries are wall-timed end to end, including the cache
+	// lookup; the unprofiled hit path stays clock-free.
+	var pt0 time.Time
+	if s.Prof != nil {
+		pt0 = time.Now()
+	}
 	var key cacheKey
 	if s.Cache != nil {
 		key = queryKey(assumptions)
@@ -192,6 +211,9 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 				if s.Obs != nil {
 					s.Obs.UnsatResults.Inc()
 				}
+			}
+			if s.Prof != nil {
+				s.Prof.Query(time.Since(pt0), true)
 			}
 			return e.r, nil
 		}
@@ -225,6 +247,9 @@ func (s *Solver) Check(assumptions ...*expr.Expr) (Result, error) {
 		s.Obs.BlastSeconds.ObserveDuration(blast)
 		s.Obs.SolveSeconds.ObserveDuration(solve)
 		s.Obs.CheckSeconds.ObserveSince(t0)
+	}
+	if s.Prof != nil {
+		s.Prof.Query(time.Since(pt0), false)
 	}
 	if err != nil {
 		if err == sat.ErrDeadline {
