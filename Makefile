@@ -6,12 +6,13 @@
 # fault-isolation layer (docs/robustness.md), the compiled-vs-
 # interpreted equivalence smoke (docs/compile.md), and the analysis-
 # service smoke with its persistent cross-run solver cache
-# (docs/service.md), and the exploration-profiler smoke against a live
-# daemon (docs/observability.md).
+# (docs/service.md), the exploration-profiler smoke against a live
+# daemon, the run-ledger regression-gate smoke, and the live-progress
+# SSE smoke (docs/observability.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke
 
 build:
 	go build ./...
@@ -23,7 +24,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service ./internal/profile
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service ./internal/profile ./internal/ledger
 
 bench:
 	go test -bench=. -benchmem
@@ -75,6 +76,20 @@ service-smoke:
 # formats — the pprof bytes must parse and attribute solver time.
 profile-smoke:
 	go test -run 'TestProfileSmoke' -count=1 ./internal/service
+
+# Run-ledger smoke (docs/observability.md): build the symex binary and
+# run the same image against the same ledger three times — the clean
+# repeat run must gate green, and a -ledger-fake-slowdown run must exit
+# 5 naming the regressed metric.
+ledger-smoke:
+	go test -run 'TestLedgerSmoke' -count=1 ./internal/ledger
+
+# Live-progress smoke (docs/observability.md): boot symexd on loopback
+# with a run ledger, stream >= 2 SSE snapshots plus the terminal done
+# event during a real job, and require the completed job to appear at
+# GET /v1/runs with a green per-config trend.
+progress-smoke:
+	go test -run 'TestProgressSmoke' -count=1 ./internal/service
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

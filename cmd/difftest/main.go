@@ -55,10 +55,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/arch"
 	"repro/internal/cover"
 	"repro/internal/difftest"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/profile"
 )
@@ -84,6 +86,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "arm the fault injector at every site (docs/robustness.md)")
 	chaosPeriod := flag.Int("chaos-period", 0, "approximate calls between injected faults per site (default 2000, implies -chaos)")
 	serviceAddr := flag.String("service-addr", "", "also drive a running symexd daemon at this address and match its results against direct runs (docs/service.md)")
+	ledgerDir := flag.String("ledger", "", "append one soak record (rounds, checks, coverage floors) to the run ledger in this directory")
 	verbose := flag.Bool("v", false, "log per-round progress")
 
 	// -adl name=file overrides the subject description for one
@@ -243,6 +246,51 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-20s %d\n", k, res.Surfaced[k])
 		}
 	}
+	// One soak record per run: throughput (rounds, checks) as the cost
+	// axes and the per-ISA coverage floors as the coverage map, so the
+	// gate catches a soak that got slower or stopped reaching cells.
+	// Same-config soaks share a digest regardless of seed — seeds vary
+	// the programs, not the workload class.
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+			os.Exit(2)
+		}
+		var totalChecks int64
+		for _, n := range res.Checks {
+			totalChecks += n
+		}
+		summary := fmt.Sprintf("arches=%s layers=%s workers=%v rounds=%d duration=%v chaos=%v",
+			*arches, *layers, opts.Workers, *rounds, *duration, opts.Chaos)
+		rec := ledger.Record{
+			Time:         time.Now().Unix(),
+			Source:       "difftest",
+			Label:        fmt.Sprintf("seed=%d", res.Seed),
+			Digest:       ledger.Digest("difftest", nil, summary),
+			ISA:          "all",
+			Mode:         "soak",
+			WallNS:       int64(res.Elapsed),
+			Instructions: totalChecks,
+			Paths:        int64(res.Rounds),
+			Bugs:         int64(len(res.Divergences)),
+		}
+		if coll != nil {
+			rep := coll.Report()
+			rec.Coverage = make(map[string]float64, len(rep.ISAs))
+			for _, ir := range rep.ISAs {
+				rec.Coverage[ir.ISA] = ir.Floor()
+			}
+		}
+		if err := led.Append(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+			led.Close()
+			os.Exit(2)
+		}
+		led.Close()
+		fmt.Fprintf(os.Stderr, "ledger: appended soak record %s to %s\n", rec.Digest, led.Path())
+	}
+
 	fmt.Print(res.Summary())
 	for _, d := range res.Divergences {
 		fmt.Printf("\n%v\n", d)

@@ -5,8 +5,16 @@
 // Usage:
 //
 //	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
-//	                   coverage|cover-overhead|governor|compile|service-cache|profile-overhead]
-//	            [-obs-addr :8089]
+//	                   coverage|cover-overhead|governor|compile|service-cache|profile-overhead|
+//	                   ledger|progress-overhead]
+//	            [-obs-addr :8089] [-ledger DIR] [-bench-out BENCH_ledger.json]
+//
+// -only ledger appends the parallel-scaling workloads to a run ledger
+// (a throwaway one unless -ledger names a directory to accumulate
+// baselines in) and exports each config's trajectory — rolling medians
+// plus the latest run's regression-gate verdict — to -bench-out.
+// -only progress-overhead measures the cost of the live-progress
+// instrument plus the per-run ledger append (docs/observability.md).
 package main
 
 import (
@@ -22,9 +30,11 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache, profile-overhead)")
-	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor/profile-overhead (0 = all CPUs)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache, profile-overhead, ledger, progress-overhead)")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor/profile-overhead/ledger/progress-overhead (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
+	ledgerDir := flag.String("ledger", "", "run-ledger directory for -only ledger (empty = throwaway temp dir)")
+	benchOut := flag.String("bench-out", "BENCH_ledger.json", "trajectory export path for -only ledger")
 	flag.Parse()
 
 	if *obsAddr != "" {
@@ -89,6 +99,30 @@ func main() {
 		harness.RunServiceCache().Print(os.Stdout)
 	case "profile-overhead":
 		harness.RunProfileOverhead(workerCounts).Print(os.Stdout)
+	case "ledger":
+		dir := *ledgerDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "symex-ledger-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		traj, err := harness.RunLedgerTrajectory(dir, workerCounts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traj.Print(os.Stdout)
+		if err := traj.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench-out: wrote trajectory to %s\n", *benchOut)
+	case "progress-overhead":
+		harness.RunProgressOverhead(workerCounts).Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

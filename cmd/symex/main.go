@@ -8,6 +8,7 @@
 //	      [-solver-deadline 2s] [-state-budget N] [-no-compile]
 //	      [-cover] [-cover-out cover.json] [-obs-addr :8089] [-trace-out trace.json]
 //	      [-profile] [-profile-out prof.pb.gz] [-profile-json prof.json]
+//	      [-ledger DIR] [-ledger-gate] [-ledger-fake-slowdown D]
 //	      <image.rimg>
 //
 // Execution runs through the semantics compiler and superblock cache by
@@ -33,6 +34,14 @@
 // -profile-json writes the machine-readable report. Any of the three
 // arms the profiler (see docs/observability.md).
 //
+// -ledger appends one run record (cost, shape, coverage, hotspots) to
+// the append-only run ledger in DIR; -ledger-gate then diffs the run
+// against the rolling median of prior runs of the same configuration
+// and exits 5 naming the regressed metric on stderr when wall time,
+// solver time, or coverage moved the wrong way (docs/observability.md).
+// -ledger-fake-slowdown inflates the recorded times before gating — a
+// testing aid that makes the red path demonstrable on demand.
+//
 // -solver-deadline and -state-budget arm the resource governor
 // (docs/robustness.md): a query past the wall-clock deadline or a state
 // past the term budget degrades gracefully — over-approximated or
@@ -45,12 +54,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/arch"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/expr"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -77,6 +88,9 @@ func main() {
 	profileOn := flag.Bool("profile", false, "attribute exploration cost to guest PCs; the hotspot report goes to stderr")
 	profileOut := flag.String("profile-out", "", "write the exploration profile as gzipped pprof protobuf to this file (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the exploration profile report as JSON to this file (implies -profile)")
+	ledgerDir := flag.String("ledger", "", "append this run's record to the run ledger in this directory (docs/observability.md)")
+	ledgerGate := flag.Bool("ledger-gate", false, "gate this run against its rolling same-config baseline; a regression names the metric on stderr and exits 5")
+	ledgerSlow := flag.Duration("ledger-fake-slowdown", 0, "testing aid: inflate the recorded wall and solver times by this duration before gating")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: symex [flags] <image.rimg>")
@@ -135,6 +149,7 @@ func main() {
 		if coll != nil {
 			o.Cover = coll
 		}
+		obs.RegisterBuildInfo(o.Reg, len(arch.Names()))
 	}
 	if *obsAddr != "" {
 		srv, err := obs.Serve(*obsAddr, o)
@@ -218,6 +233,70 @@ func main() {
 		}
 	}
 
+	// recordLedger appends this run to the run ledger and, with
+	// -ledger-gate, diffs it against the rolling median of prior runs of
+	// the same configuration. A regression names the offending metric on
+	// stderr and exits 5 (distinct from the bug exit 3), so CI can tell
+	// "got slower" from "found bugs".
+	recordLedger := func(st core.Stats, mode string, bugs int) {
+		if *ledgerDir == "" {
+			return
+		}
+		led, err := ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		summary := fmt.Sprintf("mode=%s inputs=%d steps=%d paths=%d workers=%d strategy=%s",
+			mode, *inputs, *steps, *paths, *workers, *strategy)
+		in := ledger.BuildInput{
+			Source:  "symex",
+			Label:   flag.Arg(0),
+			Digest:  ledger.Digest(p.Arch, raw, summary),
+			ISA:     p.Arch,
+			Mode:    mode,
+			Workers: *workers,
+			Bugs:    bugs,
+			Stats:   st,
+			Now:     time.Now(),
+		}
+		if coll != nil {
+			in.Cover = coll.Report()
+		}
+		if prof != nil {
+			in.Profile = prof.Report()
+		}
+		rec := ledger.Build(in)
+		if *ledgerSlow > 0 {
+			rec.WallNS += int64(*ledgerSlow)
+			rec.SolverNS += int64(*ledgerSlow)
+		}
+		history := led.Records()
+		if err := led.Append(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+			os.Exit(1)
+		}
+		prior := 0
+		for _, r := range history {
+			if r.Digest == rec.Digest {
+				prior++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ledger: appended run %s (%d prior runs of this config) to %s\n",
+			rec.Digest, prior, led.Path())
+		if *ledgerGate {
+			if regs := ledger.Gate(history, rec, ledger.GateOptions{}); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "ledger-gate: %s\n", r)
+				}
+				os.Exit(5)
+			}
+			fmt.Fprintf(os.Stderr, "ledger-gate: green (wall %v, solver %v vs %d-run baseline)\n",
+				rec.Wall().Round(time.Microsecond), rec.Solver().Round(time.Microsecond), prior)
+		}
+	}
+
 	e := core.NewEngine(a, p, core.Options{
 		InputBytes:     *inputs,
 		MaxSteps:       *steps,
@@ -237,6 +316,7 @@ func main() {
 	}
 
 	if *concolic > 0 {
+		t0 := time.Now()
 		rep, err := e.Concolic([]byte(*seed), *concolic)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -245,6 +325,11 @@ func main() {
 		dumpTrace()
 		dumpCover()
 		dumpProfile()
+		cs := rep.Stats
+		cs.Coverage = rep.Coverage
+		cs.PathsDone = len(rep.Paths) // the concolic loop doesn't count paths
+		cs.WallTime = time.Since(t0)  // ... nor self-time
+		recordLedger(cs, "concolic", len(rep.Bugs))
 		if len(rep.Faults) > 0 {
 			fmt.Fprintf(os.Stderr, "faults: %d runs ended by recovered panics:\n", len(rep.Faults))
 			for _, f := range rep.Faults {
@@ -275,6 +360,7 @@ func main() {
 	dumpTrace()
 	dumpCover()
 	dumpProfile()
+	recordLedger(r.Stats, "explore", len(r.Bugs))
 
 	fmt.Printf("%s: %d paths, %d instructions, %d forks (%d infeasible), %v\n",
 		p.Arch, len(r.Paths), r.Stats.Instructions, r.Stats.Forks,

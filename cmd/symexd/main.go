@@ -2,7 +2,11 @@
 // API of internal/service (submit program images, poll status, stream
 // JSONL results), schedules concurrent jobs under the resource
 // governor, and shares one solver-query cache across every job —
-// optionally backed by a persistent cross-run cache file. The obs
+// optionally backed by a persistent cross-run cache file. With -ledger
+// it records every completed job in the append-only run ledger (served
+// at GET /v1/runs, with per-config trends at GET /v1/runs/{digest}),
+// and every running job streams live progress snapshots over SSE at
+// GET /v1/jobs/{id}/events, paced by -snapshot-interval. The obs
 // introspection surface (/metrics, /coverage, pprof) is part of the
 // same listener. See docs/service.md.
 package main
@@ -16,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/arch"
 	"repro/internal/cover"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -35,6 +40,8 @@ func main() {
 		solverDL      = flag.Duration("solver-deadline", 2*time.Second, "per-query solver wall clock (resource governor)")
 		maxTerms      = flag.Int("max-state-terms", 0, "per-state symbolic-footprint budget (0 = off)")
 		coverage      = flag.Bool("coverage", false, "collect semantic coverage (served at /coverage)")
+		ledgerDir     = flag.String("ledger", "", "run-ledger directory: record every completed job, serve GET /v1/runs")
+		snapInterval  = flag.Duration("snapshot-interval", 250*time.Millisecond, "pacing of the per-job SSE progress stream at GET /v1/jobs/{id}/events")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
@@ -57,9 +64,12 @@ func main() {
 		CacheFile:        *cacheFile,
 		CacheMaxEntries:  *cacheMax,
 		FlushInterval:    *flushInterval,
+		LedgerDir:        *ledgerDir,
+		SnapshotInterval: *snapInterval,
 		Obs:              obs.New(),
 		Logger:           logger,
 	}
+	obs.RegisterBuildInfo(cfg.Obs.Reg, len(arch.Names()))
 	if *coverage {
 		cfg.Cover = cover.New()
 	}
@@ -75,6 +85,15 @@ func main() {
 		os.Exit(1)
 	}
 	attrs := []any{"addr", httpSrv.Addr()}
+	if *ledgerDir != "" {
+		ls := srv.LedgerStats()
+		mode := "writer"
+		if ls.ReadOnly {
+			mode = "read-only follower"
+		}
+		attrs = append(attrs, "ledger_dir", *ledgerDir, "ledger_loaded", ls.Loaded,
+			"ledger_corrupt", ls.Corruptions, "ledger_mode", mode)
+	}
 	if *cacheFile != "" {
 		ps := srv.PersistStats()
 		mode := "writer"

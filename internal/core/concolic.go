@@ -69,6 +69,7 @@ func (e *Engine) Concolic(seed []byte, maxRuns int) (*ConcolicReport, error) {
 			return nil, err
 		}
 		rep.Paths = append(rep.Paths, *path)
+		e.progress.addPaths(1)
 
 		// Record this path's branch prefixes as explored.
 		var sig strings.Builder

@@ -188,6 +188,15 @@ type Options struct {
 	// pointer test per site, same bargain as Obs and Cover.
 	Profile *profile.Profiler
 
+	// Progress, when non-nil, receives live run-progress updates
+	// (instructions, paths, forks, frontier depth, solver time,
+	// coverage, degradations) as lock-free atomic counters an observer
+	// may snapshot while the run executes — the feed behind symexd's
+	// per-job SSE stream. Nil (the default) disables it; the residual
+	// cost is one pointer test per site, same bargain as Obs, Cover
+	// and Profile.
+	Progress *Progress
+
 	// JobID labels this run's trace events and profile with the
 	// analysis-service job that owns it, so artifacts from concurrent
 	// daemon jobs stay attributable. Empty outside the daemon.
@@ -413,6 +422,11 @@ type Engine struct {
 	// method no-ops on nil.
 	profiler *profile.Profiler
 	prof     *profile.Shard
+
+	// progress is the live run-progress block (Options.Progress); nil
+	// when no observer asked for it. Workers share it — every update is
+	// a single atomic op.
+	progress *Progress
 }
 
 // StepSampleRate is the sampling factor of the engine_step_seconds
@@ -550,10 +564,16 @@ func NewEngine(a *adl.Arch, p *prog.Program, opts Options) *Engine {
 	e.Dec.Cov = e.cov
 	e.profiler = opts.Profile
 	e.prof = opts.Profile.NewShard()
-	if e.prof != nil {
+	e.progress = opts.Progress
+	switch {
+	case e.prof != nil && e.progress != nil:
+		e.Solver.Prof = progressProf{shard: e.prof, prog: e.progress}
+	case e.prof != nil:
 		// Guarded: assigning a nil *Shard would make the interface
 		// non-nil and re-arm the solver's per-query clock reads.
 		e.Solver.Prof = e.prof
+	case e.progress != nil:
+		e.Solver.Prof = progressProf{prog: e.progress}
 	}
 	e.Solver.Obs = smt.NewSolverObs(opts.Obs.Registry())
 	e.Solver.MaxConflicts = opts.MaxSolverConflicts

@@ -60,6 +60,7 @@ func (e *Engine) Run() (*Report, error) {
 			e.m.frontierDepth.Set(int64(len(live)))
 			e.m.liveMax.Max(int64(len(live)))
 		}
+		e.progress.setFrontier(int64(len(live)))
 		var st *State
 		st, live = e.pick(live)
 
@@ -88,6 +89,7 @@ func (e *Engine) Run() (*Report, error) {
 	if e.m.on {
 		e.m.frontierDepth.Set(0)
 	}
+	e.progress.setFrontier(0)
 	e.report.Stats.WallTime = time.Since(t0)
 	e.report.Stats.Solver = e.Solver.Stats
 	e.report.Stats.Coverage = len(e.visits)
@@ -140,6 +142,7 @@ func (e *Engine) pick(live []*State) (*State, []*State) {
 func (e *Engine) finish(st *State) {
 	e.report.Stats.PathsDone++
 	e.m.pathsDone.Inc()
+	e.progress.addPaths(1)
 	if e.tr != nil {
 		detail := st.Status.String()
 		if st.Fault != "" {
@@ -186,13 +189,21 @@ func (e *Engine) visitCount(pc uint64) int64 {
 	return e.visits[pc]
 }
 
-// recordVisit bumps the per-pc execution count.
+// recordVisit bumps the per-pc execution count. It is called exactly
+// once per executed instruction (interpreted or compiled), so it also
+// feeds the live-progress instruction and distinct-address counters.
 func (e *Engine) recordVisit(pc uint64) {
 	if e.shVisits != nil {
-		e.shVisits.inc(pc)
-		return
+		if e.shVisits.inc(pc) {
+			e.progress.incCovered()
+		}
+	} else {
+		e.visits[pc]++
+		if e.visits[pc] == 1 {
+			e.progress.incCovered()
+		}
 	}
-	e.visits[pc]++
+	e.progress.incInstructions()
 }
 
 func (st *State) done(status Status) *State {
@@ -395,6 +406,7 @@ func (e *Engine) splitOnGuard(st *State, guard *expr.Expr) (taken, fallthru *Sta
 	}
 	e.report.Stats.Forks++
 	e.m.forks.Inc()
+	e.progress.addForks(1)
 	e.prof.Fork(st.PC, 1)
 	var t0 time.Time
 	if e.m.on || e.tr != nil {
@@ -547,6 +559,7 @@ func (e *Engine) forkTargets(st *State, ts []target, dec decoder.Decoded, insAdd
 	if len(ts) > 1 {
 		e.report.Stats.Forks += int64(len(ts) - 1)
 		e.m.forks.Add(int64(len(ts) - 1))
+		e.progress.addForks(int64(len(ts) - 1))
 		e.prof.Fork(insAddr, int64(len(ts)-1))
 	}
 	cont := bv.Trunc(insAddr+uint64(dec.Len), e.Arch.Bits)
@@ -651,6 +664,7 @@ func (e *Engine) enumerateJump(st *State, pcv *expr.Expr) ([]*State, error) {
 		excl = append(excl, e.B.BoolNot(eq))
 		e.report.Stats.Forks++
 		e.m.forks.Inc()
+		e.progress.addForks(1)
 		e.prof.Fork(st.PC, 1)
 		e.prof.Edge(st.PC, addr)
 		if e.tr != nil {

@@ -115,6 +115,7 @@ func (d DegradeStats) Total() int64 {
 func (e *Engine) degrade(cause DegradeCause) {
 	e.report.Stats.Degraded[cause]++
 	e.m.degraded[cause].Inc()
+	e.progress.incDegraded()
 	e.prof.Degrade(cause.String())
 }
 

@@ -84,11 +84,15 @@ func (t *visitTable) shard(pc uint64) *visitShard {
 	return &t.shards[expr.MixHash(0, pc)%visitShards]
 }
 
-func (t *visitTable) inc(pc uint64) {
+// inc bumps pc's execution count, reporting whether the address was new
+// (first execution anywhere in the run).
+func (t *visitTable) inc(pc uint64) bool {
 	s := t.shard(pc)
 	s.mu.Lock()
 	s.m[pc]++
+	first := s.m[pc] == 1
 	s.mu.Unlock()
+	return first
 }
 
 func (t *visitTable) get(pc uint64) int64 {
@@ -138,6 +142,7 @@ type frontier struct {
 	killedCtr *obs.Counter
 	tr        *obs.Tracer
 	prof      *profile.Profiler
+	prog      *Progress
 }
 
 func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *obs.Tracer, prof *profile.Profiler) *frontier {
@@ -152,6 +157,7 @@ func newFrontier(workers int, o Options, vt *visitTable, m engineMetrics, tr *ob
 		killedCtr: m.statesKilled,
 		tr:        tr,
 		prof:      prof,
+		prog:      o.Progress,
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -183,6 +189,7 @@ func (f *frontier) push(sts ...*State) {
 	}
 	f.depth.Set(int64(len(f.items)))
 	f.depthMax.Max(int64(f.maxLen))
+	f.prog.setFrontier(int64(len(f.items)))
 	f.mu.Unlock()
 }
 
@@ -251,6 +258,7 @@ func (f *frontier) take(home *expr.Builder) *State {
 	st := f.items[idx]
 	f.items = append(f.items[:idx], f.items[idx+1:]...)
 	f.depth.Set(int64(len(f.items)))
+	f.prog.setFrontier(int64(len(f.items)))
 	return st
 }
 
@@ -270,6 +278,7 @@ func (f *frontier) close() {
 		}
 		f.items = nil
 		f.depth.Set(0)
+		f.prog.setFrontier(0)
 		f.cond.Broadcast()
 	}
 	f.mu.Unlock()
@@ -344,14 +353,20 @@ func (e *Engine) workerEngine(i int, vt *visitTable, pr *parRun) *Engine {
 		inject:     e.inject,
 		profiler:   e.profiler,
 		prof:       e.profiler.NewShard(),
+		progress:   e.progress,
 	}
 	w.Solver.MaxConflicts = e.Opts.MaxSolverConflicts
 	w.Solver.QueryDeadline = e.Opts.SolverDeadline
 	w.Solver.Cache = e.cache
 	w.Solver.Obs = e.Solver.Obs
 	w.Solver.Inject = e.inject
-	if w.prof != nil {
+	switch {
+	case w.prof != nil && w.progress != nil:
+		w.Solver.Prof = progressProf{shard: w.prof, prog: w.progress}
+	case w.prof != nil:
 		w.Solver.Prof = w.prof
+	case w.progress != nil:
+		w.Solver.Prof = progressProf{prog: w.progress}
 	}
 	return w
 }

@@ -1,0 +1,125 @@
+// Live run progress: a lock-free counter block a long exploration
+// updates in place so an observer (the symexd SSE stream, a TUI, a
+// watchdog) can snapshot the run while it is running, not only
+// post-mortem. The same bargain as Obs/Cover/Profile applies: a nil
+// *Progress disables everything and every record site costs one pointer
+// test; when armed, every update is a single atomic op, safe across
+// exploration workers without locks.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Progress is the live view of one run. All fields are updated
+// atomically by the engine (serial loop, parallel workers and concolic
+// runs alike) and read via Snapshot; the zero value is ready to use.
+type Progress struct {
+	instructions  atomic.Int64
+	paths         atomic.Int64
+	forks         atomic.Int64
+	frontier      atomic.Int64 // live states queued right now
+	covered       atomic.Int64 // distinct instruction addresses executed
+	degraded      atomic.Int64 // graceful degradations, all causes
+	solverNS      atomic.Int64 // wall time spent in solver Check calls
+	solverQueries atomic.Int64
+	cacheHits     atomic.Int64
+}
+
+// ProgressSnapshot is one consistent-enough reading of a Progress: each
+// field is individually atomic; the set is taken mid-run, so fields may
+// be skewed by in-flight updates.
+type ProgressSnapshot struct {
+	Instructions  int64 `json:"instructions"`
+	Paths         int64 `json:"paths"`
+	Forks         int64 `json:"forks"`
+	Frontier      int64 `json:"frontier"`
+	Covered       int64 `json:"covered"`
+	Degraded      int64 `json:"degraded"`
+	SolverNS      int64 `json:"solver_ns"`
+	SolverQueries int64 `json:"solver_queries"`
+	CacheHits     int64 `json:"cache_hits"`
+}
+
+// Snapshot reads every counter. Safe during a run; zero value (and all
+// zeros) on a nil receiver.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Instructions:  p.instructions.Load(),
+		Paths:         p.paths.Load(),
+		Forks:         p.forks.Load(),
+		Frontier:      p.frontier.Load(),
+		Covered:       p.covered.Load(),
+		Degraded:      p.degraded.Load(),
+		SolverNS:      p.solverNS.Load(),
+		SolverQueries: p.solverQueries.Load(),
+		CacheHits:     p.cacheHits.Load(),
+	}
+}
+
+func (p *Progress) incInstructions() {
+	if p != nil {
+		p.instructions.Add(1)
+	}
+}
+
+func (p *Progress) addPaths(n int64) {
+	if p != nil {
+		p.paths.Add(n)
+	}
+}
+
+func (p *Progress) addForks(n int64) {
+	if p != nil {
+		p.forks.Add(n)
+	}
+}
+
+func (p *Progress) setFrontier(n int64) {
+	if p != nil {
+		p.frontier.Store(n)
+	}
+}
+
+func (p *Progress) incCovered() {
+	if p != nil {
+		p.covered.Add(1)
+	}
+}
+
+func (p *Progress) incDegraded() {
+	if p != nil {
+		p.degraded.Add(1)
+	}
+}
+
+func (p *Progress) solverQuery(d time.Duration, cacheHit bool) {
+	if p == nil {
+		return
+	}
+	p.solverNS.Add(int64(d))
+	p.solverQueries.Add(1)
+	if cacheHit {
+		p.cacheHits.Add(1)
+	}
+}
+
+// progressProf fans the solver's per-query profiling callback out to
+// the worker's profile shard (when profiling is on) and the run's live
+// progress counters (when a Progress is attached). Shard methods are
+// nil-safe, so a nil shard simply drops that arm.
+type progressProf struct {
+	shard *profile.Shard
+	prog  *Progress
+}
+
+func (q progressProf) Query(d time.Duration, cacheHit bool) {
+	q.shard.Query(d, cacheHit)
+	q.prog.solverQuery(d, cacheHit)
+}

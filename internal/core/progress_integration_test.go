@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/arch"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/profile"
+)
+
+// TestProgressMatchesStats checks that the live-progress counters, read
+// after the run, agree exactly with the engine's own Stats — the
+// progress block must not drop or double-count events across serial
+// runs, parallel worker shards, or the profiler fan-out. The parallel
+// case is the -race workout for the atomic counter block.
+func TestProgressMatchesStats(t *testing.T) {
+	src := harness.BranchLadder("tiny32", 7)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		profile bool
+	}{
+		{"serial", 1, false},
+		{"parallel", 4, false},
+		{"parallel-with-profiler", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := &core.Progress{}
+			opts := core.Options{InputBytes: 7, MaxPaths: 5000, Workers: tc.workers, Progress: prog}
+			if tc.profile {
+				opts.Profile = profile.New(profile.Meta{ADL: "tiny32"})
+			}
+			p := build(t, "tiny32", src)
+			e := core.NewEngine(arch.MustLoad("tiny32"), p, opts)
+			r, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := prog.Snapshot()
+			if s.Instructions != r.Stats.Instructions {
+				t.Errorf("Instructions = %d, want %d", s.Instructions, r.Stats.Instructions)
+			}
+			if s.Paths != int64(r.Stats.PathsDone) {
+				t.Errorf("Paths = %d, want %d", s.Paths, r.Stats.PathsDone)
+			}
+			if s.Forks != r.Stats.Forks {
+				t.Errorf("Forks = %d, want %d", s.Forks, r.Stats.Forks)
+			}
+			if s.Covered != int64(r.Stats.Coverage) {
+				t.Errorf("Covered = %d, want %d", s.Covered, r.Stats.Coverage)
+			}
+			if s.SolverQueries != r.Stats.Solver.Queries {
+				t.Errorf("SolverQueries = %d, want %d", s.SolverQueries, r.Stats.Solver.Queries)
+			}
+			if s.CacheHits != r.Stats.Solver.CacheHits {
+				t.Errorf("CacheHits = %d, want %d", s.CacheHits, r.Stats.Solver.CacheHits)
+			}
+			if s.SolverQueries > s.CacheHits && s.SolverNS == 0 {
+				t.Error("solved queries recorded but zero solver time")
+			}
+			if s.Frontier != 0 {
+				t.Errorf("Frontier = %d after run end, want 0", s.Frontier)
+			}
+		})
+	}
+}
+
+// TestProgressConcolic checks the concolic loop feeds the paths counter
+// per completed concrete run.
+func TestProgressConcolic(t *testing.T) {
+	prog := &core.Progress{}
+	p := build(t, "tiny32", harness.BranchLadder("tiny32", 4))
+	e := core.NewEngine(arch.MustLoad("tiny32"), p,
+		core.Options{InputBytes: 4, Progress: prog})
+	r, err := e.Concolic(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Snapshot().Paths; got != int64(len(r.Paths)) {
+		t.Errorf("Paths = %d, want %d concrete runs", got, len(r.Paths))
+	}
+}
+
+// TestProgressNil exercises every nil-receiver path: a run with no
+// Progress attached must not touch a progress block, and snapshotting a
+// nil block must return zeros.
+func TestProgressNil(t *testing.T) {
+	var p *core.Progress
+	if s := p.Snapshot(); s != (core.ProgressSnapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", s)
+	}
+}

@@ -1,0 +1,95 @@
+package ledger
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/profile"
+)
+
+// TopK is how many profiler hotspots a record keeps.
+const TopK = 10
+
+// BuildInput carries everything a run can contribute to its Record.
+// Cover and Profile are optional — absent collectors just leave those
+// sections empty.
+type BuildInput struct {
+	Source  string // symex | symexd | experiments | difftest
+	Label   string
+	Digest  string
+	ISA     string
+	Mode    string // explore | concolic
+	Workers int
+	Bugs    int
+	Stats   core.Stats
+	Cover   *cover.Report   // optional semantic-coverage report
+	Profile *profile.Report // optional exploration profile
+	Now     time.Time       // zero = omitted (caller may stamp)
+}
+
+// Build assembles the ledger Record of one finished run.
+func Build(in BuildInput) Record {
+	st := in.Stats
+	r := Record{
+		Time:          in.Now.Unix(),
+		Source:        in.Source,
+		Label:         in.Label,
+		Digest:        in.Digest,
+		ISA:           in.ISA,
+		Mode:          in.Mode,
+		Workers:       in.Workers,
+		WallNS:        int64(st.WallTime),
+		SolverNS:      int64(st.Solver.SolveTime),
+		Instructions:  st.Instructions,
+		Paths:         int64(st.PathsDone),
+		Forks:         st.Forks,
+		Bugs:          int64(in.Bugs),
+		SolverQueries: st.Solver.Queries,
+		CacheHits:     st.Solver.CacheHits,
+		CacheMisses:   st.Solver.CacheMisses,
+		PathFaults:    st.PathFaults,
+		CoverageAddrs: int64(st.Coverage),
+	}
+	if in.Now.IsZero() {
+		r.Time = 0
+	}
+	if t := st.Degraded.Total(); t > 0 {
+		r.Degraded = make(map[string]int64)
+		for c := core.DegradeCause(0); c < core.NumDegradeCauses; c++ {
+			if n := st.Degraded[c]; n > 0 {
+				r.Degraded[c.String()] = n
+			}
+		}
+	}
+	if in.Cover != nil {
+		if ir := in.Cover.ISA(in.ISA); ir != nil {
+			r.Coverage = make(map[string]float64, len(ir.Layers))
+			for _, lr := range ir.Layers {
+				if lr.Insns != nil {
+					r.Coverage[lr.Layer] = lr.Insns.Frac()
+				}
+			}
+		}
+	}
+	if in.Profile != nil && len(in.Profile.Hotspots) > 0 {
+		hs := in.Profile.Hotspots
+		k := TopK
+		if len(hs) < k {
+			k = len(hs)
+		}
+		r.Hotspots = make([]Hotspot, 0, k)
+		for _, h := range hs[:k] {
+			r.Hotspots = append(r.Hotspots, Hotspot{
+				PC:       h.PC,
+				Insn:     h.Mnemonic,
+				Execs:    h.Execs,
+				SolverNS: h.SolverNS,
+				Forks:    h.Forks,
+			})
+		}
+		sort.Slice(r.Hotspots, func(i, j int) bool { return r.Hotspots[i].PC < r.Hotspots[j].PC })
+	}
+	return r
+}

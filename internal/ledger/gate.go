@@ -1,0 +1,173 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GateOptions tunes the regression gate. Zero values select the
+// defaults, chosen so the gate is quiet on repeat runs of small
+// workloads (where scheduler noise easily doubles a 2ms wall time) but
+// trips on real slowdowns.
+type GateOptions struct {
+	// Window is how many most-recent prior records of the digest form
+	// the rolling baseline (median). Default 8.
+	Window int
+	// TimeTolerance is the fractional slack on wall and solver time: a
+	// regression needs current > baseline*(1+TimeTolerance). Default
+	// 0.5 (50% over median).
+	TimeTolerance float64
+	// MinDelta is the absolute time slack added on top of the fractional
+	// one — current must also exceed baseline+MinDelta, so millisecond
+	// jitter on tiny runs never gates. Default 25ms.
+	MinDelta time.Duration
+	// CoverTolerance is the absolute drop in coverage fraction (layer
+	// floor) or the fractional drop in distinct covered addresses that
+	// counts as a regression. Default 0.02.
+	CoverTolerance float64
+	// MinHistory is how many prior records the digest needs before the
+	// gate renders a verdict at all. Default 1.
+	MinHistory int
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.TimeTolerance == 0 {
+		o.TimeTolerance = 0.5
+	}
+	if o.MinDelta == 0 {
+		o.MinDelta = 25 * time.Millisecond
+	}
+	if o.CoverTolerance == 0 {
+		o.CoverTolerance = 0.02
+	}
+	if o.MinHistory == 0 {
+		o.MinHistory = 1
+	}
+	return o
+}
+
+// Regression names one gated metric that moved the wrong way.
+type Regression struct {
+	Metric   string  `json:"metric"`   // wall_time | solver_time | coverage
+	Current  float64 `json:"current"`  // this run's value
+	Baseline float64 `json:"baseline"` // rolling median of the prior window
+	Limit    float64 `json:"limit"`    // the threshold that was crossed
+	Unit     string  `json:"unit"`     // ns | frac | addrs
+}
+
+func (r Regression) String() string {
+	switch r.Unit {
+	case "ns":
+		return fmt.Sprintf("%s regressed: %v vs baseline median %v (limit %v)",
+			r.Metric, time.Duration(r.Current), time.Duration(r.Baseline), time.Duration(r.Limit))
+	case "addrs":
+		return fmt.Sprintf("%s regressed: %.0f addrs vs baseline median %.0f (limit %.0f)",
+			r.Metric, r.Current, r.Baseline, r.Limit)
+	default:
+		return fmt.Sprintf("%s regressed: %.4f vs baseline median %.4f (limit %.4f)",
+			r.Metric, r.Current, r.Baseline, r.Limit)
+	}
+}
+
+// Gate diffs cur against the rolling median of its same-digest history
+// (oldest-to-newest append order; cur must NOT be in history) and
+// returns one Regression per gated metric beyond tolerance: wall time
+// up, solver time up, or coverage down. An empty slice means the gate
+// is green; nil history below MinHistory is also green (nothing to
+// compare against yet).
+func Gate(history []Record, cur Record, opts GateOptions) []Regression {
+	o := opts.withDefaults()
+	same := make([]Record, 0, len(history))
+	for _, r := range history {
+		if r.Digest == cur.Digest {
+			same = append(same, r)
+		}
+	}
+	if len(same) < o.MinHistory {
+		return nil
+	}
+	if len(same) > o.Window {
+		same = same[len(same)-o.Window:]
+	}
+
+	var out []Regression
+	gateTime := func(metric string, curNS int64, pick func(Record) int64) {
+		base := median(same, func(r Record) float64 { return float64(pick(r)) })
+		limit := base * (1 + o.TimeTolerance)
+		if abs := base + float64(o.MinDelta); abs > limit {
+			limit = abs
+		}
+		if float64(curNS) > limit {
+			out = append(out, Regression{
+				Metric: metric, Current: float64(curNS), Baseline: base, Limit: limit, Unit: "ns",
+			})
+		}
+	}
+	gateTime("wall_time", cur.WallNS, func(r Record) int64 { return r.WallNS })
+	gateTime("solver_time", cur.SolverNS, func(r Record) int64 { return r.SolverNS })
+
+	// Coverage gates downward. Prefer the semantic layer floor when both
+	// sides have one; otherwise fall back to distinct covered addresses.
+	if cf := cur.CoverageFloor(); cf >= 0 {
+		base := median(same, func(r Record) float64 { return r.CoverageFloor() })
+		if base >= 0 && cf < base-o.CoverTolerance {
+			out = append(out, Regression{
+				Metric: "coverage", Current: cf, Baseline: base, Limit: base - o.CoverTolerance, Unit: "frac",
+			})
+		}
+	} else if cur.CoverageAddrs > 0 {
+		base := median(same, func(r Record) float64 { return float64(r.CoverageAddrs) })
+		limit := base * (1 - o.CoverTolerance)
+		if base > 0 && float64(cur.CoverageAddrs) < limit {
+			out = append(out, Regression{
+				Metric: "coverage", Current: float64(cur.CoverageAddrs), Baseline: base, Limit: limit, Unit: "addrs",
+			})
+		}
+	}
+	return out
+}
+
+// median of f over recs; recs must be non-empty.
+func median(recs []Record, f func(Record) float64) float64 {
+	vs := make([]float64, len(recs))
+	for i, r := range recs {
+		vs[i] = f(r)
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+}
+
+// Trend summarizes one digest's series for the service API: the rolling
+// medians the gate would use plus the latest record's verdict.
+type Trend struct {
+	Digest         string       `json:"digest"`
+	Runs           int          `json:"runs"`
+	MedianWallNS   int64        `json:"median_wall_ns"`
+	MedianSolverNS int64        `json:"median_solver_ns"`
+	MedianCoverage float64      `json:"median_coverage"` // layer floor, or -1
+	Latest         *Record      `json:"latest,omitempty"`
+	Regressions    []Regression `json:"regressions,omitempty"` // latest vs its predecessors
+}
+
+// TrendOf computes the Trend of a same-digest series in append order.
+func TrendOf(digest string, recs []Record, opts GateOptions) Trend {
+	t := Trend{Digest: digest, Runs: len(recs), MedianCoverage: -1}
+	if len(recs) == 0 {
+		return t
+	}
+	t.MedianWallNS = int64(median(recs, func(r Record) float64 { return float64(r.WallNS) }))
+	t.MedianSolverNS = int64(median(recs, func(r Record) float64 { return float64(r.SolverNS) }))
+	t.MedianCoverage = median(recs, func(r Record) float64 { return r.CoverageFloor() })
+	last := recs[len(recs)-1]
+	t.Latest = &last
+	t.Regressions = Gate(recs[:len(recs)-1], last, opts)
+	return t
+}

@@ -1,0 +1,138 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(digest string, wall, solver time.Duration) Record {
+	return Record{Digest: digest, WallNS: int64(wall), SolverNS: int64(solver)}
+}
+
+// TestGateNoHistory: with no prior same-digest records the gate has no
+// baseline and must stay green.
+func TestGateNoHistory(t *testing.T) {
+	cur := rec("d", time.Hour, time.Hour)
+	if regs := Gate(nil, cur, GateOptions{}); len(regs) != 0 {
+		t.Fatalf("gate tripped with no history: %v", regs)
+	}
+	other := []Record{rec("other-digest", time.Millisecond, time.Millisecond)}
+	if regs := Gate(other, cur, GateOptions{}); len(regs) != 0 {
+		t.Fatalf("gate used a foreign digest as baseline: %v", regs)
+	}
+}
+
+// TestGateGreenOnRepeat: a repeat run within noise (including the
+// absolute MinDelta slack on tiny runs) stays green.
+func TestGateGreenOnRepeat(t *testing.T) {
+	hist := []Record{
+		rec("d", 4*time.Millisecond, time.Millisecond),
+		rec("d", 5*time.Millisecond, time.Millisecond),
+		rec("d", 6*time.Millisecond, 2*time.Millisecond),
+	}
+	// 3x the median wall time — but under median+MinDelta, so green:
+	// millisecond workloads must never gate on scheduler jitter.
+	cur := rec("d", 15*time.Millisecond, 2*time.Millisecond)
+	if regs := Gate(hist, cur, GateOptions{}); len(regs) != 0 {
+		t.Fatalf("gate tripped inside the absolute noise floor: %v", regs)
+	}
+}
+
+// TestGateRedOnSlowdown: a slowdown beyond both the fractional and
+// absolute thresholds trips, naming the metric.
+func TestGateRedOnSlowdown(t *testing.T) {
+	hist := []Record{
+		rec("d", 100*time.Millisecond, 40*time.Millisecond),
+		rec("d", 110*time.Millisecond, 42*time.Millisecond),
+		rec("d", 105*time.Millisecond, 41*time.Millisecond),
+	}
+	cur := rec("d", 300*time.Millisecond, 41*time.Millisecond)
+	regs := Gate(hist, cur, GateOptions{})
+	if len(regs) != 1 || regs[0].Metric != "wall_time" {
+		t.Fatalf("regressions = %v, want exactly wall_time", regs)
+	}
+	if !strings.Contains(regs[0].String(), "wall_time") {
+		t.Fatalf("String() does not name the metric: %q", regs[0].String())
+	}
+
+	cur = rec("d", 105*time.Millisecond, 200*time.Millisecond)
+	regs = Gate(hist, cur, GateOptions{})
+	if len(regs) != 1 || regs[0].Metric != "solver_time" {
+		t.Fatalf("regressions = %v, want exactly solver_time", regs)
+	}
+}
+
+// TestGateCoverage: a coverage-floor drop beyond tolerance trips; the
+// address-count fallback gates when no layer map exists.
+func TestGateCoverage(t *testing.T) {
+	mk := func(floor float64) Record {
+		r := rec("d", 100*time.Millisecond, 10*time.Millisecond)
+		r.Coverage = map[string]float64{"decode": 0.9, "sym": floor}
+		return r
+	}
+	hist := []Record{mk(0.80), mk(0.82), mk(0.81)}
+	if regs := Gate(hist, mk(0.80), GateOptions{}); len(regs) != 0 {
+		t.Fatalf("steady coverage tripped: %v", regs)
+	}
+	regs := Gate(hist, mk(0.50), GateOptions{})
+	if len(regs) != 1 || regs[0].Metric != "coverage" {
+		t.Fatalf("regressions = %v, want exactly coverage", regs)
+	}
+
+	// Address-count fallback.
+	mka := func(addrs int64) Record {
+		r := rec("d", 100*time.Millisecond, 10*time.Millisecond)
+		r.CoverageAddrs = addrs
+		return r
+	}
+	ahist := []Record{mka(1000), mka(1010), mka(990)}
+	if regs := Gate(ahist, mka(995), GateOptions{}); len(regs) != 0 {
+		t.Fatalf("steady addr coverage tripped: %v", regs)
+	}
+	regs = Gate(ahist, mka(500), GateOptions{})
+	if len(regs) != 1 || regs[0].Metric != "coverage" {
+		t.Fatalf("addr regressions = %v, want exactly coverage", regs)
+	}
+}
+
+// TestGateWindow: the rolling window forgets ancient history — only
+// the last Window records form the baseline.
+func TestGateWindow(t *testing.T) {
+	var hist []Record
+	// Ancient fast runs, then a sustained (accepted) slower plateau.
+	for i := 0; i < 10; i++ {
+		hist = append(hist, rec("d", 10*time.Millisecond, time.Millisecond))
+	}
+	for i := 0; i < 8; i++ {
+		hist = append(hist, rec("d", 400*time.Millisecond, time.Millisecond))
+	}
+	// Same plateau speed: green, because the window median is the
+	// plateau, not the ancient 10ms runs.
+	cur := rec("d", 410*time.Millisecond, time.Millisecond)
+	if regs := Gate(hist, cur, GateOptions{}); len(regs) != 0 {
+		t.Fatalf("window did not roll: %v", regs)
+	}
+}
+
+// TestTrendOf: medians and the latest-run verdict come back.
+func TestTrendOf(t *testing.T) {
+	recs := []Record{
+		rec("d", 100*time.Millisecond, 10*time.Millisecond),
+		rec("d", 110*time.Millisecond, 12*time.Millisecond),
+		rec("d", 500*time.Millisecond, 11*time.Millisecond),
+	}
+	tr := TrendOf("d", recs, GateOptions{})
+	if tr.Runs != 3 || tr.Latest == nil {
+		t.Fatalf("trend = %+v", tr)
+	}
+	if tr.MedianWallNS != int64(110*time.Millisecond) {
+		t.Errorf("median wall = %v", time.Duration(tr.MedianWallNS))
+	}
+	if len(tr.Regressions) != 1 || tr.Regressions[0].Metric != "wall_time" {
+		t.Errorf("latest verdict = %v, want wall_time regression", tr.Regressions)
+	}
+	if e := TrendOf("x", nil, GateOptions{}); e.Runs != 0 || e.Latest != nil {
+		t.Errorf("empty trend = %+v", e)
+	}
+}

@@ -78,6 +78,7 @@ func Handler(o *Obs) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
+			UpdateRuntimeGauges(reg)
 			reg.WritePrometheus(w)
 		}
 		if cov != nil {

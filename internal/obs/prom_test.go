@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -54,6 +56,60 @@ smt_check_seconds_count 4
 	if got := sb.String(); got != want {
 		t.Errorf("Prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+}
+
+// TestBuildInfoGolden pins the exact exposition of the build_info
+// identity gauge: constant 1, with version, go_version and adl_count
+// as labels (the go_version label necessarily tracks the toolchain).
+func TestBuildInfoGolden(t *testing.T) {
+	saved := Version
+	Version = "v-test"
+	defer func() { Version = saved }()
+	r := NewRegistry()
+	RegisterBuildInfo(r, 4)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`# HELP build_info Build and description-set identity (constant 1)
+# TYPE build_info gauge
+build_info{version="v-test",go_version=%q,adl_count="4"} 1
+`, runtime.Version())
+	if got := sb.String(); got != want {
+		t.Errorf("build_info exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRuntimeGauges checks the scrape-time Go health gauges: present
+// after a refresh, plausible values, and re-refresh updates in place
+// instead of duplicating series.
+func TestRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	UpdateRuntimeGauges(r)
+	UpdateRuntimeGauges(r) // idempotent re-registration
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"go_goroutines", "go_heap_bytes", "go_gc_pause_total_ns"} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("missing gauge %s in:\n%s", name, out)
+		}
+		if strings.Count(out, "\n"+name+" ") != 1 {
+			t.Errorf("gauge %s not emitted exactly once:\n%s", name, out)
+		}
+	}
+	snap := r.Snapshot()
+	if g, ok := snap["go_goroutines"].(int64); !ok || g < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", snap["go_goroutines"])
+	}
+	if h, ok := snap["go_heap_bytes"].(int64); !ok || h <= 0 {
+		t.Errorf("go_heap_bytes = %v, want > 0", snap["go_heap_bytes"])
+	}
+	// Nil registry: must be a no-op, not a panic.
+	UpdateRuntimeGauges(nil)
+	RegisterBuildInfo(nil, 0)
 }
 
 // TestSnapshot checks the expvar-facing view.

@@ -1,0 +1,43 @@
+// Build identity and Go runtime health on the Prometheus surface.
+// build_info is the standard constant-1 identity gauge (joinable in
+// queries against every other series); the go_* gauges are the minimal
+// runtime health set an operator needs to spot a leak or GC stall on a
+// long-running daemon. Runtime gauges are refreshed at scrape time by
+// the /metrics handler — a scrape costs one ReadMemStats, idle costs
+// nothing.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build's version string, intended to be stamped by the
+// linker: -ldflags "-X repro/internal/obs.Version=v1.2.3".
+var Version = "dev"
+
+// RegisterBuildInfo publishes the constant build_info gauge. adlCount
+// is the number of embedded architecture descriptions (the caller
+// supplies it — obs must not depend on the arch package).
+func RegisterBuildInfo(r *Registry, adlCount int) {
+	if r == nil {
+		return
+	}
+	name := fmt.Sprintf(`build_info{version=%q,go_version=%q,adl_count="%d"}`,
+		Version, runtime.Version(), adlCount)
+	r.Gauge(name, "Build and description-set identity (constant 1)").Set(1)
+}
+
+// UpdateRuntimeGauges refreshes the Go runtime health gauges. Called at
+// scrape time by the /metrics handler; safe to call from anywhere else
+// (e.g. a periodic service flusher).
+func UpdateRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines", "Live goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_bytes", "Heap bytes currently allocated").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_gc_pause_total_ns", "Cumulative GC stop-the-world pause time").Set(int64(ms.PauseTotalNs))
+}

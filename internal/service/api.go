@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/ledger"
 )
 
 // JobSpec is the submit-request body. Image is the RIMG program image
@@ -192,7 +194,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{digest}", s.handleTrend)
 
 	obsH := s.obsHandler
 	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -206,9 +211,12 @@ func (s *Server) Handler() http.Handler {
 			"  POST   /v1/jobs              submit a job (JSON JobSpec)\n"+
 			"  GET    /v1/jobs              list jobs\n"+
 			"  GET    /v1/jobs/{id}         poll job status\n"+
-			"  GET    /v1/jobs/{id}/results stream results as JSONL (?wait=1 blocks)\n"+
+			"  GET    /v1/jobs/{id}/results stream results as JSONL (?wait=1 streams live)\n"+
 			"  GET    /v1/jobs/{id}/profile exploration profile: pprof pb.gz (?format=text|json)\n"+
+			"  GET    /v1/jobs/{id}/events  live job progress as SSE snapshots\n"+
 			"  DELETE /v1/jobs/{id}         cancel a job\n"+
+			"  GET    /v1/runs              run-ledger history (?digest= filters)\n"+
+			"  GET    /v1/runs/{digest}     per-digest trend with regression verdict\n"+
 			"  GET    /metrics              Prometheus metrics (service_* + engine)\n"+
 			"  GET    /coverage             semantic-coverage matrix\n"+
 			"  GET    /debug/profile        aggregate exploration profile (all jobs)\n"+
@@ -246,6 +254,15 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush passes through to the wrapped writer so the streaming handlers
+// (JSONL results, SSE progress) can push records incrementally through
+// the logging wrapper instead of buffering until the job ends.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleProfile serves a job's exploration profile: the gzipped pprof
@@ -323,26 +340,199 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResults streams the job's events as JSONL. With ?wait=1 the
-// request blocks until the job reaches a terminal state (or the client
-// goes away); without it, whatever has been emitted so far is returned.
+// response stays open until the job reaches a terminal state (or the
+// client goes away), with every event flushed as it is emitted — a
+// waiting client sees results live, not buffered at job end. Without
+// wait, whatever has been emitted so far is returned and the request
+// completes.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "no such job"})
 		return
 	}
-	if r.URL.Query().Get("wait") != "" {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	if r.URL.Query().Get("wait") == "" {
+		for _, ev := range j.eventsSnapshot() {
+			enc.Encode(ev)
+		}
+		return
+	}
+	n := 0
+	for {
+		evs, terminal, wakeup := j.eventsSince(n)
+		for _, ev := range evs {
+			enc.Encode(ev)
+		}
+		n += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
 		select {
-		case <-j.doneCh:
+		case <-wakeup:
 		case <-r.Context().Done():
 			return
 		}
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for _, ev := range j.eventsSnapshot() {
-		enc.Encode(ev)
+}
+
+// ProgressEvent is one SSE snapshot of a running job's live counters
+// (GET /v1/jobs/{id}/events): the core.Progress block plus the
+// scheduler's queue depth and the job's lifecycle state. Seq increments
+// per snapshot; the stream ends with an `event: done` carrying the
+// final snapshot.
+type ProgressEvent struct {
+	Seq           int    `json:"seq"`
+	State         string `json:"state"` // queued|running|done|failed|canceled
+	ElapsedMS     int64  `json:"elapsed_ms"`
+	Paths         int64  `json:"paths"`
+	Frontier      int64  `json:"frontier"`
+	QueueDepth    int    `json:"queue_depth"` // scheduler queue, not the frontier
+	Instructions  int64  `json:"instructions"`
+	Forks         int64  `json:"forks"`
+	Covered       int64  `json:"covered"` // distinct instruction addresses
+	Degraded      int64  `json:"degraded"`
+	SolverMS      int64  `json:"solver_ms"`
+	SolverQueries int64  `json:"solver_queries"`
+	CacheHits     int64  `json:"cache_hits"`
+}
+
+// progressEvent samples the job's live counters into one wire snapshot.
+func (s *Server) progressEvent(j *Job, seq int) ProgressEvent {
+	p := j.progress.Snapshot()
+	return ProgressEvent{
+		Seq:           seq,
+		State:         j.statusString(),
+		ElapsedMS:     j.elapsed().Milliseconds(),
+		Paths:         p.Paths,
+		Frontier:      p.Frontier,
+		QueueDepth:    len(s.queue),
+		Instructions:  p.Instructions,
+		Forks:         p.Forks,
+		Covered:       p.Covered,
+		Degraded:      p.Degraded,
+		SolverMS:      p.SolverNS / 1e6,
+		SolverQueries: p.SolverQueries,
+		CacheHits:     p.CacheHits,
 	}
+}
+
+// handleEvents streams a job's live progress as Server-Sent Events: an
+// immediate first snapshot, one per SnapshotInterval while the job
+// runs (each snapshot doubles as the heartbeat), and a final `done`
+// event when the job is terminal. Terminal jobs get the final snapshot
+// and `done` straight away — the endpoint never 404s a finished job
+// that is still retained.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError,
+			&JobError{Code: CodePanic, Msg: "response writer does not support streaming"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(name string, ev ProgressEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	seq := 0
+	if !writeEvent("snapshot", s.progressEvent(j, seq)) {
+		return
+	}
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.doneCh:
+			seq++
+			writeEvent("done", s.progressEvent(j, seq))
+			return
+		case <-t.C:
+			seq++
+			if !writeEvent("snapshot", s.progressEvent(j, seq)) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// RunsResponse is the GET /v1/runs body.
+type RunsResponse struct {
+	Total   int             `json:"total"`
+	Digests []string        `json:"digests,omitempty"`
+	Runs    []ledger.Record `json:"runs"`
+}
+
+// TrendResponse is the GET /v1/runs/{digest} body: the series' rolling
+// medians and latest-run gate verdict plus the records themselves.
+type TrendResponse struct {
+	Trend ledger.Trend    `json:"trend"`
+	Runs  []ledger.Record `json:"runs"`
+}
+
+// handleRuns serves the run-ledger history, optionally filtered by
+// ?digest=.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "run ledger is not enabled (start with -ledger)"})
+		return
+	}
+	recs := s.ledger.Records()
+	if d := r.URL.Query().Get("digest"); d != "" {
+		filtered := recs[:0:0]
+		for _, rec := range recs {
+			if rec.Digest == d {
+				filtered = append(filtered, rec)
+			}
+		}
+		recs = filtered
+	}
+	if recs == nil {
+		recs = []ledger.Record{}
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Total: len(recs), Digests: s.ledger.Digests(), Runs: recs})
+}
+
+// handleTrend serves one digest's series with its rolling medians and
+// the latest run's regression verdict.
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "run ledger is not enabled (start with -ledger)"})
+		return
+	}
+	d := r.PathValue("digest")
+	recs := s.ledger.ByDigest(d)
+	if len(recs) == 0 {
+		writeError(w, http.StatusNotFound, &JobError{Code: CodeNotFound, Msg: "no runs recorded for digest " + d})
+		return
+	}
+	writeJSON(w, http.StatusOK, TrendResponse{
+		Trend: ledger.TrendOf(d, recs, ledger.GateOptions{}),
+		Runs:  recs,
+	})
 }
 
 // ---- client ----
@@ -509,6 +699,81 @@ func (c *Client) Profile(id, format string) ([]byte, error) {
 		return nil, fmt.Errorf("service: HTTP %d fetching profile", resp.StatusCode)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// Runs fetches the run-ledger history; digest "" returns everything.
+func (c *Client) Runs(digest string) (*RunsResponse, error) {
+	path := "/v1/runs"
+	if digest != "" {
+		path += "?digest=" + digest
+	}
+	var out RunsResponse
+	if err := c.do("GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trend fetches one digest's series with its regression verdict.
+func (c *Client) Trend(digest string) (*TrendResponse, error) {
+	var out TrendResponse
+	if err := c.do("GET", "/v1/runs/"+digest, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamEvents consumes a job's SSE progress stream, invoking fn per
+// event with its name ("snapshot" or "done"). It returns when the
+// stream ends (job done / server closed it), fn returns false, or the
+// timeout expires; the events seen so far are returned either way.
+func (c *Client) StreamEvents(id string, timeout time.Duration, fn func(name string, ev ProgressEvent) bool) ([]ProgressEvent, error) {
+	req, err := http.NewRequest("GET", c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	cl := *c.HTTP
+	cl.Timeout = timeout
+	resp, err := cl.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var env struct {
+			Error *JobError `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error != nil {
+			return nil, env.Error
+		}
+		return nil, fmt.Errorf("service: HTTP %d on events stream", resp.StatusCode)
+	}
+	var out []ProgressEvent
+	name := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev ProgressEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return out, fmt.Errorf("service: bad SSE data line: %w", err)
+			}
+			out = append(out, ev)
+			if fn != nil && !fn(name, ev) {
+				return out, nil
+			}
+			if name == "done" {
+				return out, nil
+			}
+		}
+	}
+	// A timeout mid-stream is expected when the caller only wanted a
+	// few snapshots of a long job; the events read so far stand.
+	return out, nil
 }
 
 // Metrics fetches the Prometheus text exposition (tests and smokes).

@@ -36,17 +36,29 @@ type Job struct {
 	// absorbs it into the daemon-wide aggregate when the job finishes.
 	prof *profile.Profiler
 
+	// progress is the job's live-progress block (core.Options.Progress),
+	// armed at admission and sampled by the SSE stream at
+	// GET /v1/jobs/{id}/events while the engine runs.
+	progress *core.Progress
+
+	// digest keys this job's configuration in the run ledger: same
+	// image + same effective options = same baseline series.
+	digest string
+
 	cancelOnce sync.Once
 	cancelCh   chan struct{} // closed on cancel; wired to opts.Cancel
 	cancelReq  atomic.Bool
 
 	doneCh chan struct{} // closed when terminal
 
-	mu     sync.Mutex
-	state  string // queued|running|done|failed|canceled
-	err    *JobError
-	stats  *JobStats
-	events []Event
+	mu        sync.Mutex
+	state     string // queued|running|done|failed|canceled
+	err       *JobError
+	stats     *JobStats
+	coreStats *core.Stats // full engine stats for the ledger record
+	events    []Event
+	started   time.Time     // when the job left the queue
+	wake      chan struct{} // closed+replaced on every emit/finish: results-stream wakeup
 }
 
 func newJob(a *adl.Arch, p *prog.Program, mode string, opts core.Options, seed []byte, maxRuns int) *Job {
@@ -60,8 +72,11 @@ func newJob(a *adl.Arch, p *prog.Program, mode string, opts core.Options, seed [
 		cancelCh: make(chan struct{}),
 		doneCh:   make(chan struct{}),
 		state:    StateQueued,
+		wake:     make(chan struct{}),
 	}
 	j.opts.Cancel = j.cancelCh
+	j.progress = &core.Progress{}
+	j.opts.Progress = j.progress
 	return j
 }
 
@@ -81,6 +96,7 @@ func (j *Job) canceledEarly() bool {
 	if !terminal {
 		j.state = StateCanceled
 		j.err = &JobError{Code: CodeCanceled, Msg: "canceled before running"}
+		j.wakeWaitersLocked()
 	}
 	j.mu.Unlock()
 	if !terminal {
@@ -92,7 +108,15 @@ func (j *Job) canceledEarly() bool {
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.state = StateRunning
+	j.started = time.Now()
 	j.mu.Unlock()
+}
+
+// wakeWaiters closes and replaces the broadcast channel. Caller holds
+// j.mu.
+func (j *Job) wakeWaitersLocked() {
+	close(j.wake)
+	j.wake = make(chan struct{})
 }
 
 // finish transitions to a terminal state exactly once and wakes every
@@ -106,6 +130,7 @@ func (j *Job) finish(state string, err *JobError, stats *JobStats) {
 	j.state = state
 	j.err = err
 	j.stats = stats
+	j.wakeWaitersLocked()
 	j.mu.Unlock()
 	close(j.doneCh)
 }
@@ -113,6 +138,7 @@ func (j *Job) finish(state string, err *JobError, stats *JobStats) {
 func (j *Job) emit(ev Event) {
 	j.mu.Lock()
 	j.events = append(j.events, ev)
+	j.wakeWaitersLocked()
 	j.mu.Unlock()
 }
 
@@ -120,6 +146,31 @@ func (j *Job) eventsSnapshot() []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return append([]Event(nil), j.events...)
+}
+
+// eventsSince returns the events emitted after index n, whether the job
+// is terminal, and a channel that closes on the next emit or terminal
+// transition. A results streamer loops: write fresh events, and when
+// !terminal, block on the wakeup.
+func (j *Job) eventsSince(n int) (evs []Event, terminal bool, wakeup <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < len(j.events) {
+		evs = append([]Event(nil), j.events[n:]...)
+	}
+	terminal = j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+	return evs, terminal, j.wake
+}
+
+// elapsed is the wall time since the job started running (0 while
+// queued).
+func (j *Job) elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return time.Since(j.started)
 }
 
 func (j *Job) statusString() string {
@@ -191,6 +242,10 @@ func (s *Server) runExplore(j *Job, e *core.Engine, t0 time.Time) {
 		return
 	}
 	stats := exploreStats(rep, t0)
+	j.mu.Lock()
+	cs := rep.Stats
+	j.coreStats = &cs
+	j.mu.Unlock()
 	for _, p := range rep.Paths {
 		j.emit(Event{Type: "path", Path: &PathEvent{
 			ID: p.ID, Status: p.Status.String(), EndPC: p.EndPC, Steps: p.Steps, Depth: p.Depth,
@@ -221,6 +276,15 @@ func (s *Server) runConcolic(j *Job, e *core.Engine, t0 time.Time) {
 		return
 	}
 	stats := concolicStats(rep, t0)
+	j.mu.Lock()
+	cs := rep.Stats
+	cs.Coverage = rep.Coverage
+	cs.PathsDone = len(rep.Paths) // the concolic loop doesn't count paths
+	if cs.WallTime == 0 {
+		cs.WallTime = time.Since(t0) // ... nor self-time
+	}
+	j.coreStats = &cs
+	j.mu.Unlock()
 	for i, p := range rep.Paths {
 		j.emit(Event{Type: "path", Path: &PathEvent{
 			ID: i, Status: p.Status.String(), Steps: p.Steps, Input: p.Input,

@@ -1,0 +1,160 @@
+// Live-progress and run-ledger smoke (wired into `make progress-smoke`):
+// boot symexd on loopback with a fast snapshot interval and a run
+// ledger, run a real job, and assert (a) the SSE stream at
+// GET /v1/jobs/{id}/events delivers at least two snapshots while the
+// job runs plus a terminal done event whose counters match the job's
+// final stats, and (b) the completed job lands in the run ledger served
+// at GET /v1/runs with a per-digest trend at GET /v1/runs/{digest}.
+package service_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+
+	. "repro/internal/service"
+)
+
+func TestProgressSmoke(t *testing.T) {
+	srv, hs, c := startServer(t, Config{
+		MaxConcurrent:    1,
+		Obs:              obs.New(),
+		LedgerDir:        t.TempDir(),
+		SnapshotInterval: 2 * time.Millisecond,
+	})
+	defer srv.Close()
+	defer hs.Close()
+
+	// The needle search is solver-dominated (one fresh query per byte
+	// comparison per path) and runs for hundreds of milliseconds — far
+	// longer than two 2ms snapshot ticks.
+	img := buildImage(t, "tiny32", harness.Needle("tiny32", []byte("abcdefghijklmnopqrstuvwx")))
+	st, err := c.Submit(JobSpec{Image: img, MaxPaths: 4096, MaxSteps: 200000, Inputs: 32})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	evs, err := c.StreamEvents(st.ID, 60*time.Second, nil)
+	if err != nil {
+		t.Fatalf("events stream: %v", err)
+	}
+	if len(evs) < 3 {
+		t.Fatalf("got %d SSE events, want >= 2 snapshots + done", len(evs))
+	}
+	final := evs[len(evs)-1]
+	if final.State != StateDone {
+		t.Fatalf("terminal event state %q, want done", final.State)
+	}
+
+	// Counters are monotone across snapshots and the final snapshot
+	// agrees with the job's reported stats.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("snapshot seq jumped %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+		if evs[i].Instructions < evs[i-1].Instructions {
+			t.Errorf("instructions went backwards: %d -> %d", evs[i-1].Instructions, evs[i].Instructions)
+		}
+		if evs[i].Paths < evs[i-1].Paths {
+			t.Errorf("paths went backwards: %d -> %d", evs[i-1].Paths, evs[i].Paths)
+		}
+	}
+	status, err := c.Wait(st.ID, 30*time.Second)
+	if err != nil || status.Status != StateDone {
+		t.Fatalf("wait: %v (status %+v)", err, status)
+	}
+	if final.Paths != int64(status.Stats.Paths) {
+		t.Errorf("final snapshot paths %d, want %d", final.Paths, status.Stats.Paths)
+	}
+	if final.Instructions != status.Stats.Instructions {
+		t.Errorf("final snapshot instructions %d, want %d", final.Instructions, status.Stats.Instructions)
+	}
+	if final.Forks != status.Stats.Forks {
+		t.Errorf("final snapshot forks %d, want %d", final.Forks, status.Stats.Forks)
+	}
+	if final.SolverQueries != status.Stats.SolverQs {
+		t.Errorf("final snapshot solver queries %d, want %d", final.SolverQueries, status.Stats.SolverQs)
+	}
+	if final.Frontier != 0 {
+		t.Errorf("final snapshot frontier %d, want 0 (exploration drained)", final.Frontier)
+	}
+
+	// A mid-run snapshot (not the immediate first, not the final) must
+	// exist with live counters — that is the whole point of the stream.
+	live := false
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.Instructions > 0 {
+			live = true
+		}
+	}
+	if !live {
+		t.Error("no mid-run snapshot carried live instruction counts")
+	}
+
+	// The completed job must be in the run ledger.
+	rr, err := c.Runs("")
+	if err != nil {
+		t.Fatalf("runs: %v", err)
+	}
+	if rr.Total != 1 || len(rr.Runs) != 1 {
+		t.Fatalf("ledger holds %d runs (%d digests), want 1", rr.Total, len(rr.Digests))
+	}
+	rec := rr.Runs[0]
+	if rec.Source != "symexd" || rec.Label != st.ID || rec.ISA != "tiny32" {
+		t.Errorf("record identity %s/%s/%s, want symexd/%s/tiny32", rec.Source, rec.Label, rec.ISA, st.ID)
+	}
+	if rec.Paths != int64(status.Stats.Paths) || rec.Instructions != status.Stats.Instructions {
+		t.Errorf("record stats paths=%d insns=%d, want %d/%d",
+			rec.Paths, rec.Instructions, status.Stats.Paths, status.Stats.Instructions)
+	}
+	if rec.WallNS <= 0 || rec.SolverQueries <= 0 {
+		t.Errorf("record missing cost figures: wall_ns=%d solver_queries=%d", rec.WallNS, rec.SolverQueries)
+	}
+	if rec.CoverageAddrs <= 0 {
+		t.Errorf("record coverage_addrs = %d, want > 0", rec.CoverageAddrs)
+	}
+
+	// Same workload again: same digest, two-run series, green trend.
+	st2, err := c.Submit(JobSpec{Image: img, MaxPaths: 4096, MaxSteps: 200000, Inputs: 32})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := c.Wait(st2.ID, 30*time.Second); err != nil {
+		t.Fatalf("wait 2: %v", err)
+	}
+	rr, err = c.Runs("")
+	if err != nil {
+		t.Fatalf("runs 2: %v", err)
+	}
+	if rr.Total != 2 || len(rr.Digests) != 1 {
+		t.Fatalf("after repeat run: %d runs / %d digests, want 2/1", rr.Total, len(rr.Digests))
+	}
+	tr, err := c.Trend(rr.Digests[0])
+	if err != nil {
+		t.Fatalf("trend: %v", err)
+	}
+	if tr.Trend.Runs != 2 || tr.Trend.Latest == nil {
+		t.Fatalf("trend runs=%d latest=%v, want 2 with latest", tr.Trend.Runs, tr.Trend.Latest)
+	}
+	if len(tr.Trend.Regressions) != 0 {
+		t.Errorf("identical repeat run gated red: %v", tr.Trend.Regressions)
+	}
+
+	// Unknown digest must 404 with the error envelope.
+	if _, err := c.Trend("0000000000000000"); err == nil {
+		t.Error("trend of unknown digest did not fail")
+	}
+}
+
+// TestRunsDisabled: without -ledger the runs endpoints must answer 404
+// with a typed error, not 500.
+func TestRunsDisabled(t *testing.T) {
+	srv, hs, c := startServer(t, Config{Obs: obs.New()})
+	defer srv.Close()
+	defer hs.Close()
+	if _, err := c.Runs(""); err == nil {
+		t.Error("GET /v1/runs succeeded with the ledger disabled")
+	}
+}

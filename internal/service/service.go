@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/faultinject"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -56,6 +57,18 @@ type Config struct {
 	// evicted oldest-first so a long-lived daemon's job table stays
 	// bounded (default 1024).
 	RetainDone int
+
+	// LedgerDir, when set, arms the run ledger (internal/ledger): every
+	// completed job appends one record keyed by its config digest, and
+	// the history is served at GET /v1/runs (+ per-digest trend at
+	// GET /v1/runs/{digest}). "" disables recording; the endpoints then
+	// answer 404.
+	LedgerDir string
+
+	// SnapshotInterval paces the per-job SSE progress stream
+	// (GET /v1/jobs/{id}/events): one snapshot of the job's live
+	// counters per interval (default 250ms).
+	SnapshotInterval time.Duration
 
 	// Telemetry and chaos. Obs nil means a fresh registry (the service
 	// always has one — /metrics is part of the API). Cover and Inject
@@ -104,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainDone <= 0 {
 		c.RetainDone = 1024
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 250 * time.Millisecond
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
@@ -122,6 +138,7 @@ type Server struct {
 
 	cache   *smt.QueryCache
 	persist *smt.PersistentCache // nil when persistence is off
+	ledger  *ledger.Ledger       // nil when the run ledger is off
 
 	obsHandler http.Handler
 	m          serviceMetrics
@@ -168,6 +185,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: opening cache file: %w", err)
 		}
 		s.persist = p
+	}
+	if cfg.LedgerDir != "" {
+		l, err := ledger.Open(cfg.LedgerDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening run ledger: %w", err)
+		}
+		s.ledger = l
+		if l.ReadOnly() {
+			cfg.Logger.Warn("run ledger attached read-only: another process holds the writer lease",
+				"dir", cfg.LedgerDir)
+		}
 	}
 	if cfg.Obs.Profile == nil {
 		cfg.Obs.Profile = s.aggProf
@@ -323,7 +351,70 @@ func (s *Server) buildJob(spec JobSpec) (*Job, *JobError) {
 	}
 	maxRuns := clampInt(spec.MaxRuns, 32, cfg.MaxRunsCap)
 
-	return newJob(a, p, mode, opts, spec.Seed, maxRuns), nil
+	j := newJob(a, p, mode, opts, spec.Seed, maxRuns)
+	// The digest covers the image plus every option that changes the
+	// workload's cost profile, so ledger baselines only compare
+	// like-for-like runs.
+	j.digest = ledger.Digest(p.Arch, spec.Image, fmt.Sprintf(
+		"mode=%s inputs=%d steps=%d paths=%d workers=%d strategy=%v runs=%d",
+		mode, opts.InputBytes, opts.MaxSteps, opts.MaxPaths, opts.Workers, opts.Strategy, maxRuns))
+	return j, nil
+}
+
+// recordRun appends a completed job's ledger record. Best-effort: a
+// read-only ledger (lease lost to another process) or an append error
+// is logged, never fatal to the job.
+func (s *Server) recordRun(j *Job) {
+	if s.ledger == nil {
+		return
+	}
+	j.mu.Lock()
+	cs := j.coreStats
+	stats := j.stats
+	j.mu.Unlock()
+	if cs == nil || stats == nil {
+		return // failed/canceled before the engine produced a report
+	}
+	in := ledger.BuildInput{
+		Source:  "symexd",
+		Label:   j.id,
+		Digest:  j.digest,
+		ISA:     j.p.Arch,
+		Mode:    j.mode,
+		Workers: j.opts.Workers,
+		Bugs:    stats.Bugs,
+		Stats:   *cs,
+		Now:     time.Now(),
+	}
+	if s.cfg.Cover != nil {
+		// The collector is daemon-cumulative, not per-job; its layer
+		// fractions still trend usefully per digest (docs/observability.md).
+		in.Cover = s.cfg.Cover.Report()
+	}
+	if j.prof != nil {
+		in.Profile = j.prof.Report()
+	}
+	if err := s.ledger.Append(ledger.Build(in)); err != nil && err != ledger.ErrReadOnly {
+		s.log.Warn("run ledger append failed", "job", j.id, "err", err)
+	}
+}
+
+// Runs returns the full run-ledger history (nil ledger = nil). The
+// ?digest filter and trends are applied by the handlers.
+func (s *Server) Runs() []ledger.Record {
+	if s.ledger == nil {
+		return nil
+	}
+	return s.ledger.Records()
+}
+
+// LedgerStats exposes the ledger counters (tests and smokes); zero
+// value when the ledger is off.
+func (s *Server) LedgerStats() ledger.Stats {
+	if s.ledger == nil {
+		return ledger.Stats{}
+	}
+	return s.ledger.Stats()
 }
 
 func clampInt(v, def, cap int) int {
@@ -413,11 +504,12 @@ func (s *Server) Cancel(id string) (*JobStatus, bool) {
 	return j.status(), true
 }
 
-// finishJob records a terminal job for retention accounting and evicts
-// the oldest terminal jobs past the cap.
+// finishJob records a terminal job for retention accounting, appends
+// its ledger record, and evicts the oldest terminal jobs past the cap.
 func (s *Server) finishJob(j *Job) {
 	s.m.completed(j.statusString())
 	s.aggProf.Absorb(j.prof)
+	s.recordRun(j)
 	s.logFinished(j)
 	s.mu.Lock()
 	s.doneIDs = append(s.doneIDs, j.id)
@@ -476,6 +568,11 @@ func (s *Server) Close() error {
 		err = s.persist.Close()
 		if err == smt.ErrReadOnly {
 			err = nil
+		}
+	}
+	if s.ledger != nil {
+		if lerr := s.ledger.Close(); lerr != nil && err == nil {
+			err = lerr
 		}
 	}
 	s.refreshMetrics()
