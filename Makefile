@@ -7,12 +7,14 @@
 # interpreted equivalence smoke (docs/compile.md), and the analysis-
 # service smoke with its persistent cross-run solver cache
 # (docs/service.md), the exploration-profiler smoke against a live
-# daemon, the run-ledger regression-gate smoke, and the live-progress
-# SSE smoke (docs/observability.md).
+# daemon, the run-ledger regression-gate smoke, the live-progress
+# SSE smoke (docs/observability.md), and the kill-9 crash-recovery
+# smoke of the durable job journal and exploration checkpoints
+# (docs/service.md).
 
-.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke
+.PHONY: check build test vet race bench fuzz-smoke difftest-smoke difftest obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke crash-smoke
 
-check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke
+check: build test vet race fuzz-smoke difftest-smoke obs-smoke cover-smoke chaos-smoke compile-smoke service-smoke profile-smoke ledger-smoke progress-smoke crash-smoke
 
 build:
 	go build ./...
@@ -24,7 +26,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service ./internal/profile ./internal/ledger
+	go test -race ./internal/core ./internal/smt ./internal/difftest ./internal/obs ./internal/cover ./internal/faultinject ./internal/rtl ./internal/conc ./internal/service ./internal/profile ./internal/ledger ./internal/wal
 
 bench:
 	go test -bench=. -benchmem
@@ -34,6 +36,7 @@ bench:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzExprCompile -fuzztime=5s ./internal/minic
 	go test -run='^$$' -fuzz=FuzzDifferentialTiny32 -fuzztime=5s ./internal/core
+	go test -run='^$$' -fuzz=FuzzExprWireRoundTrip -fuzztime=5s ./internal/expr
 
 # Differential oracle (docs/difftest.md): CI smoke with a fixed seed,
 # and a longer soak for local use.
@@ -90,6 +93,14 @@ ledger-smoke:
 # GET /v1/runs with a green per-config trend.
 progress-smoke:
 	go test -run 'TestProgressSmoke' -count=1 ./internal/service
+
+# Crash smoke (docs/service.md): build the symexd binary, SIGKILL a
+# live daemon mid-job, restart it against the same -state-dir, and
+# require the resumed job's canonical report to be bit-identical to an
+# uninterrupted daemon's, zero queued jobs lost, and the recovery
+# visible at GET /v1/runs.
+crash-smoke:
+	go test -run 'TestCrashSmoke' -count=1 ./internal/service
 
 # Semantic-coverage gate (docs/coverage.md): a brief coverage-guided
 # differential run over every embedded ADL must keep instruction

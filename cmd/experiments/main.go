@@ -6,7 +6,7 @@
 //
 //	experiments [-only table1|table2|table3|fig1|fig2|fig3|fig4|parallel|obs|obs-stages|
 //	                   coverage|cover-overhead|governor|compile|service-cache|profile-overhead|
-//	                   ledger|progress-overhead]
+//	                   ledger|progress-overhead|checkpoint-overhead]
 //	            [-obs-addr :8089] [-ledger DIR] [-bench-out BENCH_ledger.json]
 //
 // -only ledger appends the parallel-scaling workloads to a run ledger
@@ -15,6 +15,9 @@
 // plus the latest run's regression-gate verdict — to -bench-out.
 // -only progress-overhead measures the cost of the live-progress
 // instrument plus the per-run ledger append (docs/observability.md).
+// -only checkpoint-overhead measures the cost of durable exploration
+// checkpoints at three paces against a checkpoint-free serial run
+// (docs/service.md).
 package main
 
 import (
@@ -30,7 +33,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache, profile-overhead, ledger, progress-overhead)")
+	only := flag.String("only", "", "run a single experiment (table1..table5, fig1..fig4, parallel, obs, obs-stages, coverage, cover-overhead, governor, compile, service-cache, profile-overhead, ledger, progress-overhead, checkpoint-overhead)")
 	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for -only parallel/obs/cover-overhead/governor/profile-overhead/ledger/progress-overhead (0 = all CPUs)")
 	obsAddr := flag.String("obs-addr", "", "serve expvar and pprof on this address while experiments run (for live profiling)")
 	ledgerDir := flag.String("ledger", "", "run-ledger directory for -only ledger (empty = throwaway temp dir)")
@@ -123,6 +126,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench-out: wrote trajectory to %s\n", *benchOut)
 	case "progress-overhead":
 		harness.RunProgressOverhead(workerCounts).Print(os.Stdout)
+	case "checkpoint-overhead":
+		harness.RunCheckpointOverhead().Print(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -41,6 +41,11 @@ func main() {
 		maxTerms      = flag.Int("max-state-terms", 0, "per-state symbolic-footprint budget (0 = off)")
 		coverage      = flag.Bool("coverage", false, "collect semantic coverage (served at /coverage)")
 		ledgerDir     = flag.String("ledger", "", "run-ledger directory: record every completed job, serve GET /v1/runs")
+		stateDir      = flag.String("state-dir", "", "crash-safety directory: durable job journal + exploration checkpoints (empty = off)")
+		ckptInterval  = flag.Duration("checkpoint-interval", 500*time.Millisecond, "exploration checkpoint pace for serial jobs (needs -state-dir)")
+		stallTimeout  = flag.Duration("stall-timeout", 0, "kill jobs making no progress for this long (0 = watchdog off)")
+		retryMax      = flag.Int("retry-max", 0, "retries for transient job failures (panics, stalls); 0 = off")
+		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "first-retry backoff, doubling per attempt")
 		snapInterval  = flag.Duration("snapshot-interval", 250*time.Millisecond, "pacing of the per-job SSE progress stream at GET /v1/jobs/{id}/events")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -54,20 +59,25 @@ func main() {
 	}
 
 	cfg := service.Config{
-		MaxConcurrent:    *maxConc,
-		QueueDepth:       *queueDepth,
-		MaxWorkersPerJob: *maxWorkers,
-		MaxStepsCap:      *maxSteps,
-		MaxPathsCap:      *maxPaths,
-		SolverDeadline:   *solverDL,
-		MaxStateTerms:    *maxTerms,
-		CacheFile:        *cacheFile,
-		CacheMaxEntries:  *cacheMax,
-		FlushInterval:    *flushInterval,
-		LedgerDir:        *ledgerDir,
-		SnapshotInterval: *snapInterval,
-		Obs:              obs.New(),
-		Logger:           logger,
+		MaxConcurrent:      *maxConc,
+		QueueDepth:         *queueDepth,
+		MaxWorkersPerJob:   *maxWorkers,
+		MaxStepsCap:        *maxSteps,
+		MaxPathsCap:        *maxPaths,
+		SolverDeadline:     *solverDL,
+		MaxStateTerms:      *maxTerms,
+		CacheFile:          *cacheFile,
+		CacheMaxEntries:    *cacheMax,
+		FlushInterval:      *flushInterval,
+		LedgerDir:          *ledgerDir,
+		StateDir:           *stateDir,
+		CheckpointInterval: *ckptInterval,
+		StallTimeout:       *stallTimeout,
+		RetryMax:           *retryMax,
+		RetryBackoff:       *retryBackoff,
+		SnapshotInterval:   *snapInterval,
+		Obs:                obs.New(),
+		Logger:             logger,
 	}
 	obs.RegisterBuildInfo(cfg.Obs.Reg, len(arch.Names()))
 	if *coverage {
@@ -102,6 +112,15 @@ func main() {
 		}
 		attrs = append(attrs, "cache_file", *cacheFile, "cache_loaded", ps.Loaded,
 			"cache_corrupt", ps.Corruptions, "cache_mode", mode)
+	}
+	if *stateDir != "" {
+		js, recovered, resumed := srv.JournalStats()
+		mode := "writer"
+		if js.ReadOnly {
+			mode = "read-only follower"
+		}
+		attrs = append(attrs, "journal_dir", *stateDir, "journal_recovered", recovered,
+			"journal_resumed", resumed, "journal_corrupt", js.Corruptions, "journal_mode", mode)
 	}
 	logger.Info("symexd listening", attrs...)
 

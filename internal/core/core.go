@@ -202,6 +202,36 @@ type Options struct {
 	// daemon jobs stay attributable. Empty outside the daemon.
 	JobID string
 
+	// Checkpoint, when non-nil, receives periodic exploration snapshots
+	// from a serial run (see snapshot.go): every CheckpointEvery of wall
+	// time the engine captures the completed paths plus the live
+	// frontier and hands the Snapshot to the callback, which typically
+	// marshals it to a durable file. Called synchronously between
+	// instructions on the exploration goroutine. Ignored when
+	// Workers > 1 — parallel schedules are not resumable.
+	Checkpoint func(*Snapshot)
+
+	// CheckpointEvery is the wall-time interval between Checkpoint
+	// calls (default 1s when Checkpoint is set). The interval is a
+	// floor, not a schedule: a duty-cycle governor stretches the gap to
+	// ckptDutyFactor times the previous checkpoint's synchronous cost,
+	// so however large the snapshot grows as paths accumulate,
+	// checkpointing consumes a bounded share of the run's wall time —
+	// freshness degrades before throughput does. A negative interval
+	// disables both the pace and the governor and checkpoints at every
+	// opportunity (between every scheduling step) — meant for tests and
+	// tools that need dense cut points, not for production runs.
+	CheckpointEvery time.Duration
+
+	// Resume, when non-nil, seeds the run from a checkpoint instead of
+	// the program entry point: completed paths, bugs, visit counts, the
+	// ID allocator and the live frontier are restored, and exploration
+	// continues where the interrupted run stopped. The engine must be
+	// fresh and built for the same architecture and program the
+	// snapshot was taken from. Run returns an error for a mismatched or
+	// malformed snapshot, and when combined with Workers > 1.
+	Resume *Snapshot
+
 	// StackBase and StackSize describe the stack region; the engine
 	// initializes the architecture's sp register to StackBase. Defaults:
 	// 0x40000 and 0x10000.
@@ -270,6 +300,12 @@ type PathResult struct {
 	// paths by it.
 	sig uint64
 }
+
+// Sig returns the builder-independent path signature: a hash chain over
+// the structural digests of the appended path conditions. Unlike ID it
+// names a path by its branch decisions, so reports from interrupted-
+// and-resumed or parallel runs can be compared canonically.
+func (p *PathResult) Sig() uint64 { return p.sig }
 
 // Stats aggregates engine counters for one run.
 type Stats struct {
@@ -427,6 +463,11 @@ type Engine struct {
 	// when no observer asked for it. Workers share it — every update is
 	// a single atomic op.
 	progress *Progress
+
+	// resumedWall is the wall time the interrupted legs of a resumed
+	// run had already spent (Options.Resume); end-of-run and checkpoint
+	// WallTime report the run-cumulative figure.
+	resumedWall time.Duration
 }
 
 // StepSampleRate is the sampling factor of the engine_step_seconds

@@ -13,11 +13,20 @@ import (
 	"repro/internal/smt"
 )
 
+// ckptDutyFactor bounds the checkpoint duty cycle: the gap until the
+// next checkpoint is at least this multiple of the previous one's
+// synchronous cost, so snapshot building consumes at most ~1/128 <1%
+// of a serial run's wall time no matter how large the path list grows.
+const ckptDutyFactor = 128
+
 // Run explores the program from its entry point and returns the report.
 // With Options.Workers > 1 the exploration is distributed over a worker
 // pool (see parallel.go); otherwise the classic serial loop runs.
 func (e *Engine) Run() (*Report, error) {
 	if e.Opts.Workers > 1 {
+		if e.Opts.Resume != nil {
+			return nil, fmt.Errorf("core: Resume requires a serial run (Workers = %d)", e.Opts.Workers)
+		}
 		return e.runParallel()
 	}
 	t0 := time.Now()
@@ -25,9 +34,39 @@ func (e *Engine) Run() (*Report, error) {
 	e.bugSeen = newBugDedup()
 	defer e.profiler.Fold(e.prof)
 
-	live := []*State{e.initialState()}
+	var live []*State
+	if e.Opts.Resume != nil {
+		var err error
+		if live, err = e.restore(e.Opts.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		live = []*State{e.initialState()}
+	}
+	ckptEvery := e.Opts.CheckpointEvery
+	denseCkpt := ckptEvery < 0 // every opportunity, no governor (tests)
+	if ckptEvery <= 0 {
+		ckptEvery = time.Second
+	}
+	ckptGap := ckptEvery
+	lastCkpt := t0
 
 	for len(live) > 0 {
+		if e.Opts.Checkpoint != nil && (denseCkpt || time.Since(lastCkpt) >= ckptGap) {
+			tc := time.Now()
+			e.Opts.Checkpoint(e.snapshot(live, time.Since(t0)))
+			lastCkpt = time.Now()
+			// Duty-cycle governor: a snapshot's cost grows with the
+			// completed-path list, so a fixed pace would eventually
+			// spend arbitrary fractions of the run on checkpointing.
+			// Stretch the gap to a multiple of the last checkpoint's
+			// synchronous cost instead — the overhead stays bounded
+			// (~1/ckptDutyFactor) and only freshness degrades.
+			ckptGap = ckptEvery
+			if g := lastCkpt.Sub(tc) * ckptDutyFactor; g > ckptGap {
+				ckptGap = g
+			}
+		}
 		var killReason string
 		switch {
 		case e.report.Stats.PathsDone >= e.Opts.MaxPaths:
@@ -90,7 +129,7 @@ func (e *Engine) Run() (*Report, error) {
 		e.m.frontierDepth.Set(0)
 	}
 	e.progress.setFrontier(0)
-	e.report.Stats.WallTime = time.Since(t0)
+	e.report.Stats.WallTime = e.resumedWall + time.Since(t0)
 	e.report.Stats.Solver = e.Solver.Stats
 	e.report.Stats.Coverage = len(e.visits)
 	e.snapshotCompileStats()

@@ -63,6 +63,27 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	}
 }
 
+// restore seeds every counter from a resumed run's checkpoint so
+// mid-run observers see run-cumulative values, not post-crash deltas.
+func (p *Progress) restore(s ProgressSnapshot) {
+	if p == nil {
+		return
+	}
+	p.instructions.Store(s.Instructions)
+	p.paths.Store(s.Paths)
+	p.forks.Store(s.Forks)
+	p.frontier.Store(s.Frontier)
+	p.covered.Store(s.Covered)
+	p.degraded.Store(s.Degraded)
+	p.solverNS.Store(s.SolverNS)
+	p.solverQueries.Store(s.SolverQueries)
+	p.cacheHits.Store(s.CacheHits)
+}
+
+// Reset zeroes every counter: a retry of the same job starts its live
+// view from scratch instead of double-counting the failed attempt.
+func (p *Progress) Reset() { p.restore(ProgressSnapshot{}) }
+
 func (p *Progress) incInstructions() {
 	if p != nil {
 		p.instructions.Add(1)

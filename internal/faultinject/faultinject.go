@@ -39,6 +39,8 @@ const (
 	SiteConcStep              // conc.Machine.Step
 	SiteSolver                // smt.Solver.Check (before the query cache)
 	SiteMem                   // core memory concretization (Load/Store)
+	SiteWAL                   // wal append/rewrite I/O (journal, checkpoints, ledger, cache)
+	SiteStall                 // service job admission: stall the job until canceled
 	numSites
 )
 
@@ -56,6 +58,10 @@ func (s Site) String() string {
 		return "solver"
 	case SiteMem:
 		return "mem"
+	case SiteWAL:
+		return "wal"
+	case SiteStall:
+		return "stall"
 	}
 	return "unknown"
 }
@@ -79,6 +85,18 @@ const (
 	KindBudget               // solver conflict-budget exhaustion (smt.ErrBudget)
 	KindDeadline             // solver wall-clock deadline expiry (smt.ErrDeadline)
 	KindDecode               // malformed decode (ErrDecode)
+
+	// Durable-log I/O faults (SiteWAL): a torn frame left on disk, a
+	// silently flipped checksum, and a stolen writer lease. All three are
+	// error kinds — the log must absorb them without a crash and account
+	// them in its corruption/read-only counters.
+	KindShortWrite
+	KindCRCFlip
+	KindLease
+
+	// KindStall (SiteStall) makes a service job block making no progress
+	// until canceled — the deliberate hang the stall watchdog must kill.
+	KindStall
 	numKinds
 )
 
@@ -94,6 +112,14 @@ func (k Kind) String() string {
 		return "deadline"
 	case KindDecode:
 		return "decode"
+	case KindShortWrite:
+		return "short-write"
+	case KindCRCFlip:
+		return "crc-flip"
+	case KindLease:
+		return "lease"
+	case KindStall:
+		return "stall"
 	}
 	return "unknown"
 }
@@ -170,8 +196,11 @@ func (in *Injector) Enable(site Site, kinds ...Kind) *Injector {
 
 // EnableAll arms every site with its full fault-kind set: panics
 // everywhere, malformed decodes at the decode site, budget and
-// deadline expiry at the solver site. This is the chaos-mode
-// configuration of the difftest oracle.
+// deadline expiry at the solver site, and the three durable-log I/O
+// faults at the wal site. This is the chaos-mode configuration of the
+// difftest oracle. SiteStall is deliberately left unarmed: a stalled
+// job never finishes on its own, so it only belongs in tests that run
+// the watchdog.
 func (in *Injector) EnableAll() *Injector {
 	return in.
 		Enable(SiteDecode, KindPanic, KindDecode).
@@ -179,7 +208,8 @@ func (in *Injector) EnableAll() *Injector {
 		Enable(SiteSymStep, KindPanic).
 		Enable(SiteConcStep, KindPanic).
 		Enable(SiteSolver, KindPanic, KindBudget, KindDeadline).
-		Enable(SiteMem, KindPanic)
+		Enable(SiteMem, KindPanic).
+		Enable(SiteWAL, KindShortWrite, KindCRCFlip, KindLease)
 }
 
 // mix is a splitmix64-style finalizer over the firing decision inputs.

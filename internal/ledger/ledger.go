@@ -6,38 +6,27 @@
 // median of its same-digest predecessors; cmd/symex, cmd/experiments,
 // cmd/difftest and symexd all append to it.
 //
-// The file format reuses the record discipline proven by
-// smt/persist.go:
-//   - an 8-byte header (magic "SXRL" + format version) rejects foreign
-//     files;
-//   - each entry is u32 payload length + u32 CRC32(payload) + payload
-//     (JSON-encoded Record), so a torn or bit-flipped tail is detected
-//     per entry;
-//   - recovery is skip-and-truncate: a corrupt suffix is skipped on
-//     load, and the lease-holding writer truncates it away so the next
-//     append lands on an intact boundary;
-//   - a flock-based single-writer lease makes concurrent processes
-//     safe: the first opener owns appends, later openers attach
-//     read-only and may Reload to follow the writer.
+// The file format is the shared record discipline of internal/wal
+// (magic "SXRL"): CRC-framed JSON records, skip-and-truncate tail
+// recovery, and a flock-based single-writer lease — the first opener
+// owns appends, later openers attach read-only and may Reload to
+// follow the writer.
 package ledger
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
-	"syscall"
+
+	"repro/internal/wal"
 )
 
 const (
-	magic      = "SXRL"
-	version    = 1
-	maxPayload = 1 << 20
+	magic   = "SXRL"
+	version = 1
 
 	// FileName is the ledger log inside the ledger directory.
 	FileName = "runs.sxrl"
@@ -57,13 +46,10 @@ type Stats struct {
 
 // Ledger is an open run ledger. Safe for concurrent use.
 type Ledger struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	recs    []Record
-	stats   Stats
-	rdOnly  bool
-	closed  bool
+	mu     sync.Mutex
+	log    *wal.Log
+	recs   []Record
+	closed bool
 }
 
 // Open opens (creating if needed) the ledger in dir, acquires the
@@ -75,123 +61,32 @@ func Open(dir string) (*Ledger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	path := filepath.Join(dir, FileName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	log, err := wal.Open(filepath.Join(dir, FileName), wal.Options{Magic: magic, Version: version})
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	l := &Ledger{f: f, path: path}
-	// Single-writer lease: first process in owns appends; later ones
-	// degrade to read-only followers instead of interleaving writes.
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		l.rdOnly = true
-		l.stats.ReadOnly = true
-	}
+	l := &Ledger{log: log}
 	if err := l.load(); err != nil {
-		f.Close()
+		log.Close()
 		return nil, err
 	}
 	return l, nil
 }
 
 func (l *Ledger) load() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.loadLocked()
-}
-
-func (l *Ledger) loadLocked() error {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("ledger: %w", err)
-	}
-	st, err := l.f.Stat()
+	var recs []Record
+	err := l.log.Load(func(payload []byte) error {
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	})
 	if err != nil {
 		return fmt.Errorf("ledger: %w", err)
 	}
-	if st.Size() == 0 {
-		// Fresh file: the writer stamps the header now so appends can
-		// assume it exists; a reader of an empty file just has nothing.
-		if !l.rdOnly {
-			var hdr [8]byte
-			copy(hdr[:4], magic)
-			binary.LittleEndian.PutUint32(hdr[4:], version)
-			if _, err := l.f.Write(hdr[:]); err != nil {
-				return fmt.Errorf("ledger: %w", err)
-			}
-		}
-		l.recs = nil
-		return nil
-	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(l.f, hdr[:]); err != nil || string(hdr[:4]) != magic ||
-		binary.LittleEndian.Uint32(hdr[4:]) != version {
-		// A file that is not ours (or a torn header) is wholly corrupt:
-		// the writer starts over, a reader loads nothing.
-		l.stats.Corruptions++
-		l.recs = nil
-		if !l.rdOnly {
-			if err := l.f.Truncate(0); err != nil {
-				return fmt.Errorf("ledger: truncate: %w", err)
-			}
-			if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-				return fmt.Errorf("ledger: %w", err)
-			}
-			copy(hdr[:4], magic)
-			binary.LittleEndian.PutUint32(hdr[4:], version)
-			if _, err := l.f.Write(hdr[:]); err != nil {
-				return fmt.Errorf("ledger: %w", err)
-			}
-		}
-		return nil
-	}
-	var recs []Record
-	loaded := 0
-	good := int64(len(hdr)) // offset of the last intact entry boundary
-	var lenb [8]byte
-	for {
-		if _, err := io.ReadFull(l.f, lenb[:]); err != nil {
-			if err != io.EOF {
-				l.stats.Corruptions++ // torn length/CRC prefix
-			}
-			break
-		}
-		plen := binary.LittleEndian.Uint32(lenb[:4])
-		crc := binary.LittleEndian.Uint32(lenb[4:])
-		if plen == 0 || plen > maxPayload {
-			l.stats.Corruptions++
-			break
-		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(l.f, payload); err != nil {
-			l.stats.Corruptions++ // truncated tail
-			break
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			l.stats.Corruptions++ // flipped bits
-			break
-		}
-		var r Record
-		if err := json.Unmarshal(payload, &r); err != nil {
-			l.stats.Corruptions++
-			break
-		}
-		recs = append(recs, r)
-		loaded++
-		good += int64(len(lenb)) + int64(plen)
-	}
-	// Skip-and-truncate recovery: the writer drops the corrupt suffix
-	// so the next append lands on an intact boundary. Readers only skip
-	// — truncation without the lease would race the writer.
-	if !l.rdOnly {
-		if err := l.f.Truncate(good); err != nil {
-			return fmt.Errorf("ledger: truncate: %w", err)
-		}
-		if _, err := l.f.Seek(good, io.SeekStart); err != nil {
-			return fmt.Errorf("ledger: %w", err)
-		}
-	}
 	l.recs = recs
-	l.stats.Loaded = loaded
 	return nil
 }
 
@@ -204,30 +99,17 @@ func (l *Ledger) Append(r Record) error {
 	if l.closed {
 		return errors.New("ledger: closed")
 	}
-	if l.rdOnly {
-		return ErrReadOnly
-	}
 	payload, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("ledger: %w", err)
 	}
-	if len(payload) > maxPayload {
-		return fmt.Errorf("ledger: record too large (%d bytes)", len(payload))
-	}
-	var lenb [8]byte
-	binary.LittleEndian.PutUint32(lenb[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(lenb[4:], crc32.ChecksumIEEE(payload))
-	if _, err := l.f.Write(lenb[:]); err != nil {
-		return fmt.Errorf("ledger: %w", err)
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("ledger: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.log.Append(payload); err != nil {
+		if errors.Is(err, wal.ErrReadOnly) {
+			return ErrReadOnly
+		}
 		return fmt.Errorf("ledger: %w", err)
 	}
 	l.recs = append(l.recs, r)
-	l.stats.Appended++
 	return nil
 }
 
@@ -279,25 +161,27 @@ func (l *Ledger) Reload() error {
 	if l.closed {
 		return errors.New("ledger: closed")
 	}
-	return l.loadLocked()
+	return l.load()
 }
 
 // Stats returns load/append/corruption counters.
 func (l *Ledger) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	ws := l.log.Stats()
+	return Stats{
+		Loaded:      int(ws.Loaded),
+		Appended:    int(ws.Appended),
+		Corruptions: int(ws.Corruptions),
+		ReadOnly:    ws.ReadOnly,
+	}
 }
 
 // ReadOnly reports whether this handle lost the writer-lease race.
-func (l *Ledger) ReadOnly() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.rdOnly
-}
+func (l *Ledger) ReadOnly() bool { return l.log.ReadOnly() }
 
 // Path returns the backing file path.
-func (l *Ledger) Path() string { return l.path }
+func (l *Ledger) Path() string { return l.log.Path() }
 
 // Close releases the writer lease (if held) and the file handle.
 func (l *Ledger) Close() error {
@@ -307,5 +191,5 @@ func (l *Ledger) Close() error {
 		return nil
 	}
 	l.closed = true
-	return l.f.Close() // releases the flock lease
+	return l.log.Close() // releases the flock lease
 }

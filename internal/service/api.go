@@ -62,6 +62,7 @@ const (
 	CodePanic      = "panic"       // recovered handler-level panic
 	CodeDecode     = "decode"      // program image failed to decode
 	CodeEngine     = "engine"      // engine returned a run-level error
+	CodeStalled    = "stalled"     // watchdog killed a run making no progress
 )
 
 func (e *JobError) Error() string {
@@ -96,14 +97,20 @@ type JobStats struct {
 	WallMS       int64 `json:"wall_ms"`
 }
 
-// JobStatus is the poll-endpoint view of a job.
+// JobStatus is the poll-endpoint view of a job. Attempts counts
+// transient-failure retries; Recovered marks a job rebuilt from the
+// durable journal after a restart, and Resumed additionally means its
+// exploration continued from a checkpoint instead of the entry point.
 type JobStatus struct {
-	ID     string    `json:"id"`
-	Arch   string    `json:"arch,omitempty"`
-	Mode   string    `json:"mode,omitempty"`
-	Status string    `json:"status"` // queued|running|done|failed|canceled
-	Error  *JobError `json:"error,omitempty"`
-	Stats  *JobStats `json:"stats,omitempty"`
+	ID        string    `json:"id"`
+	Arch      string    `json:"arch,omitempty"`
+	Mode      string    `json:"mode,omitempty"`
+	Status    string    `json:"status"` // queued|running|done|failed|canceled
+	Error     *JobError `json:"error,omitempty"`
+	Stats     *JobStats `json:"stats,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	Recovered bool      `json:"recovered,omitempty"`
+	Resumed   bool      `json:"resumed,omitempty"`
 }
 
 // Job states.

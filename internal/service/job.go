@@ -28,8 +28,27 @@ type Job struct {
 	mode string // explore|concolic
 	opts core.Options
 
+	// spec is the submitted spec verbatim — the durable job journal
+	// records it so a restarted daemon can rebuild the job.
+	spec JobSpec
+
 	seed    []byte // concolic
 	maxRuns int    // concolic
+
+	// recovered marks a job rebuilt from the journal after a restart;
+	// resumed additionally means its engine was seeded from a
+	// checkpoint rather than the program entry point.
+	recovered bool
+	resumed   bool
+
+	// attempt counts retries of transient failures (watchdog kills,
+	// recovered panics) in this process; stalled is set by the watchdog
+	// before it kills the run, so the failure is typed stalled rather
+	// than canceled. retryPending tells the runner loop to re-run the
+	// job instead of finishing it.
+	attempt      int
+	stalled      atomic.Bool
+	retryPending bool
 
 	// prof is the job's exploration profiler (internal/profile), armed
 	// at admission and served by GET /v1/jobs/{id}/profile; the server
@@ -45,9 +64,8 @@ type Job struct {
 	// image + same effective options = same baseline series.
 	digest string
 
-	cancelOnce sync.Once
-	cancelCh   chan struct{} // closed on cancel; wired to opts.Cancel
-	cancelReq  atomic.Bool
+	cancelCh  chan struct{} // closed on cancel/kill; wired to opts.Cancel
+	cancelReq atomic.Bool
 
 	doneCh chan struct{} // closed when terminal
 
@@ -82,7 +100,37 @@ func newJob(a *adl.Arch, p *prog.Program, mode string, opts core.Options, seed [
 
 func (j *Job) requestCancel() {
 	j.cancelReq.Store(true)
-	j.cancelOnce.Do(func() { close(j.cancelCh) })
+	j.kill()
+}
+
+// kill closes the engine-facing cancel channel without marking the job
+// user-canceled — the watchdog uses it to stop a stalled run that must
+// then fail typed as stalled, not canceled. Idempotent; safe against a
+// concurrent resetForRetry, which replaces the channel under j.mu.
+func (j *Job) kill() {
+	j.mu.Lock()
+	select {
+	case <-j.cancelCh:
+	default:
+		close(j.cancelCh)
+	}
+	j.mu.Unlock()
+}
+
+// resetForRetry rewinds a failed job to queued for another attempt: a
+// fresh cancel channel (the watchdog may have closed the old one),
+// cleared stall/error state and zeroed live-progress counters. The
+// events of the failed attempt are kept — the stream shows the retry
+// trail. Caller is the owning runner.
+func (j *Job) resetForRetry() {
+	j.mu.Lock()
+	j.cancelCh = make(chan struct{})
+	j.opts.Cancel = j.cancelCh
+	j.state = StateQueued
+	j.err = nil
+	j.mu.Unlock()
+	j.stalled.Store(false)
+	j.progress.Reset()
 }
 
 // canceledEarly reports whether the job was canceled while still
@@ -183,12 +231,15 @@ func (j *Job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := &JobStatus{
-		ID:     j.id,
-		Arch:   j.p.Arch,
-		Mode:   j.mode,
-		Status: j.state,
-		Error:  j.err,
-		Stats:  j.stats,
+		ID:        j.id,
+		Arch:      j.p.Arch,
+		Mode:      j.mode,
+		Status:    j.state,
+		Error:     j.err,
+		Stats:     j.stats,
+		Attempts:  j.attempt,
+		Recovered: j.recovered,
+		Resumed:   j.resumed,
 	}
 	return st
 }
@@ -205,7 +256,7 @@ func (s *Server) runJob(j *Job) {
 				je.Fault = &FaultRecord{Site: f.Site.String(), Injected: true, Msg: f.Error()}
 			}
 			j.emit(Event{Type: "fault", Fault: je.Fault})
-			j.finish(StateFailed, je, nil)
+			s.failJob(j, je, nil)
 		}
 	}()
 
@@ -216,8 +267,49 @@ func (s *Server) runJob(j *Job) {
 	if k := s.cfg.Inject.Fire(faultinject.SiteDecode); k == faultinject.KindDecode {
 		fr := &FaultRecord{Site: faultinject.SiteDecode.String(), Injected: true, Msg: faultinject.ErrDecode.Error()}
 		j.emit(Event{Type: "fault", Fault: fr})
-		j.finish(StateFailed, &JobError{Code: CodeDecode, Msg: faultinject.ErrDecode.Error(), Fault: fr}, nil)
+		s.failJob(j, &JobError{Code: CodeDecode, Msg: faultinject.ErrDecode.Error(), Fault: fr}, nil)
 		return
+	}
+
+	// Stall watchdog: kills runs whose live-progress counters stop
+	// moving for StallTimeout (journal.go). Scoped per attempt — the
+	// deferred close retires it before any retry starts a new one.
+	if s.cfg.StallTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go s.watchdog(j, stop)
+	}
+
+	// Injected stall (chaos): hold the runner making no progress until
+	// something kills the job — the watchdog (typed stalled) or a cancel
+	// (typed canceled). A stalled run without a watchdog hangs until
+	// canceled, which is exactly the failure mode the watchdog exists
+	// to bound.
+	if k := s.cfg.Inject.Fire(faultinject.SiteStall); k == faultinject.KindStall {
+		j.mu.Lock()
+		cancel := j.cancelCh
+		j.mu.Unlock()
+		<-cancel
+		if j.stalled.Load() {
+			fr := &FaultRecord{Site: faultinject.SiteStall.String(), Injected: true, Msg: "injected stall: no progress until killed"}
+			j.emit(Event{Type: "fault", Fault: fr})
+			s.failJob(j, &JobError{Code: CodeStalled,
+				Msg: fmt.Sprintf("no progress for %v, killed by watchdog", s.cfg.StallTimeout), Fault: fr}, nil)
+			return
+		}
+		j.finish(StateCanceled, &JobError{Code: CodeCanceled, Msg: "canceled while running"}, nil)
+		return
+	}
+
+	// Serial explorations checkpoint periodically when crash safety is
+	// armed; j.opts.Resume may already carry the last checkpoint of a
+	// recovered job. The write happens synchronously on the exploration
+	// goroutine: the engine's duty-cycle governor observes the full
+	// marshal+write cost and stretches the pace so checkpointing stays
+	// a bounded fraction of the run, even against a slow state dir.
+	if s.journal != nil && j.checkpointable() {
+		j.opts.CheckpointEvery = s.cfg.CheckpointInterval
+		j.opts.Checkpoint = func(snap *core.Snapshot) { s.writeCheckpoint(j, snap) }
 	}
 
 	e := core.NewEngine(j.a, j.p, j.opts)
@@ -237,8 +329,34 @@ func (s *Server) runJob(j *Job) {
 
 func (s *Server) runExplore(j *Job, e *core.Engine, t0 time.Time) {
 	rep, err := e.Run()
+	if err != nil && j.opts.Resume != nil {
+		// A checkpoint that passed CRC validation can still be rejected
+		// by the engine (program changed under the state dir, parallel
+		// override). Recovery never fails the job: drop the checkpoint
+		// and rerun from the entry point.
+		s.log.Warn("checkpoint resume rejected; restarting from entry", "job", j.id, "err", err)
+		s.m.restoreFailed.Inc()
+		j.opts.Resume = nil
+		j.mu.Lock()
+		j.resumed = false
+		j.mu.Unlock()
+		e = core.NewEngine(j.a, j.p, j.opts)
+		for _, c := range Checkers() {
+			e.AddChecker(c)
+		}
+		rep, err = e.Run()
+	}
 	if err != nil {
-		j.finish(StateFailed, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		s.failJob(j, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		return
+	}
+	if j.stalled.Load() {
+		// The watchdog killed the run; the partial report is the failed
+		// attempt's, so only the typed fault goes to the event log.
+		fr := &FaultRecord{Site: faultinject.SiteStall.String(),
+			Msg: fmt.Sprintf("no progress for %v, killed by watchdog", s.cfg.StallTimeout)}
+		j.emit(Event{Type: "fault", Fault: fr})
+		s.failJob(j, &JobError{Code: CodeStalled, Msg: fr.Msg, Fault: fr}, nil)
 		return
 	}
 	stats := exploreStats(rep, t0)
@@ -272,7 +390,14 @@ func (s *Server) runExplore(j *Job, e *core.Engine, t0 time.Time) {
 func (s *Server) runConcolic(j *Job, e *core.Engine, t0 time.Time) {
 	rep, err := e.Concolic(j.seed, j.maxRuns)
 	if err != nil {
-		j.finish(StateFailed, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		s.failJob(j, &JobError{Code: CodeEngine, Msg: err.Error()}, nil)
+		return
+	}
+	if j.stalled.Load() {
+		fr := &FaultRecord{Site: faultinject.SiteStall.String(),
+			Msg: fmt.Sprintf("no progress for %v, killed by watchdog", s.cfg.StallTimeout)}
+		j.emit(Event{Type: "fault", Fault: fr})
+		s.failJob(j, &JobError{Code: CodeStalled, Msg: fr.Msg, Fault: fr}, nil)
 		return
 	}
 	stats := concolicStats(rep, t0)

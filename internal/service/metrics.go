@@ -38,6 +38,19 @@ type serviceMetrics struct {
 	persistCompactions *obs.Counter // service_persist_compactions_total (delta-fed)
 	persistReadOnly    *obs.Gauge   // service_persist_read_only
 	cacheCorrupt       *obs.Counter // cache_corrupt_total (delta-fed)
+
+	// Crash safety (journal.go).
+	journalRecords   *obs.Counter // service_journal_appends_total
+	journalErrors    *obs.Counter // service_journal_errors_total
+	journalCorrupt   *obs.Counter // service_journal_corrupt_total (delta-fed)
+	journalReadOnly  *obs.Gauge   // service_journal_read_only
+	checkpoints      *obs.Counter // service_checkpoints_total
+	checkpointErrors *obs.Counter // service_checkpoint_errors_total
+	recovered        *obs.Counter // service_jobs_recovered_total
+	resumed          *obs.Counter // service_jobs_resumed_total
+	restoreFailed    *obs.Counter // service_checkpoint_restore_failed_total
+	stalled          *obs.Counter // service_jobs_stalled_total
+	retries          *obs.Counter // service_job_retries_total
 }
 
 func newServiceMetrics(r *obs.Registry) serviceMetrics {
@@ -74,6 +87,18 @@ func newServiceMetrics(r *obs.Registry) serviceMetrics {
 		persistCompactions: r.Counter("service_persist_compactions_total", "LRU compaction rewrites of the persistent cache log"),
 		persistReadOnly:    r.Gauge("service_persist_read_only", "1 when another process holds the cache writer lease"),
 		cacheCorrupt:       r.Counter("cache_corrupt_total", "Corrupt entries skipped while loading the persistent cache"),
+
+		journalRecords:   r.Counter("service_journal_appends_total", "Records appended to the durable job journal"),
+		journalErrors:    r.Counter("service_journal_errors_total", "Job-journal appends that failed (lease lost, I/O error, injected fault)"),
+		journalCorrupt:   r.Counter("service_journal_corrupt_total", "Corrupt job-journal entries skipped during recovery"),
+		journalReadOnly:  r.Gauge("service_journal_read_only", "1 when another process holds the job-journal writer lease"),
+		checkpoints:      r.Counter("service_checkpoints_total", "Exploration checkpoints written"),
+		checkpointErrors: r.Counter("service_checkpoint_errors_total", "Exploration checkpoint writes that failed or were dropped"),
+		recovered:        r.Counter("service_jobs_recovered_total", "Jobs rebuilt from the journal after a restart"),
+		resumed:          r.Counter("service_jobs_resumed_total", "Recovered jobs that resumed from an exploration checkpoint"),
+		restoreFailed:    r.Counter("service_checkpoint_restore_failed_total", "Checkpoints rejected at restore time (corrupt or mismatched)"),
+		stalled:          r.Counter("service_jobs_stalled_total", "Jobs killed by the stall watchdog"),
+		retries:          r.Counter("service_job_retries_total", "Transient job failures retried with backoff"),
 	}
 }
 
@@ -110,6 +135,8 @@ type metricsBase struct {
 	flushed     int64
 	compactions int64
 	corruptions int64
+
+	journalCorrupt int64
 }
 
 // refreshMetrics re-exports the sampled sources (shared cache, persist
@@ -142,6 +169,17 @@ func (s *Server) refreshMetrics() {
 			s.m.persistReadOnly.Set(1)
 		} else {
 			s.m.persistReadOnly.Set(0)
+		}
+	}
+
+	if s.journal != nil {
+		js := s.journal.Stats()
+		s.m.journalCorrupt.Add(max64(0, js.Corruptions-s.base.journalCorrupt))
+		s.base.journalCorrupt = max64(js.Corruptions, s.base.journalCorrupt)
+		if js.ReadOnly {
+			s.m.journalReadOnly.Set(1)
+		} else {
+			s.m.journalReadOnly.Set(0)
 		}
 	}
 }

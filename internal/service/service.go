@@ -26,6 +26,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/smt"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value is usable: every limit falls
@@ -64,6 +65,22 @@ type Config struct {
 	// GET /v1/runs/{digest}). "" disables recording; the endpoints then
 	// answer 404.
 	LedgerDir string
+
+	// Crash safety (journal.go, docs/service.md). StateDir, when set,
+	// arms the durable job journal and per-job exploration checkpoints:
+	// jobs survive a daemon crash/restart against the same directory,
+	// and interrupted serial explorations resume from their last
+	// checkpoint. "" disables both.
+	StateDir           string
+	CheckpointInterval time.Duration // checkpoint pace for serial explores (default 500ms)
+
+	// Stall watchdog and retry policy (docs/robustness.md). StallTimeout
+	// 0 disables the watchdog. RetryMax 0 disables retries; transient
+	// failures (recovered panics, watchdog kills) are retried up to
+	// RetryMax times with exponential backoff starting at RetryBackoff.
+	StallTimeout time.Duration
+	RetryMax     int
+	RetryBackoff time.Duration // first-retry backoff (default 50ms)
 
 	// SnapshotInterval paces the per-job SSE progress stream
 	// (GET /v1/jobs/{id}/events): one snapshot of the job's live
@@ -120,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotInterval <= 0 {
 		c.SnapshotInterval = 250 * time.Millisecond
 	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 500 * time.Millisecond
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
@@ -139,6 +162,7 @@ type Server struct {
 	cache   *smt.QueryCache
 	persist *smt.PersistentCache // nil when persistence is off
 	ledger  *ledger.Ledger       // nil when the run ledger is off
+	journal *wal.Log             // nil when StateDir is unset (no crash safety)
 
 	obsHandler http.Handler
 	m          serviceMetrics
@@ -148,6 +172,11 @@ type Server struct {
 	// aggProf accumulates every finished job's exploration profile, so
 	// /debug/profile serves a daemon-lifetime guest-code profile.
 	aggProf *profile.Profiler
+
+	// Startup recovery tallies (journal replay in New), for the startup
+	// log line and smokes.
+	recoveredN int
+	resumedN   int
 
 	mu       sync.Mutex
 	draining bool
@@ -173,7 +202,6 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		cache:   smt.NewQueryCache(),
 		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
 		log:     cfg.Logger,
 		aggProf: profile.New(profile.Meta{ADL: "all"}),
 	}
@@ -202,6 +230,29 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.obsHandler = obs.Handler(cfg.Obs)
 	s.m = newServiceMetrics(cfg.Obs.Registry())
+
+	// Replay the job journal before the queue exists so its capacity can
+	// absorb every recovered job on top of QueueDepth fresh admissions —
+	// a restart never loses queued work to its own backpressure.
+	var recovered []*Job
+	if cfg.StateDir != "" {
+		var err error
+		if recovered, err = s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.queue <- j
+		s.m.recovered.Inc()
+		if j.resumed {
+			s.resumedN++
+		}
+		s.log.Info("job recovered from journal", "job", j.id, "arch", j.p.Arch,
+			"mode", j.mode, "resumed", j.resumed)
+	}
+	s.recoveredN = len(recovered)
 	s.refreshMetrics()
 
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -227,7 +278,11 @@ func (s *Server) PersistStats() smt.PersistStats {
 }
 
 // runner is one slot of the pool: it pulls admitted jobs off the queue
-// until the queue is closed and drained.
+// until the queue is closed and drained. The inner loop is the retry
+// engine: failJob flags a transient failure instead of finishing the
+// job, and the runner re-runs it after exponential backoff — the job
+// never re-enters the queue, so retries cannot race shutdown's
+// queue close.
 func (s *Server) runner() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -236,10 +291,22 @@ func (s *Server) runner() {
 			s.finishJob(j)
 			continue
 		}
-		j.setRunning()
-		s.m.running.Add(1)
-		s.runJob(j)
-		s.m.running.Add(-1)
+		for {
+			j.setRunning()
+			s.m.running.Add(1)
+			s.journalAppend(journalRecord{Type: recStarted, ID: j.id, Attempt: j.attempts()})
+			s.runJob(j)
+			s.m.running.Add(-1)
+			if !j.takeRetry() {
+				break
+			}
+			time.Sleep(s.retryDelay(j.attempts()))
+			if j.cancelReq.Load() || s.drainingNow() {
+				j.finish(StateCanceled, &JobError{Code: CodeCanceled, Msg: "canceled during retry backoff"}, nil)
+				break
+			}
+			j.resetForRetry()
+		}
 		s.finishJob(j)
 	}
 }
@@ -289,16 +356,14 @@ func (s *Server) Submit(spec JobSpec) (*JobStatus, *JobError) {
 		return nil, &JobError{Code: CodeQueueFull, Msg: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth)}
 	}
 	s.seq++
-	j.id = fmt.Sprintf("j%06d", s.seq)
 	// The job ID is the correlation key across every observability
 	// surface: trace events (obs.Tracer.Scoped), the per-job exploration
-	// profile, and the structured log.
-	j.opts.JobID = j.id
-	j.prof = profile.New(profile.Meta{ADL: j.p.Arch, JobID: j.id})
-	j.opts.Profile = j.prof
+	// profile, the structured log, and the durable journal.
+	s.adoptJob(j, fmt.Sprintf("j%06d", s.seq), spec)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
+	s.journalAppend(journalRecord{Type: recSubmitted, ID: j.id, Spec: &spec})
 	s.m.admitted.Inc()
 	s.m.queueDepth.Set(int64(len(s.queue)))
 	s.log.Info("job admitted", "job", j.id, "arch", j.p.Arch, "mode", j.mode,
@@ -397,6 +462,15 @@ func (s *Server) recordRun(j *Job) {
 	if err := s.ledger.Append(ledger.Build(in)); err != nil && err != ledger.ErrReadOnly {
 		s.log.Warn("run ledger append failed", "job", j.id, "err", err)
 	}
+}
+
+// JournalStats exposes the job-journal log counters plus the startup
+// recovery tallies; zero value when crash safety is off.
+func (s *Server) JournalStats() (stats wal.Stats, recovered, resumed int) {
+	if s.journal == nil {
+		return wal.Stats{}, 0, 0
+	}
+	return s.journal.Stats(), s.recoveredN, s.resumedN
 }
 
 // Runs returns the full run-ledger history (nil ledger = nil). The
@@ -507,6 +581,7 @@ func (s *Server) Cancel(id string) (*JobStatus, bool) {
 // finishJob records a terminal job for retention accounting, appends
 // its ledger record, and evicts the oldest terminal jobs past the cap.
 func (s *Server) finishJob(j *Job) {
+	s.journalFinished(j)
 	s.m.completed(j.statusString())
 	s.aggProf.Absorb(j.prof)
 	s.recordRun(j)
@@ -576,6 +651,11 @@ func (s *Server) Close() error {
 		}
 	}
 	s.refreshMetrics()
+	if s.journal != nil {
+		if jerr := s.journal.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 

@@ -5,9 +5,10 @@
 // identical query — across runs, jobs and tenants. The persistent layer
 // makes that sharing survive process restarts:
 //
-//   - the file is an append-only log of CRC32-checksummed entries
-//     (key, result, model), so a flush is a single sequential write and
-//     a crash mid-append costs only the torn tail;
+//   - the file is an append-only log in the shared internal/wal format
+//     (magic "SXQC"): CRC-framed entries of (key, result, model), so a
+//     flush is a single sequential write and a crash mid-append costs
+//     only the torn tail;
 //   - Load replays the log into the in-memory QueryCache, skipping and
 //     (when writable) truncating any corrupt suffix — a flipped bit or
 //     truncated tail can never poison results, only shrink the cache;
@@ -25,14 +26,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
 	"sort"
 	"sync"
-	"syscall"
 
 	"repro/internal/expr"
+	"repro/internal/wal"
 )
 
 // Persist file layout (all integers little-endian):
@@ -44,10 +42,6 @@ import (
 const (
 	persistMagic   = "SXQC"
 	persistVersion = 1
-
-	// maxPayload bounds a single entry; anything larger in the length
-	// field is treated as corruption, not an allocation request.
-	maxPayload = 1 << 20
 )
 
 // ErrReadOnly is returned by Flush and Compact when another process
@@ -77,13 +71,11 @@ type PersistentCache struct {
 	cache *QueryCache
 	opts  PersistOptions
 
-	mu       sync.Mutex
-	f        *os.File
-	path     string
-	readOnly bool
-	onDisk   map[cacheKey]struct{} // keys known to be in the file
-	stats    PersistStats
-	closed   bool
+	mu     sync.Mutex
+	log    *wal.Log
+	onDisk map[cacheKey]struct{} // keys known to be in the file
+	stats  PersistStats          // Corruptions/ReadOnly read through from the wal
+	closed bool
 }
 
 // OpenPersistentCache opens (creating if needed) the cache file at path,
@@ -98,100 +90,31 @@ func OpenPersistentCache(path string, cache *QueryCache, opts PersistOptions) (*
 	if cache == nil {
 		return nil, errors.New("smt: OpenPersistentCache needs a QueryCache")
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	log, err := wal.Open(path, wal.Options{Magic: persistMagic, Version: persistVersion})
 	if err != nil {
 		return nil, fmt.Errorf("smt: persistent cache: %w", err)
 	}
 	p := &PersistentCache{
 		cache:  cache,
 		opts:   opts,
-		f:      f,
-		path:   path,
+		log:    log,
 		onDisk: make(map[cacheKey]struct{}),
 	}
-	// Single-writer lease: first process in owns appends; later ones
-	// degrade to read-only loaders instead of interleaving writes.
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		p.readOnly = true
-		p.stats.ReadOnly = true
-	}
-	if err := p.load(); err != nil {
-		f.Close()
+	if err := p.loadLocked(); err != nil {
+		log.Close()
 		return nil, err
 	}
 	return p, nil
 }
 
-// load replays the log into the QueryCache. Caller need not hold p.mu
-// (only called from OpenPersistentCache and Reload, which do).
-func (p *PersistentCache) load() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.loadLocked()
-}
-
+// loadLocked replays the log into the QueryCache. Insert keeps existing
+// entries, so replay is idempotent, and onDisk dedups the file-entry
+// count.
 func (p *PersistentCache) loadLocked() error {
-	if _, err := p.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("smt: persistent cache: %w", err)
-	}
-	st, err := p.f.Stat()
-	if err != nil {
-		return fmt.Errorf("smt: persistent cache: %w", err)
-	}
-	if st.Size() == 0 {
-		// Fresh file: the writer stamps the header now so appends can
-		// assume it exists; a reader of an empty file just has nothing.
-		if !p.readOnly {
-			var hdr [8]byte
-			copy(hdr[:4], persistMagic)
-			binary.LittleEndian.PutUint32(hdr[4:], persistVersion)
-			if _, err := p.f.Write(hdr[:]); err != nil {
-				return fmt.Errorf("smt: persistent cache: %w", err)
-			}
-		}
-		return nil
-	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(p.f, hdr[:]); err != nil || string(hdr[:4]) != persistMagic ||
-		binary.LittleEndian.Uint32(hdr[4:]) != persistVersion {
-		// A file that is not ours (or a torn header) is treated as wholly
-		// corrupt: the writer starts over, a reader loads nothing.
-		p.stats.Corruptions++
-		if !p.readOnly {
-			if err := p.rewriteLocked(nil); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	good := int64(len(hdr)) // offset of the last intact entry boundary
-	var lenb [8]byte
-	for {
-		if _, err := io.ReadFull(p.f, lenb[:]); err != nil {
-			if err != io.EOF {
-				p.stats.Corruptions++ // torn length/CRC prefix
-			}
-			break
-		}
-		plen := binary.LittleEndian.Uint32(lenb[:4])
-		crc := binary.LittleEndian.Uint32(lenb[4:])
-		if plen == 0 || plen > maxPayload {
-			p.stats.Corruptions++
-			break
-		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(p.f, payload); err != nil {
-			p.stats.Corruptions++ // truncated tail
-			break
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			p.stats.Corruptions++ // flipped bits
-			break
-		}
+	err := p.log.Load(func(payload []byte) error {
 		k, r, model, ok := decodeEntry(payload)
 		if !ok {
-			p.stats.Corruptions++
-			break
+			return errors.New("undecodable entry")
 		}
 		p.cache.Insert(k.k0, k.k1, r, model, true)
 		if _, dup := p.onDisk[k]; !dup {
@@ -199,18 +122,10 @@ func (p *PersistentCache) loadLocked() error {
 			p.stats.FileEntries++
 		}
 		p.stats.Loaded++
-		good += int64(len(lenb)) + int64(plen)
-	}
-	// Skip-and-truncate recovery: the writer drops the corrupt suffix so
-	// the next append lands on an intact boundary. Readers only skip —
-	// truncation without the lease would race the writer.
-	if !p.readOnly {
-		if err := p.f.Truncate(good); err != nil {
-			return fmt.Errorf("smt: persistent cache: truncate: %w", err)
-		}
-		if _, err := p.f.Seek(good, io.SeekStart); err != nil {
-			return fmt.Errorf("smt: persistent cache: %w", err)
-		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("smt: persistent cache: %w", err)
 	}
 	return nil
 }
@@ -224,8 +139,6 @@ func (p *PersistentCache) Reload() error {
 	if p.closed {
 		return errors.New("smt: persistent cache is closed")
 	}
-	// Re-scan from the start: Insert keeps existing entries, so replay
-	// is idempotent, and onDisk dedups the file-entry count.
 	return p.loadLocked()
 }
 
@@ -301,26 +214,24 @@ func (p *PersistentCache) Flush() error {
 	if p.closed {
 		return errors.New("smt: persistent cache is closed")
 	}
-	if p.readOnly {
+	if p.log.ReadOnly() {
 		return ErrReadOnly
 	}
-	var buf []byte
+	var payloads [][]byte
 	var added []cacheKey
 	p.cache.Export(func(e ExportedEntry) {
 		k := cacheKey{k0: e.K0, k1: e.K1}
 		if _, ok := p.onDisk[k]; ok {
 			return
 		}
-		payload := encodeEntry(e)
-		var pre [8]byte
-		binary.LittleEndian.PutUint32(pre[:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(pre[4:], crc32.ChecksumIEEE(payload))
-		buf = append(buf, pre[:]...)
-		buf = append(buf, payload...)
+		payloads = append(payloads, encodeEntry(e))
 		added = append(added, k)
 	})
-	if len(buf) > 0 {
-		if _, err := p.f.Write(buf); err != nil {
+	if len(payloads) > 0 {
+		if err := p.log.AppendBatch(payloads); err != nil {
+			if errors.Is(err, wal.ErrReadOnly) {
+				return ErrReadOnly
+			}
 			return fmt.Errorf("smt: persistent cache: append: %w", err)
 		}
 		for _, k := range added {
@@ -344,7 +255,7 @@ func (p *PersistentCache) Compact() error {
 	if p.closed {
 		return errors.New("smt: persistent cache is closed")
 	}
-	if p.readOnly {
+	if p.log.ReadOnly() {
 		return ErrReadOnly
 	}
 	return p.compactLocked()
@@ -358,80 +269,37 @@ func (p *PersistentCache) compactLocked() error {
 	if p.opts.MaxEntries > 0 && len(entries) > p.opts.MaxEntries {
 		entries = entries[:p.opts.MaxEntries]
 	}
-	if err := p.rewriteLocked(entries); err != nil {
-		return err
-	}
-	p.stats.Compactions++
-	return nil
-}
-
-// rewriteLocked replaces the log atomically (write temp, rename over).
-func (p *PersistentCache) rewriteLocked(entries []ExportedEntry) error {
-	tmp, err := os.CreateTemp(dirOf(p.path), ".sxqc-compact-*")
-	if err != nil {
-		return fmt.Errorf("smt: persistent cache: compact: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	var hdr [8]byte
-	copy(hdr[:4], persistMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], persistVersion)
-	buf := append([]byte(nil), hdr[:]...)
+	payloads := make([][]byte, len(entries))
 	onDisk := make(map[cacheKey]struct{}, len(entries))
-	for _, e := range entries {
-		payload := encodeEntry(e)
-		var pre [8]byte
-		binary.LittleEndian.PutUint32(pre[:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(pre[4:], crc32.ChecksumIEEE(payload))
-		buf = append(buf, pre[:]...)
-		buf = append(buf, payload...)
+	for i, e := range entries {
+		payloads[i] = encodeEntry(e)
 		onDisk[cacheKey{k0: e.K0, k1: e.K1}] = struct{}{}
 	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
+	if err := p.log.Rewrite(payloads); err != nil {
+		if errors.Is(err, wal.ErrReadOnly) {
+			return ErrReadOnly
+		}
 		return fmt.Errorf("smt: persistent cache: compact: %w", err)
 	}
-	// Move the flock lease to the new inode before it becomes the file.
-	if err := syscall.Flock(int(tmp.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		tmp.Close()
-		return fmt.Errorf("smt: persistent cache: compact lease: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("smt: persistent cache: compact: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p.path); err != nil {
-		tmp.Close()
-		return fmt.Errorf("smt: persistent cache: compact: %w", err)
-	}
-	p.f.Close()
-	p.f = tmp
 	p.onDisk = onDisk
 	p.stats.FileEntries = int64(len(entries))
+	p.stats.Compactions++
 	return nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }
 
 // Stats returns a snapshot of the persistence counters.
 func (p *PersistentCache) Stats() PersistStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	ws := p.log.Stats()
+	st := p.stats
+	st.Corruptions = ws.Corruptions
+	st.ReadOnly = ws.ReadOnly
+	return st
 }
 
 // ReadOnly reports whether this process lost the single-writer lease.
-func (p *PersistentCache) ReadOnly() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.readOnly
-}
+func (p *PersistentCache) ReadOnly() bool { return p.log.ReadOnly() }
 
 // Close flushes (when writable) and releases the file and its lease.
 func (p *PersistentCache) Close() error {
@@ -447,7 +315,7 @@ func (p *PersistentCache) Close() error {
 	}
 	p.mu.Lock()
 	p.closed = true
-	err := p.f.Close() // releases the flock lease
+	err := p.log.Close() // releases the flock lease
 	p.mu.Unlock()
 	if flushErr != nil {
 		return flushErr
